@@ -1,0 +1,111 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at its
+// full-size defaults, logs the paper-style report, and exports the key
+// ratios as benchmark metrics, e.g.:
+//
+//	go test -bench BenchmarkFigure2 -benchtime 1x
+//	go test -bench . -benchtime 1x          # everything (~15 minutes)
+//
+// The mapping to the paper is recorded in DESIGN.md §3 and the measured
+// shapes are discussed in EXPERIMENTS.md.
+package vats_test
+
+import (
+	"strings"
+	"testing"
+
+	"vats"
+)
+
+const benchSeed = 11
+
+// runExperiment executes one experiment per benchmark iteration and
+// exports its Data map as metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		exp, err := vats.RunExperiment(id, vats.ExperimentOpts{Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.Text)
+			for k, v := range exp.Data {
+				// Metric units must not contain whitespace.
+				b.ReportMetric(v, strings.ReplaceAll(k, " ", "_"))
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: TProfiler's key variance sources
+// in MySQL mode under the 128-WH-like and 2-WH-like configurations.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2: variance sources in Postgres
+// mode (the WALWriteLock convoy).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3: the end-to-end impact of every
+// modification (VATS, LLU, flush tuning, parallel logging, VoltDB
+// workers), each against its baseline.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates Table 4: VATS vs FCFS across the five
+// workloads.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFigure2 regenerates Figure 2: FCFS vs VATS vs RS on TPC-C.
+func BenchmarkFigure2(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFigure3LLU regenerates Figure 3 (left): Lazy LRU Update.
+func BenchmarkFigure3LLU(b *testing.B) { runExperiment(b, "fig3L") }
+
+// BenchmarkFigure3BufferPool regenerates Figure 3 (center): buffer pool
+// size sweep.
+func BenchmarkFigure3BufferPool(b *testing.B) { runExperiment(b, "fig3C") }
+
+// BenchmarkFigure3FlushPolicy regenerates Figure 3 (right): eager vs
+// lazy flush vs lazy write.
+func BenchmarkFigure3FlushPolicy(b *testing.B) { runExperiment(b, "fig3R") }
+
+// BenchmarkFigure4Parallel regenerates Figure 4 (left): parallel
+// logging vs the single WAL stream.
+func BenchmarkFigure4Parallel(b *testing.B) { runExperiment(b, "fig4L") }
+
+// BenchmarkFigure4BlockSize regenerates Figure 4 (right): redo block
+// size sweep.
+func BenchmarkFigure4BlockSize(b *testing.B) { runExperiment(b, "fig4R") }
+
+// BenchmarkFigure5Overhead regenerates Figure 5 (left): TProfiler vs
+// DTrace-like instrumentation overhead.
+func BenchmarkFigure5Overhead(b *testing.B) { runExperiment(b, "fig5L") }
+
+// BenchmarkFigure5Runs regenerates Figure 5 (right): profiling runs
+// needed vs a naive decompose-everything strategy.
+func BenchmarkFigure5Runs(b *testing.B) { runExperiment(b, "fig5R") }
+
+// BenchmarkFigure6 regenerates Figure 6: out-of-the-box dispersion of
+// the three engines.
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates Figure 7: VoltDB-mode worker-thread
+// sweep.
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates Figure 8: correlation of transaction age
+// and remaining time at lock waits.
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkAppendixC1 regenerates Appendix C.1: dispersion persists even
+// for uniform transactions.
+func BenchmarkAppendixC1(b *testing.B) { runExperiment(b, "appC1") }
+
+// BenchmarkTheorem1 checks Theorem 1 empirically: expected Lp norms of
+// VATS vs FCFS vs RS on a random menu.
+func BenchmarkTheorem1(b *testing.B) { runExperiment(b, "thm1") }
+
+// BenchmarkAblationConveyance isolates VATS's eldest-first ordering
+// from its grant-as-many-as-possible conveyance rule (a DESIGN.md
+// ablation, not a paper artifact).
+func BenchmarkAblationConveyance(b *testing.B) { runExperiment(b, "ablation1") }

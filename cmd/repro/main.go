@@ -1,0 +1,73 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro                  # run every experiment (slow: ~15 minutes)
+//	repro -exp fig2,table4 # run selected experiments
+//	repro -quick           # scaled-down counts for a fast sanity pass
+//	repro -seed 7 -out results.txt
+//
+// Each experiment prints the paper-style rows; EXPERIMENTS.md records a
+// reference run with commentary on how the shapes compare to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"vats"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick   = flag.Bool("quick", false, "scaled-down counts for a fast pass")
+		seed    = flag.Int64("seed", 11, "random seed")
+		out     = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	ids := vats.ExperimentIDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := vats.ExperimentOpts{Seed: *seed}
+	if *quick {
+		opts.Count = 300
+		opts.Clients = 8
+	}
+
+	fmt.Fprintf(w, "vats reproduction — %s (seed %d, quick=%v)\n",
+		time.Now().Format(time.RFC3339), *seed, *quick)
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		exp, err := vats.RunExperiment(strings.TrimSpace(id), opts)
+		if err != nil {
+			fmt.Fprintf(w, "\n== %s: ERROR: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(w, "\n== %s — %s (%.1fs)\n%s", exp.ID, exp.Title,
+			time.Since(start).Seconds(), exp.Text)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

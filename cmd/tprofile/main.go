@@ -1,0 +1,56 @@
+// Command tprofile runs TProfiler against a workload and prints the
+// variance tree and the top-k factors — what the paper's Tables 1 and 2
+// report for MySQL and Postgres.
+//
+// Usage:
+//
+//	tprofile -workload tpcc -clients 32 -rate 700 -count 1500 -topk 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vats"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "tpcc", "tpcc | seats | tatp | epinions | ycsb")
+		clients = flag.Int("clients", 16, "concurrent terminals")
+		rate    = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
+		count   = flag.Int("count", 800, "transactions to profile")
+		topk    = flag.Int("topk", 8, "factors to report")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	wl, err := vats.NewWorkload(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prof := vats.NewProfiler()
+	db, err := vats.Open(vats.Options{Profiler: prof, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	res, err := vats.RunBenchmark(db, wl, vats.BenchConfig{
+		Clients: *clients, Rate: *rate, Count: *count, Warmup: *count / 10, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profiled %d transactions of %s: %s\n\n", prof.TxnCount(), *wlName, res.Overall.String())
+	fmt.Printf("variance tree:\n%s\n", prof.Report())
+	fmt.Printf("top %d factors by score (specificity × variance):\n", *topk)
+	for _, f := range prof.TopFactors(*topk) {
+		fmt.Printf("  %s\n", f.String())
+	}
+}

@@ -1,0 +1,106 @@
+// Command vatsbench runs one workload against one engine configuration
+// and prints latency statistics — the building block the experiments
+// compose.
+//
+// Usage:
+//
+//	vatsbench -workload tpcc -sched VATS -clients 32 -rate 800 -count 2000
+//	vatsbench -workload ycsb -sched FCFS -flush lazywrite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vats"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "tpcc", "tpcc | seats | tatp | epinions | ycsb")
+		sched   = flag.String("sched", "FCFS", "FCFS | VATS | RS")
+		flush   = flag.String("flush", "eager", "eager | lazyflush | lazywrite")
+		lru     = flag.String("lru", "eager", "eager | lazy (LLU)")
+		par     = flag.Bool("parallel-log", false, "two-stream parallel logging")
+		clients = flag.Int("clients", 16, "concurrent terminals")
+		rate    = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
+		count   = flag.Int("count", 1000, "transactions to measure")
+		pages   = flag.Int("buffer", 4096, "buffer pool pages")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := vats.Options{
+		BufferPages: *pages,
+		ParallelLog: *par,
+		Seed:        *seed,
+	}
+	switch strings.ToUpper(*sched) {
+	case "VATS":
+		opts.Scheduler = vats.VATS
+	case "RS":
+		opts.Scheduler = vats.RS
+	}
+	switch strings.ToLower(*flush) {
+	case "lazyflush":
+		opts.Flush = vats.LazyFlush
+	case "lazywrite":
+		opts.Flush = vats.LazyWrite
+	}
+	if strings.ToLower(*lru) == "lazy" {
+		opts.LRU = vats.LazyLRU
+	}
+
+	wl, err := vats.NewWorkload(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db, err := vats.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	res, err := vats.RunBenchmark(db, wl, vats.BenchConfig{
+		Clients: *clients,
+		Rate:    *rate,
+		Count:   *count,
+		Warmup:  *count / 10,
+		Seed:    *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s scheduler=%s flush=%s lru=%s clients=%d rate=%.0f\n",
+		*wlName, strings.ToUpper(*sched), *flush, *lru, *clients, *rate)
+	fmt.Printf("overall: %s\n", res.Overall.String())
+	fmt.Printf("throughput: %.0f txn/s, errors: %d\n", res.Throughput, res.Errors)
+
+	tags := make([]string, 0, len(res.PerTag))
+	for tag := range res.PerTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	fmt.Printf("\n%-22s %8s %10s %10s %10s\n", "transaction type", "n", "mean ms", "p99 ms", "cov")
+	for _, tag := range tags {
+		s := res.PerTag[tag]
+		fmt.Printf("%-22s %8d %10.3f %10.3f %10.2f\n", tag, s.N, s.Mean, s.P99, s.CoV)
+	}
+
+	ls := db.Locks().Stats()
+	fmt.Printf("\nlocks: acquires=%d waits=%d waitTime=%v deadlocks=%d timeouts=%d\n",
+		ls.Acquires, ls.Waits, ls.WaitTime, ls.Deadlocks, ls.Timeouts)
+	ps := db.Pool().Stats()
+	fmt.Printf("buffer: hits=%d misses=%d evictions=%d makeYoung=%d deferred=%d\n",
+		ps.Hits, ps.Misses, ps.Evictions, ps.MakeYoungs, ps.Deferred)
+	ws := db.Log().Stats()
+	fmt.Printf("wal: appends=%d flushes=%d grouped=%d bytes=%d\n",
+		ws.Appends, ws.Flushes, ws.GroupedCommits, ws.Bytes)
+}

@@ -1,0 +1,110 @@
+package vats_test
+
+import (
+	"fmt"
+	"log"
+
+	"vats"
+)
+
+// Example shows the core transactional API: open an engine with the
+// VATS lock scheduler, write and read a row.
+func Example() {
+	db, err := vats.Open(vats.Options{Scheduler: vats.VATS, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	users, err := db.CreateTable("users")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := db.NewSession()
+
+	err = sess.RunTxn(3, func(tx *vats.Txn) error {
+		var row vats.RowBuilder
+		return tx.Insert(users, 42, row.String("ada").Int64(1815).Bytes())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = sess.RunTxn(3, func(tx *vats.Txn) error {
+		img, err := tx.Get(users, 42)
+		if err != nil {
+			return err
+		}
+		r := vats.NewRowReader(img)
+		fmt.Printf("%s %d\n", r.String(), r.Int64())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: ada 1815
+}
+
+// ExampleNewProfiler attaches TProfiler to an engine and reports the
+// number of profiled transactions.
+func ExampleNewProfiler() {
+	prof := vats.NewProfiler()
+	db, err := vats.Open(vats.Options{Profiler: prof, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	t, _ := db.CreateTable("t")
+	sess := db.NewSession()
+	for i := uint64(1); i <= 5; i++ {
+		err := sess.RunTxn(3, func(tx *vats.Txn) error {
+			var row vats.RowBuilder
+			return tx.Insert(t, i, row.Uint64(i).Bytes())
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(prof.TxnCount(), "transactions profiled")
+	// Output: 5 transactions profiled
+}
+
+// ExampleSession_RunTxn demonstrates automatic retry of concurrency
+// victims: RunTxn re-runs the closure on deadlock or lock timeout with
+// the transaction's original birth time preserved.
+func ExampleSession_RunTxn() {
+	db, err := vats.Open(vats.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	t, _ := db.CreateTable("counters")
+	sess := db.NewSession()
+	err = sess.RunTxn(3, func(tx *vats.Txn) error {
+		var row vats.RowBuilder
+		return tx.Insert(t, 1, row.Int64(0).Bytes())
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err = sess.RunTxn(5, func(tx *vats.Txn) error {
+			img, err := tx.GetForUpdate(t, 1)
+			if err != nil {
+				return err
+			}
+			n := vats.NewRowReader(img).Int64()
+			var row vats.RowBuilder
+			return tx.Update(t, 1, row.Int64(n+1).Bytes())
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	sess.RunTxn(3, func(tx *vats.Txn) error {
+		img, _ := tx.Get(t, 1)
+		fmt.Println("counter =", vats.NewRowReader(img).Int64())
+		return nil
+	})
+	// Output: counter = 3
+}

@@ -1,0 +1,74 @@
+// Profile: point TProfiler at a workload and find where latency
+// variance comes from — the paper's §3/§4 workflow, including the
+// iterative-refinement step that restricts instrumentation to the
+// interesting subtree.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vats"
+)
+
+func main() {
+	prof := vats.NewProfiler()
+	db, err := vats.Open(vats.Options{Profiler: prof, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	wl, err := vats.NewWorkload("tpcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vats.RunBenchmark(db, wl, vats.BenchConfig{
+		Clients: 16,
+		Rate:    400,
+		Count:   600,
+		Warmup:  60,
+		Seed:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run 1 (everything instrumented): %s\n\n", res.Overall.String())
+	fmt.Println("variance tree:")
+	fmt.Println(prof.Report())
+
+	fmt.Println("top 5 factors (specificity-weighted):")
+	top := prof.TopFactors(5)
+	for _, f := range top {
+		fmt.Printf("  %s\n", f.String())
+	}
+
+	// Iterative refinement: re-profile with instrumentation restricted
+	// to the top culprits, as §3.1 describes — the cheap second pass a
+	// developer runs to confirm a finding without full overhead.
+	if len(top) == 0 {
+		return
+	}
+	var names []string
+	for _, f := range top {
+		names = append(names, f.Functions...)
+	}
+	prof2 := vats.NewProfiler()
+	prof2.Instrument(names...)
+	db2, err := vats.Open(vats.Options{Profiler: prof2, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	wl2, _ := vats.NewWorkload("tpcc")
+	if _, err := vats.RunBenchmark(db2, wl2, vats.BenchConfig{
+		Clients: 16, Rate: 400, Count: 600, Warmup: 60, Seed: 6,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrun 2 (only %d functions instrumented):\n", len(names))
+	for _, f := range prof2.TopFactors(5) {
+		fmt.Printf("  %s\n", f.String())
+	}
+}

@@ -1,0 +1,3 @@
+module vats
+
+go 1.22

@@ -1,0 +1,468 @@
+// Package btree provides an in-memory B+-tree keyed by uint64, used by
+// the storage layer for clustered and secondary indexes. Leaves are
+// linked for cheap range scans (the btr_cur_search_to_nth_level analog:
+// lookups traverse the tree level by level, so latency varies with tree
+// height — inherent variance, as the paper's §4.1 notes).
+//
+// The tree is not safe for concurrent use; callers synchronize (the
+// storage layer wraps each index in an RWMutex).
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of children per internal
+// node.
+const DefaultOrder = 64
+
+// Tree is a B+-tree mapping uint64 keys to values of type V.
+type Tree[V any] struct {
+	root   *node[V]
+	order  int // max children of an internal node; leaves hold order-1 max keys
+	length int
+}
+
+type node[V any] struct {
+	leaf     bool
+	keys     []uint64
+	children []*node[V] // internal only: len(children) == len(keys)+1
+	values   []V        // leaf only: len(values) == len(keys)
+	next     *node[V]   // leaf only
+}
+
+// New returns a tree with the given order (maximum fan-out); order < 4
+// is raised to 4. Use 0 for DefaultOrder.
+func New[V any](order int) *Tree[V] {
+	if order == 0 {
+		order = DefaultOrder
+	}
+	if order < 4 {
+		order = 4
+	}
+	return &Tree[V]{order: order, root: &node[V]{leaf: true}}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[V]) Len() int { return t.length }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree[V]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+func (n *node[V]) search(key uint64) int {
+	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+}
+
+// childIndex returns which child of an internal node covers key.
+// Internal keys act as separators: child i covers keys < keys[i];
+// the last child covers the rest. Keys equal to the separator go right.
+func (n *node[V]) childIndex(key uint64) int {
+	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+}
+
+// Get returns the value for key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.values[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert sets key to v, returning true if an existing value was replaced.
+func (t *Tree[V]) Insert(key uint64, v V) bool {
+	replaced := t.insert(t.root, key, v)
+	if !replaced {
+		t.length++
+	}
+	if t.overflow(t.root) {
+		left := t.root
+		mid, right := t.split(left)
+		t.root = &node[V]{
+			keys:     []uint64{mid},
+			children: []*node[V]{left, right},
+		}
+	}
+	return replaced
+}
+
+func (t *Tree[V]) insert(n *node[V], key uint64, v V) bool {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.values[i] = v
+			return true
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		var zero V
+		n.values = append(n.values, zero)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = v
+		return false
+	}
+	ci := n.childIndex(key)
+	child := n.children[ci]
+	replaced := t.insert(child, key, v)
+	if t.overflow(child) {
+		mid, right := t.split(child)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+	}
+	return replaced
+}
+
+func (t *Tree[V]) overflow(n *node[V]) bool {
+	if n.leaf {
+		return len(n.keys) > t.order-1
+	}
+	return len(n.children) > t.order
+}
+
+// split divides an overflowing node into two, returning the separator
+// key and the new right sibling.
+func (t *Tree[V]) split(n *node[V]) (uint64, *node[V]) {
+	if n.leaf {
+		mid := len(n.keys) / 2
+		right := &node[V]{
+			leaf:   true,
+			keys:   append([]uint64(nil), n.keys[mid:]...),
+			values: append([]V(nil), n.values[mid:]...),
+			next:   n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.values = n.values[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node[V]{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*node[V](nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Tree[V]) Delete(key uint64) bool {
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.length--
+	}
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return deleted
+}
+
+func (t *Tree[V]) delete(n *node[V], key uint64) bool {
+	if n.leaf {
+		i := n.search(key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.values = append(n.values[:i], n.values[i+1:]...)
+		return true
+	}
+	ci := n.childIndex(key)
+	child := n.children[ci]
+	deleted := t.delete(child, key)
+	if deleted && t.underflow(child) {
+		t.rebalance(n, ci)
+	}
+	return deleted
+}
+
+func (t *Tree[V]) underflow(n *node[V]) bool {
+	min := (t.order - 1) / 2
+	if n.leaf {
+		return len(n.keys) < min
+	}
+	return len(n.children) < (t.order+1)/2
+}
+
+// rebalance fixes an underflowing child ci of parent n by borrowing from
+// or merging with a sibling.
+func (t *Tree[V]) rebalance(n *node[V], ci int) {
+	child := n.children[ci]
+
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := n.children[ci-1]
+		if t.canLend(left) {
+			if child.leaf {
+				k := left.keys[len(left.keys)-1]
+				v := left.values[len(left.values)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.values = left.values[:len(left.values)-1]
+				child.keys = append([]uint64{k}, child.keys...)
+				child.values = append([]V{v}, child.values...)
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				// Rotate through the parent separator.
+				k := left.keys[len(left.keys)-1]
+				c := left.children[len(left.children)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.children = left.children[:len(left.children)-1]
+				child.keys = append([]uint64{n.keys[ci-1]}, child.keys...)
+				child.children = append([]*node[V]{c}, child.children...)
+				n.keys[ci-1] = k
+			}
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		if t.canLend(right) {
+			if child.leaf {
+				k := right.keys[0]
+				v := right.values[0]
+				right.keys = right.keys[1:]
+				right.values = right.values[1:]
+				child.keys = append(child.keys, k)
+				child.values = append(child.values, v)
+				n.keys[ci] = right.keys[0]
+			} else {
+				k := right.keys[0]
+				c := right.children[0]
+				right.keys = right.keys[1:]
+				right.children = right.children[1:]
+				child.keys = append(child.keys, n.keys[ci])
+				child.children = append(child.children, c)
+				n.keys[ci] = k
+			}
+			return
+		}
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.merge(n, ci-1)
+	} else {
+		t.merge(n, ci)
+	}
+}
+
+func (t *Tree[V]) canLend(n *node[V]) bool {
+	if n.leaf {
+		return len(n.keys) > (t.order-1)/2
+	}
+	return len(n.children) > (t.order+1)/2
+}
+
+// merge folds child i+1 of n into child i and removes the separator.
+func (t *Tree[V]) merge(n *node[V], i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.values = append(left.values, right.values...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// AscendRange calls fn for each key in [lo, hi] in ascending order until
+// fn returns false.
+func (t *Tree[V]) AscendRange(lo, hi uint64, fn func(key uint64, v V) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(lo)]
+	}
+	for n != nil {
+		i := n.search(lo)
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return
+			}
+			if !fn(n.keys[i], n.values[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Ascend calls fn over every key in ascending order until fn returns
+// false.
+func (t *Tree[V]) Ascend(fn func(key uint64, v V) bool) {
+	t.AscendRange(0, ^uint64(0), fn)
+}
+
+// DescendRange calls fn for each key in [lo, hi] in descending order
+// until fn returns false. Used for latest-first lookups (e.g. TPC-C
+// Order-Status reads a customer's most recent order).
+func (t *Tree[V]) DescendRange(hi, lo uint64, fn func(key uint64, v V) bool) {
+	t.descend(t.root, hi, lo, fn)
+}
+
+func (t *Tree[V]) descend(n *node[V], hi, lo uint64, fn func(key uint64, v V) bool) bool {
+	if n.leaf {
+		// Last index with key <= hi.
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > hi })
+		for i--; i >= 0; i-- {
+			if n.keys[i] < lo {
+				return false
+			}
+			if !fn(n.keys[i], n.values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Children that may contain keys <= hi, right to left.
+	start := n.childIndex(hi)
+	for ci := start; ci >= 0; ci-- {
+		if !t.descend(n.children[ci], hi, lo, fn) {
+			return false
+		}
+		// Child ci-1 holds keys strictly below the separator keys[ci-1];
+		// once that bound is at or below lo nothing further left matters.
+		if ci > 0 && n.keys[ci-1] <= lo {
+			return true
+		}
+	}
+	return true
+}
+
+// Min returns the smallest key.
+func (t *Tree[V]) Min() (uint64, V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		var zero V
+		return 0, zero, false
+	}
+	return n.keys[0], n.values[0], true
+}
+
+// Max returns the largest key.
+func (t *Tree[V]) Max() (uint64, V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		var zero V
+		return 0, zero, false
+	}
+	return n.keys[len(n.keys)-1], n.values[len(n.values)-1], true
+}
+
+// Validate checks structural invariants, returning the first violation.
+// Used by property tests.
+func (t *Tree[V]) Validate() error {
+	count, _, _, err := t.validate(t.root, 0, ^uint64(0), true)
+	if err != nil {
+		return err
+	}
+	if count != t.length {
+		return fmt.Errorf("btree: length %d but %d keys reachable", t.length, count)
+	}
+	// All leaves must be reachable via the leaf chain and sorted.
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	prevSet := false
+	var prev uint64
+	chained := 0
+	for ; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if prevSet && k <= prev {
+				return fmt.Errorf("btree: leaf chain out of order at %d", k)
+			}
+			prev, prevSet = k, true
+			chained++
+		}
+	}
+	if chained != t.length {
+		return fmt.Errorf("btree: leaf chain has %d keys, length %d", chained, t.length)
+	}
+	return nil
+}
+
+func (t *Tree[V]) validate(n *node[V], lo, hi uint64, root bool) (count, depthMin, depthMax int, err error) {
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return 0, 0, 0, fmt.Errorf("btree: unsorted keys in node")
+		}
+	}
+	for _, k := range n.keys {
+		if k < lo || k > hi {
+			return 0, 0, 0, fmt.Errorf("btree: key %d outside [%d,%d]", k, lo, hi)
+		}
+	}
+	if n.leaf {
+		if len(n.values) != len(n.keys) {
+			return 0, 0, 0, fmt.Errorf("btree: leaf keys/values mismatch")
+		}
+		if !root && len(n.keys) > t.order-1 {
+			return 0, 0, 0, fmt.Errorf("btree: leaf overflow")
+		}
+		return len(n.keys), 1, 1, nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, 0, 0, fmt.Errorf("btree: internal fan-out mismatch")
+	}
+	if !root && len(n.children) > t.order {
+		return 0, 0, 0, fmt.Errorf("btree: internal overflow")
+	}
+	total := 0
+	dmin, dmax := 1<<30, 0
+	childLo := lo
+	for i, c := range n.children {
+		childHi := hi
+		if i < len(n.keys) {
+			if n.keys[i] == 0 {
+				return 0, 0, 0, fmt.Errorf("btree: zero separator")
+			}
+			childHi = n.keys[i] - 1
+		}
+		cnt, dn, dx, err := t.validate(c, childLo, childHi, false)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		total += cnt
+		if dn+1 < dmin {
+			dmin = dn + 1
+		}
+		if dx+1 > dmax {
+			dmax = dx + 1
+		}
+		if i < len(n.keys) {
+			childLo = n.keys[i]
+		}
+	}
+	if dmin != dmax {
+		return 0, 0, 0, fmt.Errorf("btree: unbalanced depths %d vs %d", dmin, dmax)
+	}
+	return total, dmin, dmax, nil
+}

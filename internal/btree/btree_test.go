@@ -1,0 +1,339 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[string](0)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("get on empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("max on empty tree")
+	}
+	if tr.Delete(1) {
+		t.Fatal("delete on empty tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetReplace(t *testing.T) {
+	tr := New[string](4)
+	if tr.Insert(5, "a") {
+		t.Fatal("insert of new key reported replace")
+	}
+	if !tr.Insert(5, "b") {
+		t.Fatal("overwrite not reported")
+	}
+	if v, ok := tr.Get(5); !ok || v != "b" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestInsertManySequential(t *testing.T) {
+	tr := New[int](8)
+	const n = 2000
+	for i := 1; i <= n; i++ {
+		tr.Insert(uint64(i), i*10)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		v, ok := tr.Get(uint64(i))
+		if !ok || v != i*10 {
+			t.Fatalf("get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d; tree did not grow", tr.Height())
+	}
+}
+
+func TestInsertManyRandomOrder(t *testing.T) {
+	tr := New[int](16)
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(3000)
+	for _, k := range perm {
+		tr.Insert(uint64(k)+1, k)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mn, _, _ := tr.Min()
+	mx, _, _ := tr.Max()
+	if mn != 1 || mx != 3000 {
+		t.Fatalf("min/max = %d/%d", mn, mx)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	tr := New[int](6)
+	const n = 1000
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		tr.Insert(uint64(k)+1, k)
+	}
+	del := rng.Perm(n)
+	for i, k := range del {
+		if !tr.Delete(uint64(k) + 1) {
+			t.Fatalf("delete(%d) missing", k+1)
+		}
+		if i%100 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	tr := New[int](4)
+	tr.Insert(1, 1)
+	if tr.Delete(2) {
+		t.Fatal("deleted a missing key")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("len changed")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int](4)
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		tr.Insert(uint64(i), i)
+	}
+	var got []uint64
+	tr.AscendRange(10, 20, func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	tr := New[int](4)
+	for i := 1; i <= 50; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	count := 0
+	tr.AscendRange(1, 50, func(k uint64, v int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAscendFullOrder(t *testing.T) {
+	tr := New[int](8)
+	rng := rand.New(rand.NewSource(3))
+	keys := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(10000)) + 1
+		keys[k] = true
+		tr.Insert(k, int(k))
+	}
+	var sorted []uint64
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var got []uint64
+	tr.Ascend(func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(sorted) {
+		t.Fatalf("ascend visited %d of %d", len(got), len(sorted))
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("position %d: %d != %d", i, got[i], sorted[i])
+		}
+	}
+}
+
+func TestSmallOrderIsRaised(t *testing.T) {
+	tr := New[int](2)
+	for i := 1; i <= 100; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random interleaving of inserts and deletes matches a map
+// oracle and preserves all invariants.
+func TestRandomOpsAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int](4 + rng.Intn(12))
+		oracle := map[uint64]int{}
+		for op := 0; op < 800; op++ {
+			k := uint64(rng.Intn(200)) + 1
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				_, existed := oracle[k]
+				if tr.Insert(k, v) != existed {
+					t.Logf("seed %d: insert replace flag mismatch for %d", seed, k)
+					return false
+				}
+				oracle[k] = v
+			case 2:
+				_, existed := oracle[k]
+				if tr.Delete(k) != existed {
+					t.Logf("seed %d: delete flag mismatch for %d", seed, k)
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		if tr.Len() != len(oracle) {
+			t.Logf("seed %d: len %d vs oracle %d", seed, tr.Len(), len(oracle))
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				t.Logf("seed %d: get(%d) = %d,%v want %d", seed, k, got, ok, v)
+				return false
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New[int](64)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i)*2654435761%1000000, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int](64)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i % 100000))
+	}
+}
+
+func TestDescendRange(t *testing.T) {
+	tr := New[int](4)
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		tr.Insert(uint64(i), i)
+	}
+	var got []uint64
+	tr.DescendRange(20, 10, func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{20, 18, 16, 14, 12, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDescendRangeEarlyStop(t *testing.T) {
+	tr := New[int](4)
+	for i := 1; i <= 60; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	count := 0
+	var first uint64
+	tr.DescendRange(60, 1, func(k uint64, v int) bool {
+		if count == 0 {
+			first = k
+		}
+		count++
+		return count < 3
+	})
+	if count != 3 || first != 60 {
+		t.Fatalf("count=%d first=%d", count, first)
+	}
+}
+
+func TestDescendMatchesReversedAscend(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int](4 + rng.Intn(12))
+		for i := 0; i < 300; i++ {
+			tr.Insert(uint64(rng.Intn(500))+1, i)
+		}
+		lo := uint64(rng.Intn(250))
+		hi := lo + uint64(rng.Intn(250))
+		var up, down []uint64
+		tr.AscendRange(lo, hi, func(k uint64, _ int) bool {
+			up = append(up, k)
+			return true
+		})
+		tr.DescendRange(hi, lo, func(k uint64, _ int) bool {
+			down = append(down, k)
+			return true
+		})
+		if len(up) != len(down) {
+			return false
+		}
+		for i := range up {
+			if up[i] != down[len(down)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

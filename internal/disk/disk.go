@@ -1,0 +1,200 @@
+// Package disk simulates a block storage device with realistic latency
+// behaviour. It substitutes for the spinning disks of the paper's testbed:
+// the commit path (redo-log flush) and buffer-pool page I/O go through a
+// Device, whose service times follow a seeded log-normal distribution with
+// occasional heavy-tail stalls — the inherent I/O variance the paper
+// observes in fil_flush (MySQL) and the WALWriteLock convoy (Postgres).
+//
+// A Device serializes requests like a single-spindle disk: concurrent
+// writers queue on the device and the queueing delay itself becomes a
+// latency-variance source, which is exactly the pathology parallel logging
+// (§6.2) attacks by spreading log writes across two devices.
+package disk
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/xrand"
+)
+
+// Config describes a simulated device.
+type Config struct {
+	// Name identifies the device in stats output.
+	Name string
+	// MedianLatency is the median per-operation service time (seek +
+	// rotational cost for one I/O op).
+	MedianLatency time.Duration
+	// Sigma is the log-normal shape parameter; 0 gives deterministic
+	// service times.
+	Sigma float64
+	// TailP is the probability that an operation hits a stall (e.g., a
+	// device cache flush), multiplying its service time by TailX.
+	TailP float64
+	// TailX is the stall multiplier.
+	TailX float64
+	// BlockSize is the device block size in bytes. Writes are rounded up
+	// to whole blocks; each block adds BytePerBlockCost transfer time.
+	BlockSize int
+	// PerByte is the transfer cost per byte actually written (a full
+	// block is always transferred, mirroring the paper's fig. 4 right).
+	PerByte time.Duration
+	// Seed seeds the latency sampler.
+	Seed int64
+}
+
+// DefaultConfig returns a device resembling a buffered spinning disk,
+// scaled down so experiments complete quickly: ~300µs median op latency
+// with moderate spread and rare 8x stalls.
+func DefaultConfig(name string, seed int64) Config {
+	return Config{
+		Name:          name,
+		MedianLatency: 300 * time.Microsecond,
+		Sigma:         0.4,
+		TailP:         0.02,
+		TailX:         8,
+		BlockSize:     8 * 1024,
+		PerByte:       4 * time.Nanosecond,
+		Seed:          seed,
+	}
+}
+
+// Stats reports cumulative device activity.
+type Stats struct {
+	Ops        int64
+	BytesDone  int64
+	BlocksDone int64
+	// BusyTime is total service time spent (excluding queueing).
+	BusyTime time.Duration
+	// MaxWaiters is the high-water mark of concurrent queued requests.
+	MaxWaiters int32
+}
+
+// Device is a simulated single-spindle block device. All methods are safe
+// for concurrent use; requests serialize on the device as on real
+// hardware.
+type Device struct {
+	cfg Config
+	lat *xrand.LogNormal
+
+	mu         sync.Mutex // the "spindle": one request at a time
+	waiters    int32
+	maxWaiters int32
+
+	ops    atomic.Int64
+	bytes  atomic.Int64
+	blocks atomic.Int64
+	busyNs atomic.Int64
+
+	stallMu    sync.Mutex
+	stallUntil time.Time
+}
+
+// New creates a Device from cfg. Zero-valued fields get safe defaults.
+func New(cfg Config) *Device {
+	if cfg.MedianLatency <= 0 {
+		cfg.MedianLatency = 300 * time.Microsecond
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 8 * 1024
+	}
+	d := &Device{cfg: cfg}
+	d.lat = xrand.NewLogNormal(xrand.New(cfg.Seed),
+		float64(cfg.MedianLatency)/float64(time.Millisecond),
+		cfg.Sigma, cfg.TailP, cfg.TailX)
+	return d
+}
+
+// Config returns the device's configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Waiters returns the number of requests currently queued or in service.
+// Parallel logging uses this to pick the less-loaded log device.
+func (d *Device) Waiters() int { return int(atomic.LoadInt32(&d.waiters)) }
+
+// WriteBytes performs a buffered write of n bytes: the data is rounded
+// up to whole blocks, each block is a separate I/O operation paying the
+// per-op service time, and every block transfers BlockSize bytes even if
+// the payload only fills part of it. This is the trade-off behind the
+// paper's fig. 4 (right): larger blocks mean fewer operations per
+// transaction, but once log records occupy only a small part of a block,
+// the wasted transfer outweighs the savings. Returns the time spent
+// (service + queueing).
+func (d *Device) WriteBytes(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	blocks := (n + d.cfg.BlockSize - 1) / d.cfg.BlockSize
+	return d.serve(blocks, blocks, blocks*d.cfg.BlockSize)
+}
+
+// Fsync flushes the device cache: a single operation with the device's
+// full latency profile. This is the expensive call on the commit path.
+func (d *Device) Fsync() time.Duration {
+	return d.serve(1, 0, 0)
+}
+
+// ReadBlock reads one block (a buffer-pool miss).
+func (d *Device) ReadBlock() time.Duration {
+	return d.serve(1, 1, d.cfg.BlockSize)
+}
+
+// WriteBlock writes one block (a buffer-pool eviction write-back).
+func (d *Device) WriteBlock() time.Duration {
+	return d.serve(1, 1, d.cfg.BlockSize)
+}
+
+// InjectStall makes the device refuse to start new operations for dur,
+// modelling a device-level hiccup. Used by failure-injection tests.
+func (d *Device) InjectStall(dur time.Duration) {
+	d.stallMu.Lock()
+	until := time.Now().Add(dur)
+	if until.After(d.stallUntil) {
+		d.stallUntil = until
+	}
+	d.stallMu.Unlock()
+}
+
+func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
+	start := time.Now()
+	w := atomic.AddInt32(&d.waiters, 1)
+	for {
+		old := atomic.LoadInt32(&d.maxWaiters)
+		if w <= old || atomic.CompareAndSwapInt32(&d.maxWaiters, old, w) {
+			break
+		}
+	}
+	d.mu.Lock()
+	d.stallMu.Lock()
+	stall := time.Until(d.stallUntil)
+	d.stallMu.Unlock()
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	service := time.Duration(float64(ops) * d.lat.Sample() * float64(time.Millisecond))
+	service += time.Duration(blocks) * time.Duration(d.cfg.BlockSize) * d.cfg.PerByte
+	_ = transferBytes
+	if service > 0 {
+		time.Sleep(service)
+	}
+	d.mu.Unlock()
+	atomic.AddInt32(&d.waiters, -1)
+
+	d.ops.Add(int64(ops))
+	d.blocks.Add(int64(blocks))
+	d.bytes.Add(int64(transferBytes))
+	d.busyNs.Add(int64(service))
+	return time.Since(start)
+}
+
+// Stats returns cumulative activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Ops:        d.ops.Load(),
+		BytesDone:  d.bytes.Load(),
+		BlocksDone: d.blocks.Load(),
+		BusyTime:   time.Duration(d.busyNs.Load()),
+		MaxWaiters: atomic.LoadInt32(&d.maxWaiters),
+	}
+}

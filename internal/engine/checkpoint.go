@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"vats/internal/wal"
+)
+
+// Checkpoint records (the redo ops 5 and 6, see txn.go for 1-4).
+const (
+	redoCkptRow byte = 5
+	redoCkptEnd byte = 6
+)
+
+// ErrNotQuiescent is reserved for callers that want to assert quiescence
+// around Checkpoint; the engine itself cannot verify it cheaply.
+var ErrNotQuiescent = errors.New("engine: checkpoint requires quiescence")
+
+// Checkpoint writes a quiescent snapshot of every table into the log
+// and truncates the records it supersedes, bounding both recovery time
+// and log size for long-running instances.
+//
+// The caller must ensure no transactions are in flight (quiescent
+// checkpoint): the snapshot is taken table by table with latch-level
+// consistency only. On return, the log consists of the snapshot plus
+// everything appended after it, and Recover on such a log restores the
+// snapshot first, then replays later committed transactions.
+func (db *DB) Checkpoint() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	// A fresh txn id tags this checkpoint's records so recovery can
+	// associate its rows with its end marker.
+	ckptID := db.nextTxn.Add(1)
+	s := db.NewSession()
+
+	db.mu.Lock()
+	spaces := make([]uint32, 0, len(db.bySpace))
+	for space := range db.bySpace {
+		spaces = append(spaces, space)
+	}
+	db.mu.Unlock()
+
+	var firstLSN wal.LSN
+	for _, space := range spaces {
+		t, ok := db.tableBySpace(space)
+		if !ok {
+			continue
+		}
+		var scanErr error
+		err := t.Scan(s.h, 0, ^uint64(0), func(key uint64, row []byte) bool {
+			lsn, err := db.log.Append(ckptID, encodeRedo(redoCkptRow, space, key, row))
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if firstLSN == 0 {
+				firstLSN = lsn
+			}
+			return true
+		})
+		if err == nil {
+			err = scanErr
+		}
+		if err != nil {
+			return fmt.Errorf("engine: checkpoint %s: %w", t.Name(), err)
+		}
+	}
+	endLSN, err := db.log.Append(ckptID, encodeRedo(redoCkptEnd, 0, 0, nil))
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint: %w", err)
+	}
+	if firstLSN == 0 {
+		firstLSN = endLSN
+	}
+	// Make the snapshot durable, then drop everything it supersedes.
+	if err := db.log.Commit(ckptID); err != nil {
+		return fmt.Errorf("engine: checkpoint flush: %w", err)
+	}
+	db.log.Flush() // lazy policies: force the flusher's work now
+	db.log.Truncate(firstLSN)
+	return nil
+}

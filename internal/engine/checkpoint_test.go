@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"vats/internal/storage"
+	"vats/internal/wal"
+)
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	for i := uint64(1); i <= 30; i++ {
+		tx := s.Begin()
+		tx.Insert(tab, i, row(fmt.Sprintf("v%d", i)))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(db.Log().RecoveredEntries())
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after := len(db.Log().RecoveredEntries())
+	// 30 inserts + 30 commit markers before; 30 snapshot rows + end after.
+	if after >= before {
+		t.Fatalf("checkpoint did not shrink the log: %d -> %d", before, after)
+	}
+	if after != 31 {
+		t.Fatalf("log has %d entries after checkpoint, want 31 (30 rows + end)", after)
+	}
+}
+
+func TestRecoveryFromCheckpoint(t *testing.T) {
+	db := Open(fastCfg())
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	for i := uint64(1); i <= 20; i++ {
+		tx := s.Begin()
+		tx.Insert(tab, i, row(fmt.Sprintf("v%d", i)))
+		tx.Commit()
+	}
+	// Mutate some rows so the snapshot must capture post-update state.
+	tx := s.Begin()
+	tx.Update(tab, 1, row("v1-final"))
+	tx.Delete(tab, 2)
+	tx.Commit()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint activity that must be replayed on top.
+	tx = s.Begin()
+	tx.Insert(tab, 100, row("after-ckpt"))
+	tx.Update(tab, 3, row("v3-after"))
+	tx.Commit()
+	// An uncommitted transaction at crash time.
+	tx = s.Begin()
+	tx.Insert(tab, 200, row("uncommitted"))
+	db.Crash()
+
+	db2 := Open(fastCfg())
+	defer db2.Close()
+	tab2, _ := db2.CreateTable("t")
+	if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db2.NewSession()
+	tx2 := s2.Begin()
+	defer tx2.Rollback()
+	check := func(key uint64, want string) {
+		t.Helper()
+		img, err := tx2.Get(tab2, key)
+		if err != nil {
+			t.Fatalf("key %d: %v", key, err)
+		}
+		if got := rowStr(t, img); got != want {
+			t.Fatalf("key %d = %q, want %q", key, got, want)
+		}
+	}
+	check(1, "v1-final")
+	check(3, "v3-after")
+	check(100, "after-ckpt")
+	check(20, "v20")
+	if _, err := tx2.Get(tab2, 2); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatal("deleted row resurrected through checkpoint")
+	}
+	if _, err := tx2.Get(tab2, 200); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatal("uncommitted row recovered")
+	}
+	if tab2.Len() != 20 {
+		t.Fatalf("recovered %d rows, want 20", tab2.Len())
+	}
+}
+
+func TestRecoveryIgnoresPartialCheckpoint(t *testing.T) {
+	// A crash mid-checkpoint leaves ckptRow records with no end marker;
+	// recovery must fall back to full replay and stay correct.
+	db := Open(fastCfg())
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	tx.Insert(tab, 1, row("v1"))
+	tx.Commit()
+	// Forge a partial checkpoint: snapshot rows without the end marker.
+	ckptID := db.nextTxn.Add(1)
+	db.Log().Append(ckptID, encodeRedo(redoCkptRow, tab.Space(), 1, row("v1")))
+	db.Log().Commit(ckptID)
+	db.Crash()
+
+	db2 := Open(fastCfg())
+	defer db2.Close()
+	tab2, _ := db2.CreateTable("t")
+	if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tab2.Len())
+	}
+}
+
+func TestCheckpointOnLazyPolicies(t *testing.T) {
+	for _, policy := range []wal.FlushPolicy{wal.LazyFlush, wal.LazyWrite} {
+		cfg := fastCfg()
+		cfg.FlushPolicy = policy
+		cfg.LogFlushInterval = time.Hour // only explicit flushes count
+		db := Open(cfg)
+		tab, _ := db.CreateTable("t")
+		s := db.NewSession()
+		tx := s.Begin()
+		tx.Insert(tab, 1, row("x"))
+		tx.Commit()
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		db.Crash()
+		db2 := Open(fastCfg())
+		tab2, _ := db2.CreateTable("t")
+		if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if tab2.Len() != 1 {
+			t.Fatalf("%v: checkpointed row lost", policy)
+		}
+		db2.Close()
+	}
+}
+
+func TestCheckpointAfterClose(t *testing.T) {
+	db := Open(fastCfg())
+	db.Close()
+	if err := db.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRepeatedCheckpoints(t *testing.T) {
+	db := Open(fastCfg())
+	defer db.Close()
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	for round := 0; round < 3; round++ {
+		for i := uint64(1); i <= 5; i++ {
+			key := uint64(round)*10 + i
+			tx := s.Begin()
+			tx.Insert(tab, key, row(fmt.Sprintf("r%d", key)))
+			tx.Commit()
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Log must hold exactly the last snapshot (15 rows + end marker).
+	if got := len(db.Log().RecoveredEntries()); got != 16 {
+		t.Fatalf("log entries = %d, want 16", got)
+	}
+}

@@ -1,0 +1,306 @@
+// Package engine assembles the substrates into a transactional database
+// engine: strict two-phase record locking (internal/lock) with a
+// pluggable scheduler, a buffer pool with young/old LRU (internal/buffer),
+// redo logging with configurable durability (internal/wal), heap tables
+// with B+-tree indexes (internal/storage), and TProfiler span hooks at
+// every layer.
+//
+// The engine substitutes for the MySQL/Postgres servers of the paper's
+// evaluation. Its configuration knobs are exactly the paper's levers:
+//
+//   - Config.Scheduler:     FCFS (baseline) vs VATS vs RS        (§5)
+//   - Config.LRUPolicy:     EagerLRU vs LazyLRU (LLU)            (§6.1)
+//   - Config.ParallelLog:   single WAL stream vs parallel        (§6.2)
+//   - Config.FlushPolicy:   eager / lazy flush / lazy write      (App. B)
+//   - Config.BufferCapacity and log-device block size            (§7.5)
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/buffer"
+	"vats/internal/disk"
+	"vats/internal/lock"
+	"vats/internal/storage"
+	"vats/internal/tprofiler"
+	"vats/internal/wal"
+)
+
+// Config configures an engine instance. The zero value is usable: FCFS
+// scheduling, a 256-page pool, one default log device, eager flush.
+type Config struct {
+	// Scheduler orders lock grants (nil = FCFS, the MySQL default).
+	Scheduler lock.Scheduler
+	// LockTimeout bounds each lock wait (default 2s).
+	LockTimeout time.Duration
+	// DeadlockInterval is the detector period (default 1ms).
+	DeadlockInterval time.Duration
+
+	// BufferCapacity is the pool size in pages (default 256).
+	BufferCapacity int
+	// PageSize in bytes (default 4096).
+	PageSize int
+	// LRUPolicy selects Eager vs Lazy (LLU) LRU updates.
+	LRUPolicy buffer.UpdatePolicy
+	// SpinWait is the LLU spin bound (default 10µs).
+	SpinWait time.Duration
+	// LRUCriticalCost is the simulated cost of the buffer pool's LRU
+	// critical section (see buffer.Config.CriticalCost).
+	LRUCriticalCost time.Duration
+
+	// DataDevice backs page I/O; nil builds a default device.
+	DataDevice *disk.Device
+	// LogDevices back the WAL; nil builds one default device. Two or
+	// more with ParallelLog enables parallel logging.
+	LogDevices []*disk.Device
+	// ParallelLog lets committers use all log devices concurrently.
+	ParallelLog bool
+	// FlushPolicy is the WAL durability policy.
+	FlushPolicy wal.FlushPolicy
+	// LogFlushInterval is the lazy flusher period (default 5ms).
+	LogFlushInterval time.Duration
+
+	// Profiler receives transaction spans; nil disables profiling.
+	Profiler *tprofiler.Profiler
+
+	// SampleAgeRemaining makes every transaction record, at each lock
+	// wait, its age when it entered the queue and (at commit) the time
+	// that remained after the grant — the paper's Figure 8 / Appendix
+	// C.2 data.
+	SampleAgeRemaining bool
+
+	// Seed seeds default devices.
+	Seed int64
+}
+
+// AgeSample is one (age, remaining-time) observation at a lock
+// scheduling decision, both in milliseconds.
+type AgeSample struct {
+	Age       float64
+	Remaining float64
+}
+
+// DB is a running engine instance.
+type DB struct {
+	cfg   Config
+	locks *lock.Manager
+	pool  *buffer.Pool
+	log   *wal.Manager
+
+	mu        sync.Mutex
+	tables    map[string]*storage.Table
+	bySpace   map[uint32]*storage.Table
+	nextSpace uint32
+
+	samplesMu sync.Mutex
+	samples   map[string][]AgeSample
+
+	nextTxn atomic.Uint64
+	closed  atomic.Bool
+}
+
+// AgeSamples returns the collected (age, remaining) samples per
+// transaction tag. Requires Config.SampleAgeRemaining.
+func (db *DB) AgeSamples() map[string][]AgeSample {
+	db.samplesMu.Lock()
+	defer db.samplesMu.Unlock()
+	out := make(map[string][]AgeSample, len(db.samples))
+	for k, v := range db.samples {
+		out[k] = append([]AgeSample(nil), v...)
+	}
+	return out
+}
+
+func (db *DB) addSamples(tag string, s []AgeSample) {
+	db.samplesMu.Lock()
+	if db.samples == nil {
+		db.samples = make(map[string][]AgeSample)
+	}
+	db.samples[tag] = append(db.samples[tag], s...)
+	db.samplesMu.Unlock()
+}
+
+// Open builds and starts an engine.
+func Open(cfg Config) *DB {
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 2 * time.Second
+	}
+	if cfg.BufferCapacity <= 0 {
+		cfg.BufferCapacity = 256
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.DataDevice == nil {
+		dc := disk.DefaultConfig("data", cfg.Seed+1)
+		dc.MedianLatency = 120 * time.Microsecond
+		cfg.DataDevice = disk.New(dc)
+	}
+	if len(cfg.LogDevices) == 0 {
+		cfg.LogDevices = []*disk.Device{disk.New(disk.DefaultConfig("log0", cfg.Seed+2))}
+	}
+	db := &DB{
+		cfg:     cfg,
+		tables:  make(map[string]*storage.Table),
+		bySpace: make(map[uint32]*storage.Table),
+	}
+	db.locks = lock.NewManager(lock.Options{
+		Scheduler:      cfg.Scheduler,
+		WaitTimeout:    cfg.LockTimeout,
+		DetectInterval: cfg.DeadlockInterval,
+	})
+	db.pool = buffer.NewPool(buffer.Config{
+		Capacity:     cfg.BufferCapacity,
+		PageSize:     cfg.PageSize,
+		Device:       cfg.DataDevice,
+		Policy:       cfg.LRUPolicy,
+		SpinWait:     cfg.SpinWait,
+		CriticalCost: cfg.LRUCriticalCost,
+	})
+	db.log = wal.New(wal.Config{
+		Devices:       cfg.LogDevices,
+		Parallel:      cfg.ParallelLog,
+		Policy:        cfg.FlushPolicy,
+		FlushInterval: cfg.LogFlushInterval,
+	})
+	return db
+}
+
+// Close shuts the engine down cleanly (final log flush, detector stop).
+func (db *DB) Close() {
+	if db.closed.Swap(true) {
+		return
+	}
+	db.log.Close()
+	db.locks.Close()
+}
+
+// Crash simulates a crash: the log stops at its durable prefix and the
+// engine refuses further transactions. Use RecoveredEntries + Recover on
+// a fresh engine to replay.
+func (db *DB) Crash() {
+	if db.closed.Swap(true) {
+		return
+	}
+	db.log.Crash()
+	db.locks.Close()
+}
+
+// CreateTable creates an empty table.
+func (db *DB) CreateTable(name string) (*storage.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q exists", name)
+	}
+	db.nextSpace++
+	t := storage.NewTable(name, db.nextSpace, db.pool)
+	db.tables[name] = t
+	db.bySpace[db.nextSpace] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*storage.Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+func (db *DB) tableBySpace(space uint32) (*storage.Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.bySpace[space]
+	return t, ok
+}
+
+// Pool exposes the buffer pool (stats, experiments).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Locks exposes the lock manager (stats, experiments).
+func (db *DB) Locks() *lock.Manager { return db.locks }
+
+// Log exposes the WAL manager (stats, crash experiments).
+func (db *DB) Log() *wal.Manager { return db.log }
+
+// Profiler returns the configured profiler (possibly nil).
+func (db *DB) Profiler() *tprofiler.Profiler { return db.cfg.Profiler }
+
+// Session is a worker-local connection: it owns a buffer handle (and
+// with it the LLU backlog). Sessions are not safe for concurrent use;
+// create one per goroutine, like a connection.
+type Session struct {
+	db *DB
+	h  *buffer.Handle
+}
+
+// NewSession opens a connection-like session.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, h: db.pool.NewHandle()}
+}
+
+// DB returns the owning engine.
+func (s *Session) DB() *DB { return s.db }
+
+// Handle exposes the session's buffer handle for storage-level
+// maintenance operations (e.g. Table.CreateIndex backfills).
+func (s *Session) Handle() *buffer.Handle { return s.h }
+
+// ErrClosed is returned when the engine is shut down or crashed.
+var ErrClosed = errors.New("engine: closed")
+
+// Begin starts a transaction. The transaction's birth time is its age
+// basis for VATS.
+func (s *Session) Begin() *Txn {
+	return s.BeginAt(time.Now())
+}
+
+// BeginAt starts a transaction with an explicit birth time. RunTxn uses
+// it to preserve a transaction's age across deadlock retries: the
+// logical unit of work was born at its first attempt, and VATS must see
+// that age or retried victims would rejoin every queue as the youngest
+// waiter and could starve.
+func (s *Session) BeginAt(birth time.Time) *Txn {
+	id := lock.TxnID(s.db.nextTxn.Add(1))
+	return &Txn{
+		s:     s,
+		id:    id,
+		birth: birth,
+		tc:    s.db.cfg.Profiler.StartTxn(),
+	}
+}
+
+// IsRetryable reports whether an error is a transient concurrency
+// failure (deadlock victim or lock timeout) that the application should
+// retry with a fresh transaction.
+func IsRetryable(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout)
+}
+
+// RunTxn runs fn in a transaction, retrying deadlock/timeout victims up
+// to maxRetries times. fn may be invoked multiple times and must be
+// idempotent from the database's point of view (each attempt sees a
+// fresh transaction).
+func (s *Session) RunTxn(maxRetries int, fn func(tx *Txn) error) error {
+	birth := time.Now()
+	for attempt := 0; ; attempt++ {
+		tx := s.BeginAt(birth)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Rollback()
+		}
+		if !IsRetryable(err) || attempt >= maxRetries {
+			return err
+		}
+	}
+}

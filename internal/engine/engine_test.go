@@ -1,0 +1,546 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vats/internal/disk"
+	"vats/internal/lock"
+	"vats/internal/storage"
+	"vats/internal/tprofiler"
+	"vats/internal/wal"
+)
+
+// fastCfg builds an engine config with near-zero device latency so
+// functional tests run fast.
+func fastCfg() Config {
+	return Config{
+		DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 1}),
+		LogDevices:       []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
+		LockTimeout:      500 * time.Millisecond,
+		DeadlockInterval: time.Millisecond,
+		BufferCapacity:   128,
+		PageSize:         1024,
+	}
+}
+
+func openFast(t *testing.T) *DB {
+	t.Helper()
+	db := Open(fastCfg())
+	t.Cleanup(db.Close)
+	return db
+}
+
+func row(s string) []byte {
+	var b storage.RowBuilder
+	return b.String(s).Bytes()
+}
+
+func rowStr(t *testing.T, img []byte) string {
+	t.Helper()
+	r := storage.NewRowReader(img)
+	v := r.String()
+	if !r.Ok() {
+		t.Fatal("bad row image")
+	}
+	return v
+}
+
+func TestBasicCRUD(t *testing.T) {
+	db := openFast(t)
+	tab, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+
+	tx := s.Begin()
+	if err := tx.Insert(tab, 1, row("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = s.Begin()
+	img, err := tx.Get(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowStr(t, img) != "one" {
+		t.Fatalf("row = %q", rowStr(t, img))
+	}
+	if err := tx.Update(tab, 1, row("uno")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tab, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get(tab, 1); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table len = %d", tab.Len())
+	}
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	db := openFast(t)
+	if _, err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t"); err == nil {
+		t.Fatal("duplicate table allowed")
+	}
+	if _, ok := db.Table("t"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := db.Table("missing"); ok {
+		t.Fatal("phantom table")
+	}
+}
+
+func TestRollbackUndoesWrites(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+
+	// Seed a row.
+	tx := s.Begin()
+	tx.Insert(tab, 1, row("original"))
+	tx.Commit()
+
+	tx = s.Begin()
+	if err := tx.Update(tab, 1, row("modified")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert(tab, 2, row("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tab, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+
+	tx = s.Begin()
+	img, err := tx.Get(tab, 1)
+	if err != nil {
+		t.Fatalf("row 1 lost after rollback: %v", err)
+	}
+	if rowStr(t, img) != "original" {
+		t.Fatalf("row 1 = %q after rollback", rowStr(t, img))
+	}
+	if _, err := tx.Get(tab, 2); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatalf("rolled-back insert visible: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestFinishedTxnRejectsOps(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	tx.Commit()
+	if _, err := tx.Get(tab, 1); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit = %v", err)
+	}
+	tx.Rollback() // no-op, must not panic
+}
+
+func TestWriteConflictBlocksUntilCommit(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s1, s2 := db.NewSession(), db.NewSession()
+
+	tx0 := s1.Begin()
+	tx0.Insert(tab, 1, row("v0"))
+	tx0.Commit()
+
+	tx1 := s1.Begin()
+	if err := tx1.Update(tab, 1, row("v1")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2 := s2.Begin()
+		if err := tx2.Update(tab, 1, row("v2")); err != nil {
+			done <- err
+			tx2.Rollback()
+			return
+		}
+		done <- tx2.Commit()
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("conflicting update finished early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	tx1.Commit()
+	if err := <-done; err != nil {
+		t.Fatalf("second writer: %v", err)
+	}
+	tx := s1.Begin()
+	img, _ := tx.Get(tab, 1)
+	if rowStr(t, img) != "v2" {
+		t.Fatalf("final row = %q", rowStr(t, img))
+	}
+	tx.Commit()
+}
+
+func TestDeadlockVictimAndRetry(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	tx.Insert(tab, 1, row("a"))
+	tx.Insert(tab, 2, row("b"))
+	tx.Commit()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	order := [][2]uint64{{1, 2}, {2, 1}}
+	start := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			<-start
+			errs[i] = sess.RunTxn(5, func(tx *Txn) error {
+				if err := tx.Update(tab, order[i][0], row("x")); err != nil {
+					return err
+				}
+				time.Sleep(5 * time.Millisecond) // widen the deadlock window
+				return tx.Update(tab, order[i][1], row("y"))
+			})
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d failed despite retries: %v", i, err)
+		}
+	}
+}
+
+func TestMoneyConservation(t *testing.T) {
+	// The classic ACID smoke test: concurrent transfers preserve the
+	// total balance under any scheduler.
+	for _, sched := range []lock.Scheduler{lock.FCFS{}, lock.VATS{}, lock.RS{}} {
+		sched := sched
+		t.Run(sched.Name(), func(t *testing.T) {
+			cfg := fastCfg()
+			cfg.Scheduler = sched
+			db := Open(cfg)
+			defer db.Close()
+			tab, _ := db.CreateTable("accounts")
+			const accounts = 10
+			const initial = 1000
+			s := db.NewSession()
+			tx := s.Begin()
+			for i := uint64(1); i <= accounts; i++ {
+				var b storage.RowBuilder
+				if err := tx.Insert(tab, i, b.Int64(initial).Bytes()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tx.Commit()
+
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				seed := uint64(g + 1)
+				go func() {
+					defer wg.Done()
+					sess := db.NewSession()
+					x := seed * 2654435761
+					for i := 0; i < 40; i++ {
+						x ^= x << 13
+						x ^= x >> 7
+						x ^= x << 17
+						from := x%accounts + 1
+						to := (x>>8)%accounts + 1
+						if from == to {
+							continue
+						}
+						amt := int64(x % 50)
+						err := sess.RunTxn(10, func(tx *Txn) error {
+							// Lock in key order to reduce deadlocks.
+							a, b := from, to
+							if a > b {
+								a, b = b, a
+							}
+							ra, err := tx.GetForUpdate(tab, a)
+							if err != nil {
+								return err
+							}
+							rb, err := tx.GetForUpdate(tab, b)
+							if err != nil {
+								return err
+							}
+							va := storage.NewRowReader(ra).Int64()
+							vb := storage.NewRowReader(rb).Int64()
+							if a == from {
+								va -= amt
+								vb += amt
+							} else {
+								va += amt
+								vb -= amt
+							}
+							var ba, bb storage.RowBuilder
+							if err := tx.Update(tab, a, ba.Int64(va).Bytes()); err != nil {
+								return err
+							}
+							return tx.Update(tab, b, bb.Int64(vb).Bytes())
+						})
+						if err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			var total int64
+			tx = s.Begin()
+			for i := uint64(1); i <= accounts; i++ {
+				img, err := tx.Get(tab, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += storage.NewRowReader(img).Int64()
+			}
+			tx.Commit()
+			if total != accounts*initial {
+				t.Fatalf("total = %d, want %d (money not conserved)", total, accounts*initial)
+			}
+		})
+	}
+}
+
+func TestScanSeesCommittedRows(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	for i := uint64(1); i <= 10; i++ {
+		tx.Insert(tab, i, row(fmt.Sprintf("r%d", i)))
+	}
+	tx.Commit()
+	tx = s.Begin()
+	count := 0
+	err := tx.Scan(tab, 3, 7, func(k uint64, img []byte) bool {
+		count++
+		return true
+	})
+	if err != nil || count != 5 {
+		t.Fatalf("scan count = %d err = %v", count, err)
+	}
+	tx.Commit()
+}
+
+func TestCrashRecoveryDurability(t *testing.T) {
+	// Eager flush: every committed transaction must survive a crash.
+	cfg := fastCfg()
+	cfg.FlushPolicy = wal.EagerFlush
+	db := Open(cfg)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	for i := uint64(1); i <= 20; i++ {
+		tx := s.Begin()
+		tx.Insert(tab, i, row(fmt.Sprintf("v%d", i)))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One in-flight (uncommitted) transaction at crash time.
+	tx := s.Begin()
+	tx.Insert(tab, 99, row("uncommitted"))
+	db.Crash()
+
+	entries := db.Log().RecoveredEntries()
+	db2 := Open(fastCfg())
+	defer db2.Close()
+	tab2, _ := db2.CreateTable("t")
+	if err := db2.Recover(entries); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db2.NewSession()
+	tx2 := s2.Begin()
+	for i := uint64(1); i <= 20; i++ {
+		img, err := tx2.Get(tab2, i)
+		if err != nil {
+			t.Fatalf("committed row %d lost: %v", i, err)
+		}
+		if rowStr(t, img) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("row %d = %q", i, rowStr(t, img))
+		}
+	}
+	if _, err := tx2.Get(tab2, 99); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatalf("uncommitted row replayed: %v", err)
+	}
+	tx2.Commit()
+}
+
+func TestCrashRecoveryWithUpdatesAndDeletes(t *testing.T) {
+	cfg := fastCfg()
+	db := Open(cfg)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	tx.Insert(tab, 1, row("a"))
+	tx.Insert(tab, 2, row("b"))
+	tx.Commit()
+	tx = s.Begin()
+	tx.Update(tab, 1, row("a2"))
+	tx.Delete(tab, 2)
+	tx.Commit()
+	// A rolled-back transaction must not reappear.
+	tx = s.Begin()
+	tx.Insert(tab, 3, row("ghost"))
+	tx.Rollback()
+	db.Crash()
+
+	db2 := Open(fastCfg())
+	defer db2.Close()
+	tab2, _ := db2.CreateTable("t")
+	if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db2.NewSession()
+	tx2 := s2.Begin()
+	img, err := tx2.Get(tab2, 1)
+	if err != nil || rowStr(t, img) != "a2" {
+		t.Fatalf("row 1: %v %q", err, img)
+	}
+	if _, err := tx2.Get(tab2, 2); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatal("deleted row resurrected")
+	}
+	if _, err := tx2.Get(tab2, 3); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatal("rolled-back insert recovered")
+	}
+	tx2.Commit()
+}
+
+func TestLazyWriteLosesTailOnCrash(t *testing.T) {
+	cfg := fastCfg()
+	cfg.FlushPolicy = wal.LazyWrite
+	cfg.LogFlushInterval = time.Hour
+	db := Open(cfg)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	tx.Insert(tab, 1, row("will-be-lost"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	db2 := Open(fastCfg())
+	defer db2.Close()
+	tab2, _ := db2.CreateTable("t")
+	if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db2.NewSession()
+	tx2 := s2.Begin()
+	if _, err := tx2.Get(tab2, 1); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatalf("LazyWrite commit survived a crash without a flush: %v", err)
+	}
+	tx2.Commit()
+}
+
+func TestOpsAfterCloseFail(t *testing.T) {
+	db := Open(fastCfg())
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	db.Close()
+	tx := s.Begin()
+	if err := tx.Insert(tab, 1, row("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	db.Close() // idempotent
+}
+
+func TestProfilerSeesEngineSpans(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Profiler = tprofiler.New()
+	db := Open(cfg)
+	defer db.Close()
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	for i := uint64(1); i <= 10; i++ {
+		tx := s.Begin()
+		tx.Insert(tab, i, row("v"))
+		tx.Commit()
+		tx = s.Begin()
+		tx.Get(tab, i)
+		tx.Commit()
+	}
+	if cfg.Profiler.TxnCount() != 20 {
+		t.Fatalf("profiler saw %d txns", cfg.Profiler.TxnCount())
+	}
+	tree := cfg.Profiler.Tree()
+	names := map[string]bool{}
+	var walk func(n *tprofiler.Node)
+	walk = func(n *tprofiler.Node) {
+		names[n.Name] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	for _, want := range []string{"exec.insert", "exec.select", "lock.wait.write", "lock.wait.read", "log.flush", "wal.append"} {
+		if !names[want] {
+			t.Errorf("span %q missing from variance tree (have %v)", want, names)
+		}
+	}
+}
+
+func TestRunTxnPropagatesNonRetryable(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	sentinel := errors.New("app error")
+	calls := 0
+	err := s.RunTxn(5, func(tx *Txn) error {
+		calls++
+		_ = tab
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err = %v calls = %d", err, calls)
+	}
+}
+
+func TestLockTimeoutSurfacesAsRetryable(t *testing.T) {
+	cfg := fastCfg()
+	cfg.LockTimeout = 20 * time.Millisecond
+	cfg.DeadlockInterval = -1 // force timeout path
+	db := Open(cfg)
+	defer db.Close()
+	tab, _ := db.CreateTable("t")
+	s1 := db.NewSession()
+	tx1 := s1.Begin()
+	tx1.Insert(tab, 1, row("x"))
+
+	s2 := db.NewSession()
+	tx2 := s2.Begin()
+	err := tx2.Update(tab, 1, row("y"))
+	if !IsRetryable(err) || !errors.Is(err, lock.ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	tx2.Rollback()
+	tx1.Commit()
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+
+	"vats/internal/wal"
+)
+
+// Recover replays durable redo records into a fresh engine. Tables must
+// already exist (schemas are not logged) and are matched by creation
+// order, so recreate them in the same order as the crashed instance.
+//
+// If the log contains a complete checkpoint (see Checkpoint), recovery
+// restores the latest checkpoint's snapshot first and then replays only
+// the committed transactions after it. Records from in-flight, aborted
+// or superseded transactions are ignored; replay is in LSN order, which
+// under strict 2PL is consistent with the original conflict order.
+func (db *DB) Recover(entries []wal.Entry) error {
+	// Locate the last complete checkpoint.
+	var ckptID uint64
+	var ckptEnd wal.LSN
+	for _, e := range entries {
+		op, _, _, _, err := decodeRedo(e.Payload)
+		if err != nil {
+			return fmt.Errorf("engine: recover: %w", err)
+		}
+		if op == redoCkptEnd {
+			ckptID, ckptEnd = e.Txn, e.LSN
+		}
+	}
+
+	committed := make(map[uint64]bool)
+	for _, e := range entries {
+		if e.LSN <= ckptEnd {
+			continue
+		}
+		op, _, _, _, err := decodeRedo(e.Payload)
+		if err != nil {
+			return fmt.Errorf("engine: recover: %w", err)
+		}
+		if op == redoCommit {
+			committed[e.Txn] = true
+		}
+	}
+
+	s := db.NewSession()
+	apply := func(op byte, space uint32, key uint64, row []byte) error {
+		t, ok := db.tableBySpace(space)
+		if !ok {
+			return fmt.Errorf("engine: recover: unknown space %d", space)
+		}
+		switch op {
+		case redoInsert, redoCkptRow:
+			return t.Insert(s.h, key, row)
+		case redoUpdate:
+			return t.Update(s.h, key, row)
+		case redoDelete:
+			return t.Delete(s.h, key)
+		default:
+			return fmt.Errorf("engine: recover: bad op %d", op)
+		}
+	}
+
+	// Phase 1: restore the checkpoint snapshot, if any.
+	if ckptEnd != 0 {
+		for _, e := range entries {
+			if e.Txn != ckptID || e.LSN >= ckptEnd {
+				continue
+			}
+			op, space, key, row, err := decodeRedo(e.Payload)
+			if err != nil {
+				return fmt.Errorf("engine: recover: %w", err)
+			}
+			if op != redoCkptRow {
+				continue
+			}
+			if err := apply(op, space, key, row); err != nil {
+				return fmt.Errorf("engine: recover snapshot %d/%d: %w", space, key, err)
+			}
+		}
+	}
+
+	// Phase 2: replay committed transactions after the checkpoint.
+	for _, e := range entries {
+		if e.LSN <= ckptEnd || !committed[e.Txn] {
+			continue
+		}
+		op, space, key, row, err := decodeRedo(e.Payload)
+		if err != nil {
+			return fmt.Errorf("engine: recover: %w", err)
+		}
+		if op == redoCommit || op == redoCkptRow || op == redoCkptEnd {
+			continue
+		}
+		if err := apply(op, space, key, row); err != nil {
+			return fmt.Errorf("engine: recover replay %d/%d: %w", space, key, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"vats/internal/lock"
+	"vats/internal/storage"
+	"vats/internal/tprofiler"
+)
+
+// Txn is a strict-2PL transaction. All row operations acquire record
+// locks that are held until Commit or Rollback. Txn is single-goroutine.
+//
+// Profiler span names map to the paper's culprit functions:
+//
+//	lock.wait.read / lock.wait.write  ↔ os_event_wait call sites A / B
+//	row.ins_clust_index               ↔ row_ins_clust_index_entry_low
+//	buf.pool_mutex                    ↔ buf_pool_mutex_enter
+//	buf.io                            ↔ data-page fil I/O
+//	log.flush                         ↔ fil_flush / LWLockAcquireOrWait
+type Txn struct {
+	s     *Session
+	id    lock.TxnID
+	birth time.Time
+	tc    *tprofiler.TxnCtx
+	undo  []undoEntry
+	done  bool
+	wrote bool
+
+	tag        string
+	waitEvents []waitEvent // only when Config.SampleAgeRemaining
+}
+
+type waitEvent struct {
+	enqueued time.Time
+	granted  time.Time
+}
+
+// SetTag labels the transaction for age/remaining sampling (e.g. the
+// TPC-C transaction type). Figure 8 groups correlations by this tag.
+func (tx *Txn) SetTag(tag string) { tx.tag = tag }
+
+type undoEntry struct {
+	t   *storage.Table
+	op  byte
+	key uint64
+	old []byte
+}
+
+// Redo-record op codes.
+const (
+	redoInsert byte = 1
+	redoUpdate byte = 2
+	redoDelete byte = 3
+	redoCommit byte = 4
+)
+
+// Errors.
+var (
+	// ErrTxnDone means the transaction already committed or rolled back.
+	ErrTxnDone = errors.New("engine: transaction finished")
+)
+
+// ID returns the transaction id.
+func (tx *Txn) ID() uint64 { return uint64(tx.id) }
+
+// Birth returns the transaction's start time (the VATS age basis).
+func (tx *Txn) Birth() time.Time { return tx.birth }
+
+func (tx *Txn) check() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	if tx.s.db.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (tx *Txn) lockRecord(t *storage.Table, key uint64, mode lock.Mode) error {
+	name := "lock.wait.read"
+	if mode == lock.Exclusive {
+		name = "lock.wait.write"
+	}
+	tok := tx.tc.Enter(name)
+	enq := time.Now()
+	err := tx.s.db.locks.Acquire(tx.id, tx.birth, lock.Key{Space: t.Space(), ID: key}, mode)
+	granted := time.Now()
+	tx.tc.Exit(tok)
+	if err != nil {
+		return fmt.Errorf("engine: %s key %d: %w", t.Name(), key, err)
+	}
+	// A real wait is a scheduling decision: sample it for fig. 8.
+	if tx.s.db.cfg.SampleAgeRemaining && granted.Sub(enq) > 50*time.Microsecond {
+		tx.waitEvents = append(tx.waitEvents, waitEvent{enqueued: enq, granted: granted})
+	}
+	return nil
+}
+
+func (tx *Txn) flushWaitSamples() {
+	if len(tx.waitEvents) == 0 {
+		return
+	}
+	end := time.Now()
+	samples := make([]AgeSample, len(tx.waitEvents))
+	for i, ev := range tx.waitEvents {
+		samples[i] = AgeSample{
+			Age:       float64(ev.enqueued.Sub(tx.birth)) / float64(time.Millisecond),
+			Remaining: float64(end.Sub(ev.granted)) / float64(time.Millisecond),
+		}
+	}
+	tag := tx.tag
+	if tag == "" {
+		tag = "txn"
+	}
+	tx.s.db.addSamples(tag, samples)
+	tx.waitEvents = nil
+}
+
+// recordBufWaits attributes the buffer pool's internal waits (LRU mutex,
+// device I/O) accumulated by the last storage call to profiler leaves.
+func (tx *Txn) recordBufWaits() {
+	lru, io := tx.s.h.TakeWaits()
+	tx.tc.Record("buf.pool_mutex", lru)
+	tx.tc.Record("buf.io", io)
+}
+
+// Get reads the row under key with a shared lock, returning
+// storage.ErrKeyNotFound if absent.
+func (tx *Txn) Get(t *storage.Table, key uint64) ([]byte, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	tok := tx.tc.Enter("exec.select")
+	defer tx.tc.Exit(tok)
+	if err := tx.lockRecord(t, key, lock.Shared); err != nil {
+		return nil, err
+	}
+	rtok := tx.tc.Enter("row.read")
+	row, err := t.Get(tx.s.h, key)
+	tx.recordBufWaits() // attribute pool waits as children of row.read
+	tx.tc.Exit(rtok)
+	return row, err
+}
+
+// GetForUpdate reads the row under key with an exclusive lock (SELECT
+// ... FOR UPDATE). Use it when the row will be written later in the
+// transaction: taking X immediately avoids the S→X upgrade deadlocks
+// that read-then-write patterns cause.
+func (tx *Txn) GetForUpdate(t *storage.Table, key uint64) ([]byte, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	tok := tx.tc.Enter("exec.select")
+	defer tx.tc.Exit(tok)
+	if err := tx.lockRecord(t, key, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	rtok := tx.tc.Enter("row.read")
+	row, err := t.Get(tx.s.h, key)
+	tx.recordBufWaits() // attribute pool waits as children of row.read
+	tx.tc.Exit(rtok)
+	return row, err
+}
+
+// Insert adds a new row under key with an exclusive lock.
+func (tx *Txn) Insert(t *storage.Table, key uint64, row []byte) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tok := tx.tc.Enter("exec.insert")
+	defer tx.tc.Exit(tok)
+	if err := tx.lockRecord(t, key, lock.Exclusive); err != nil {
+		return err
+	}
+	rtok := tx.tc.Enter("row.ins_clust_index")
+	err := t.Insert(tx.s.h, key, row)
+	tx.recordBufWaits()
+	tx.tc.Exit(rtok)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{t: t, op: redoInsert, key: key})
+	return tx.appendRedo(redoInsert, t, key, row)
+}
+
+// Update replaces the row under key with an exclusive lock.
+func (tx *Txn) Update(t *storage.Table, key uint64, row []byte) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tok := tx.tc.Enter("exec.update")
+	defer tx.tc.Exit(tok)
+	if err := tx.lockRecord(t, key, lock.Exclusive); err != nil {
+		return err
+	}
+	old, err := t.Get(tx.s.h, key)
+	if err != nil {
+		tx.recordBufWaits()
+		return err
+	}
+	rtok := tx.tc.Enter("row.update")
+	err = t.Update(tx.s.h, key, row)
+	tx.recordBufWaits()
+	tx.tc.Exit(rtok)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{t: t, op: redoUpdate, key: key, old: old})
+	return tx.appendRedo(redoUpdate, t, key, row)
+}
+
+// Delete removes the row under key with an exclusive lock.
+func (tx *Txn) Delete(t *storage.Table, key uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tok := tx.tc.Enter("exec.delete")
+	defer tx.tc.Exit(tok)
+	if err := tx.lockRecord(t, key, lock.Exclusive); err != nil {
+		return err
+	}
+	old, err := t.Get(tx.s.h, key)
+	if err != nil {
+		tx.recordBufWaits()
+		return err
+	}
+	rtok := tx.tc.Enter("row.delete")
+	err = t.Delete(tx.s.h, key)
+	tx.recordBufWaits()
+	tx.tc.Exit(rtok)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{t: t, op: redoDelete, key: key, old: old})
+	return tx.appendRedo(redoDelete, t, key, nil)
+}
+
+// Scan iterates keys in [lo, hi] at read-committed isolation (no range
+// locks; each row image is latch-consistent).
+func (tx *Txn) Scan(t *storage.Table, lo, hi uint64, fn func(key uint64, row []byte) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tok := tx.tc.Enter("exec.scan")
+	defer tx.tc.Exit(tok)
+	err := t.Scan(tx.s.h, lo, hi, fn)
+	tx.recordBufWaits()
+	return err
+}
+
+// IndexScan iterates rows via a secondary index in [lo, hi] by index
+// key, at read-committed isolation (like Scan).
+func (tx *Txn) IndexScan(t *storage.Table, index string, lo, hi uint64, fn func(pk uint64, row []byte) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tok := tx.tc.Enter("exec.scan")
+	defer tx.tc.Exit(tok)
+	err := t.IndexScan(tx.s.h, index, lo, hi, fn)
+	tx.recordBufWaits()
+	return err
+}
+
+func (tx *Txn) appendRedo(op byte, t *storage.Table, key uint64, row []byte) error {
+	tok := tx.tc.Enter("wal.append")
+	defer tx.tc.Exit(tok)
+	tx.wrote = true
+	_, err := tx.s.db.log.Append(uint64(tx.id), encodeRedo(op, t.Space(), key, row))
+	return err
+}
+
+// Commit makes the transaction durable per the flush policy and releases
+// its locks.
+func (tx *Txn) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	var err error
+	if tx.wrote {
+		if _, aerr := tx.s.db.log.Append(uint64(tx.id), encodeRedo(redoCommit, 0, 0, nil)); aerr != nil {
+			err = aerr
+		} else {
+			tok := tx.tc.Enter("commit")
+			ftok := tx.tc.Enter("log.flush")
+			err = tx.s.db.log.Commit(uint64(tx.id))
+			tx.tc.Exit(ftok)
+			tx.tc.Exit(tok)
+		}
+	}
+	tx.s.db.locks.ReleaseAll(tx.id)
+	tx.flushWaitSamples()
+	tx.tc.End()
+	if err != nil {
+		return fmt.Errorf("engine: commit: %w", err)
+	}
+	return nil
+}
+
+// Rollback undoes the transaction's writes and releases its locks. It is
+// safe to call on a finished transaction (no-op).
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	// Apply undo in reverse. We still hold exclusive locks on every
+	// written key, so these compensating writes are isolated.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		switch u.op {
+		case redoInsert:
+			_ = u.t.Delete(tx.s.h, u.key)
+		case redoUpdate:
+			_ = u.t.Update(tx.s.h, u.key, u.old)
+		case redoDelete:
+			_ = u.t.Insert(tx.s.h, u.key, u.old)
+		}
+	}
+	tx.s.db.locks.ReleaseAll(tx.id)
+	tx.tc.End()
+}
+
+// encodeRedo serializes a redo record:
+// op(1) | space(4) | key(8) | rowLen(4) | row.
+func encodeRedo(op byte, space uint32, key uint64, row []byte) []byte {
+	buf := make([]byte, 1+4+8+4+len(row))
+	buf[0] = op
+	binary.LittleEndian.PutUint32(buf[1:], space)
+	binary.LittleEndian.PutUint64(buf[5:], key)
+	binary.LittleEndian.PutUint32(buf[13:], uint32(len(row)))
+	copy(buf[17:], row)
+	return buf
+}
+
+func decodeRedo(b []byte) (op byte, space uint32, key uint64, row []byte, err error) {
+	if len(b) < 17 {
+		return 0, 0, 0, nil, errors.New("engine: short redo record")
+	}
+	op = b[0]
+	space = binary.LittleEndian.Uint32(b[1:])
+	key = binary.LittleEndian.Uint64(b[5:])
+	n := int(binary.LittleEndian.Uint32(b[13:]))
+	if len(b) < 17+n {
+		return 0, 0, 0, nil, errors.New("engine: truncated redo record")
+	}
+	if n > 0 {
+		row = b[17 : 17+n]
+	}
+	return op, space, key, row, nil
+}

@@ -1,0 +1,199 @@
+// Package harness drives workloads against the engine the way the
+// paper's evaluation does (§7.1): an open-loop client sustains a
+// constant transaction rate (OLTP-Bench style) while per-transaction
+// latencies are recorded, then summarized as mean, variance and p99.
+//
+// Latency is measured from a transaction's scheduled dispatch time to
+// its completion, so queueing behind saturated workers counts — exactly
+// the behaviour that makes tail latency meaningful at a fixed offered
+// load.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vats/internal/engine"
+	"vats/internal/stats"
+	"vats/internal/workload"
+)
+
+// RunConfig configures one measurement run.
+type RunConfig struct {
+	// Clients is the number of worker goroutines (default 8). Each gets
+	// its own workload client and engine session.
+	Clients int
+	// Rate is the offered load in transactions/second (open loop).
+	// Zero means closed loop: workers issue back-to-back transactions.
+	Rate float64
+	// Count is the total number of transactions to run (default 500).
+	Count int
+	// Warmup transactions are executed but excluded from statistics.
+	Warmup int
+	// Seed seeds the workload clients.
+	Seed int64
+}
+
+func (rc *RunConfig) defaults() {
+	if rc.Clients <= 0 {
+		rc.Clients = 8
+	}
+	if rc.Count <= 0 {
+		rc.Count = 500
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload  string
+	Scheduler string
+	// Overall summarizes all measured transaction latencies (ms).
+	Overall stats.Summary
+	// PerTag breaks latency down by transaction type.
+	PerTag map[string]stats.Summary
+	// Errors counts transactions that failed after all retries.
+	Errors int
+	// Elapsed is the measurement wall time.
+	Elapsed time.Duration
+	// Throughput is completed transactions per second.
+	Throughput float64
+	// Latencies holds the raw measured latencies in ms (for pooling
+	// across repetitions).
+	Latencies []float64
+}
+
+// Merge pools another run's raw latencies and error counts into r and
+// recomputes the summaries. Both runs must be of the same workload and
+// configuration.
+func (r *Result) Merge(o Result) {
+	r.Latencies = append(r.Latencies, o.Latencies...)
+	r.Errors += o.Errors
+	r.Elapsed += o.Elapsed
+	r.Overall = stats.Summarize(r.Latencies)
+	if r.Elapsed > 0 {
+		r.Throughput = float64(len(r.Latencies)) / r.Elapsed.Seconds()
+	}
+	if r.PerTag == nil {
+		r.PerTag = map[string]stats.Summary{}
+	}
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("%s[%s]: %s tput=%.0f/s errs=%d",
+		r.Workload, r.Scheduler, r.Overall.String(), r.Throughput, r.Errors)
+}
+
+// Run loads nothing — call wl.Load(db) first — and drives the workload
+// per rc.
+func Run(db *engine.DB, wl workload.Workload, rc RunConfig) (Result, error) {
+	rc.defaults()
+	clients := make([]workload.Client, rc.Clients)
+	for i := range clients {
+		c, err := wl.NewClient(db, rc.Seed+int64(i)*7919+1)
+		if err != nil {
+			return Result{}, err
+		}
+		clients[i] = c
+	}
+
+	type token struct {
+		due time.Time
+		n   int
+	}
+	work := make(chan token, rc.Count)
+
+	var mu sync.Mutex
+	perTag := make(map[string][]float64)
+	var overall []float64
+	errs := 0
+
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		c := c
+		_ = i
+		go func() {
+			defer wg.Done()
+			for tok := range work {
+				start := tok.due
+				now := time.Now()
+				if now.Before(start) {
+					time.Sleep(start.Sub(now))
+					now = start
+				}
+				if start.IsZero() {
+					start = now
+				}
+				tag, err := c.Run()
+				lat := float64(time.Since(start)) / float64(time.Millisecond)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else if tok.n >= rc.Warmup {
+					overall = append(overall, lat)
+					perTag[tag] = append(perTag[tag], lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	begin := time.Now()
+	if rc.Rate > 0 {
+		interval := time.Duration(float64(time.Second) / rc.Rate)
+		next := time.Now()
+		for n := 0; n < rc.Count; n++ {
+			work <- token{due: next, n: n}
+			next = next.Add(interval)
+		}
+	} else {
+		for n := 0; n < rc.Count; n++ {
+			work <- token{n: n}
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	res := Result{
+		Workload:  wl.Name(),
+		Scheduler: db.Locks().Scheduler().Name(),
+		Overall:   stats.Summarize(overall),
+		PerTag:    make(map[string]stats.Summary, len(perTag)),
+		Errors:    errs,
+		Elapsed:   elapsed,
+		Latencies: overall,
+	}
+	for tag, xs := range perTag {
+		res.PerTag[tag] = stats.Summarize(xs)
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(overall)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// RatioTable renders a paper-style comparison table: each row is one
+// configuration's "baseline / this" ratios for mean, variance and p99.
+func RatioTable(title string, baseline Result, rows []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (baseline: %s)\n", title, baseline.Scheduler)
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "config", "mean", "variance", "p99")
+	names := make([]string, 0, len(rows))
+	byName := map[string]Result{}
+	for _, r := range rows {
+		names = append(names, r.Scheduler)
+		byName[r.Scheduler] = r
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := byName[n]
+		ratio := stats.RatioOf(baseline.Overall, r.Overall)
+		fmt.Fprintf(&b, "%-24s %9.2fx %9.2fx %9.2fx\n", n, ratio.Mean, ratio.Variance, ratio.P99)
+	}
+	return b.String()
+}

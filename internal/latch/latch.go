@@ -1,0 +1,116 @@
+// Package latch provides low-level synchronization primitives for the
+// storage engine: a spin lock with a bounded-wait TryLockFor used by the
+// Lazy LRU Update policy (§6.1 of the paper), and a mutex wrapper that
+// counts contention so experiments can attribute wait time.
+package latch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpinLock is a test-and-set spin lock. The paper's LLU modification
+// replaces the buffer-pool mutex with a spin lock so a waiter can bound
+// its wait time and fall back to a deferred update instead of sleeping.
+// The zero value is an unlocked SpinLock.
+type SpinLock struct {
+	state atomic.Int32
+}
+
+// Lock spins until the lock is acquired.
+func (s *SpinLock) Lock() {
+	for !s.TryLock() {
+		runtime.Gosched()
+	}
+}
+
+// TryLock attempts a single acquisition without waiting.
+func (s *SpinLock) TryLock() bool {
+	return s.state.CompareAndSwap(0, 1)
+}
+
+// TryLockFor spins for at most d before giving up. It returns true if
+// the lock was acquired. This is the primitive behind LLU: if the LRU
+// mutex cannot be taken within ~0.01ms, the page move is deferred to a
+// backlog instead of blocking the transaction.
+func (s *SpinLock) TryLockFor(d time.Duration) bool {
+	if s.TryLock() {
+		return true
+	}
+	deadline := time.Now().Add(d)
+	for {
+		for i := 0; i < 64; i++ {
+			if s.TryLock() {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock. Unlocking an unlocked SpinLock panics, as
+// with sync.Mutex.
+func (s *SpinLock) Unlock() {
+	if !s.state.CompareAndSwap(1, 0) {
+		panic("latch: unlock of unlocked SpinLock")
+	}
+}
+
+// CountingMutex wraps sync.Mutex and records how often acquisition
+// contended and how long waiters waited in total. The buffer pool uses it
+// in "original MySQL" mode so TProfiler runs can attribute LRU-mutex wait
+// time (the buf_pool_mutex_enter pathology).
+type CountingMutex struct {
+	mu          sync.Mutex
+	acquires    atomic.Int64
+	contended   atomic.Int64
+	waitTimeNs  atomic.Int64
+	maxWaitNs   atomic.Int64
+	minProbedNs int64
+}
+
+// Lock acquires the mutex, recording contention if it could not be taken
+// immediately.
+func (c *CountingMutex) Lock() {
+	c.acquires.Add(1)
+	if c.mu.TryLock() {
+		return
+	}
+	c.contended.Add(1)
+	start := time.Now()
+	c.mu.Lock()
+	w := time.Since(start).Nanoseconds()
+	c.waitTimeNs.Add(w)
+	for {
+		old := c.maxWaitNs.Load()
+		if w <= old || c.maxWaitNs.CompareAndSwap(old, w) {
+			break
+		}
+	}
+}
+
+// Unlock releases the mutex.
+func (c *CountingMutex) Unlock() { c.mu.Unlock() }
+
+// MutexStats is a snapshot of CountingMutex counters.
+type MutexStats struct {
+	Acquires  int64
+	Contended int64
+	WaitTime  time.Duration
+	MaxWait   time.Duration
+}
+
+// Stats returns a snapshot of the counters.
+func (c *CountingMutex) Stats() MutexStats {
+	return MutexStats{
+		Acquires:  c.acquires.Load(),
+		Contended: c.contended.Load(),
+		WaitTime:  time.Duration(c.waitTimeNs.Load()),
+		MaxWait:   time.Duration(c.maxWaitNs.Load()),
+	}
+}

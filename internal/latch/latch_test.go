@@ -1,0 +1,142 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000 (race under SpinLock)", counter)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockTryLockForTimesOut(t *testing.T) {
+	var l SpinLock
+	l.Lock()
+	start := time.Now()
+	if l.TryLockFor(2 * time.Millisecond) {
+		t.Fatal("TryLockFor acquired a held lock")
+	}
+	if e := time.Since(start); e < 1*time.Millisecond {
+		t.Errorf("TryLockFor gave up too early: %v", e)
+	}
+	l.Unlock()
+}
+
+func TestSpinLockTryLockForSucceedsWhenFreed(t *testing.T) {
+	var l SpinLock
+	l.Lock()
+	done := make(chan bool)
+	go func() {
+		done <- l.TryLockFor(200 * time.Millisecond)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	l.Unlock()
+	if !<-done {
+		t.Fatal("TryLockFor failed although the lock was released in time")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var l SpinLock
+	l.Unlock()
+}
+
+func TestCountingMutexUncontended(t *testing.T) {
+	var m CountingMutex
+	m.Lock()
+	m.Unlock()
+	st := m.Stats()
+	if st.Acquires != 1 {
+		t.Errorf("acquires = %d", st.Acquires)
+	}
+	if st.Contended != 0 {
+		t.Errorf("uncontended lock counted as contended")
+	}
+}
+
+func TestCountingMutexRecordsContention(t *testing.T) {
+	var m CountingMutex
+	m.Lock()
+	done := make(chan struct{})
+	go func() {
+		m.Lock()
+		m.Unlock()
+		close(done)
+	}()
+	time.Sleep(3 * time.Millisecond)
+	m.Unlock()
+	<-done
+	st := m.Stats()
+	if st.Contended != 1 {
+		t.Fatalf("contended = %d, want 1", st.Contended)
+	}
+	if st.WaitTime < time.Millisecond {
+		t.Errorf("wait time %v too small", st.WaitTime)
+	}
+	if st.MaxWait < st.WaitTime {
+		t.Errorf("max wait %v < total wait %v with one waiter", st.MaxWait, st.WaitTime)
+	}
+}
+
+func TestCountingMutexMutualExclusion(t *testing.T) {
+	var m CountingMutex
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 2000 {
+		t.Fatalf("counter = %d", counter)
+	}
+	if m.Stats().Acquires != 2000 {
+		t.Fatalf("acquires = %d", m.Stats().Acquires)
+	}
+}

@@ -1,0 +1,208 @@
+package lock
+
+import (
+	"sort"
+	"time"
+)
+
+// The deadlock detector runs in a background goroutine whenever waiters
+// exist. It builds the wait-for graph (waiter → conflicting holders, and
+// waiter → conflicting waiters ahead of it in the scheduler's order),
+// finds cycles with a DFS, and aborts the youngest transaction in each
+// cycle by failing its pending Acquire with ErrDeadlock.
+//
+// Detection is deliberately scheduler-agnostic: TPC-C under 2PL deadlocks
+// regardless of whether FCFS or VATS orders the queue, and the victim
+// choice (youngest first) must not bias the FCFS-vs-VATS comparisons.
+
+func (m *Manager) ensureDetector() {
+	if m.detectEvery < 0 {
+		return
+	}
+	m.detectOnce.Do(func() {
+		go m.detectLoop()
+	})
+}
+
+func (m *Manager) detectLoop() {
+	ticker := time.NewTicker(m.detectEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopDetect:
+			return
+		case <-ticker.C:
+			if m.waiterCount.Load() > 0 {
+				m.DetectAndResolve()
+			}
+		}
+	}
+}
+
+// waitEdge records that a transaction is waiting and whom it waits for.
+type waitEdge struct {
+	birth time.Time
+	req   *Request
+	shard *shard
+	on    []TxnID
+}
+
+// DetectAndResolve scans the wait-for graph once, aborting the youngest
+// member of every cycle found. It returns the number of victims chosen.
+// It is exported for tests and for engines that prefer synchronous
+// detection.
+func (m *Manager) DetectAndResolve() int {
+	victims := 0
+	for i := 0; i < 100; i++ { // bound work per scan
+		graph := m.buildGraph()
+		victim := findCycleVictim(graph)
+		if victim == 0 {
+			return victims
+		}
+		if m.abortWaiter(graph[victim]) {
+			victims++
+		}
+	}
+	return victims
+}
+
+// buildGraph snapshots the wait-for graph. Each shard is locked in turn,
+// so the graph may be slightly stale under heavy churn; stale cycles can
+// cause a rare spurious victim, which the engine handles like any other
+// deadlock abort (retry).
+func (m *Manager) buildGraph() map[TxnID]*waitEdge {
+	graph := make(map[TxnID]*waitEdge)
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, ls := range s.locks {
+			if len(ls.waiters) == 0 {
+				continue
+			}
+			order := m.sched.Order(ls.waiters)
+			for i, w := range order {
+				if w.done {
+					continue
+				}
+				e := graph[w.Owner]
+				if e == nil {
+					e = &waitEdge{birth: w.Birth, req: w, shard: s}
+					graph[w.Owner] = e
+				}
+				for _, h := range ls.holders {
+					if h.Owner != w.Owner && (w.upgrade || !Compatible(h.Mode, w.Mode)) {
+						e.on = append(e.on, h.Owner)
+					}
+				}
+				for _, a := range order[:i] {
+					if a.done || a.Owner == w.Owner {
+						continue
+					}
+					if !Compatible(a.Mode, w.Mode) {
+						e.on = append(e.on, a.Owner)
+					}
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return graph
+}
+
+// findCycleVictim runs a DFS over the graph and, upon finding a cycle,
+// returns the youngest (latest-birth) waiting transaction in it. Returns
+// 0 when the graph is acyclic.
+func findCycleVictim(graph map[TxnID]*waitEdge) TxnID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[TxnID]int, len(graph))
+	var stack []TxnID
+
+	// Deterministic iteration order helps tests.
+	nodes := make([]TxnID, 0, len(graph))
+	for id := range graph {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var visit func(id TxnID) TxnID
+	visit = func(id TxnID) TxnID {
+		color[id] = grey
+		stack = append(stack, id)
+		e := graph[id]
+		if e != nil {
+			for _, next := range e.on {
+				if graph[next] == nil {
+					continue // waits on a running (non-waiting) txn: no cycle through it
+				}
+				switch color[next] {
+				case white:
+					if v := visit(next); v != 0 {
+						return v
+					}
+				case grey:
+					// Cycle: stack suffix from next..id.
+					start := 0
+					for i, s := range stack {
+						if s == next {
+							start = i
+							break
+						}
+					}
+					victim := stack[start]
+					vb := graph[victim].birth
+					for _, s := range stack[start:] {
+						if graph[s].birth.After(vb) {
+							victim, vb = s, graph[s].birth
+						}
+					}
+					return victim
+				}
+			}
+		}
+		color[id] = black
+		stack = stack[:len(stack)-1]
+		return 0
+	}
+
+	for _, id := range nodes {
+		if color[id] == white {
+			stack = stack[:0]
+			if v := visit(id); v != 0 {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// abortWaiter fails the victim's pending lock wait with ErrDeadlock.
+// Returns false if the request resolved concurrently.
+func (m *Manager) abortWaiter(e *waitEdge) bool {
+	if e == nil {
+		return false
+	}
+	s := e.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.req.done {
+		return false
+	}
+	ls := s.locks[e.req.key]
+	if ls == nil {
+		return false
+	}
+	for i, w := range ls.waiters {
+		if w == e.req {
+			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			w.done = true
+			w.granted <- ErrDeadlock
+			m.grantPassLocked(s, e.req.key, ls)
+			m.cleanupLocked(s, e.req.key, ls)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,547 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newMgr(s Scheduler) *Manager {
+	return NewManager(Options{Scheduler: s, DetectInterval: time.Millisecond})
+}
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func birth(i int) time.Time { return t0.Add(time.Duration(i) * time.Second) }
+
+func TestImmediateGrantOnFreeLock(t *testing.T) {
+	m := newMgr(FCFS{})
+	defer m.Close()
+	k := Key{1, 1}
+	if err := m.Acquire(1, birth(0), k, Exclusive); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if mode, ok := m.Held(1, k); !ok || mode != Exclusive {
+		t.Fatalf("held = %v,%v", mode, ok)
+	}
+	m.ReleaseAll(1)
+	if _, ok := m.Held(1, k); ok {
+		t.Fatal("still held after ReleaseAll")
+	}
+	if m.HolderCount(k) != 0 || m.QueueLen(k) != 0 {
+		t.Fatal("lock state not cleaned up")
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := newMgr(FCFS{})
+	defer m.Close()
+	k := Key{1, 2}
+	for id := TxnID(1); id <= 3; id++ {
+		if err := m.Acquire(id, birth(int(id)), k, Shared); err != nil {
+			t.Fatalf("acquire %d: %v", id, err)
+		}
+	}
+	if got := m.HolderCount(k); got != 3 {
+		t.Fatalf("holders = %d, want 3", got)
+	}
+}
+
+func TestExclusiveBlocksAndReleaseGrants(t *testing.T) {
+	m := newMgr(FCFS{})
+	defer m.Close()
+	k := Key{1, 3}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, birth(2), k, Exclusive) }()
+	select {
+	case err := <-got:
+		t.Fatalf("second X acquired while first held: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("grant after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never granted")
+	}
+}
+
+func TestReentrancy(t *testing.T) {
+	m := newMgr(FCFS{})
+	defer m.Close()
+	k := Key{1, 4}
+	if err := m.Acquire(1, birth(1), k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, birth(1), k, Shared); err != nil {
+		t.Fatalf("re-acquire S: %v", err)
+	}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatalf("upgrade with no contention: %v", err)
+	}
+	if mode, _ := m.Held(1, k); mode != Exclusive {
+		t.Fatalf("mode after upgrade = %v", mode)
+	}
+	if err := m.Acquire(1, birth(1), k, Shared); err != nil {
+		t.Fatalf("S while holding X: %v", err)
+	}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatalf("re-acquire X: %v", err)
+	}
+	if got := m.HolderCount(k); got != 1 {
+		t.Fatalf("holders = %d, want 1 (no duplicates)", got)
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := newMgr(FCFS{})
+	defer m.Close()
+	k := Key{1, 5}
+	if err := m.Acquire(1, birth(1), k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, birth(2), k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(1, birth(1), k, Exclusive) }()
+	select {
+	case <-got:
+		t.Fatal("upgrade granted while another reader holds")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatalf("upgrade after reader left: %v", err)
+	}
+	if mode, _ := m.Held(1, k); mode != Exclusive {
+		t.Fatalf("mode = %v, want X", mode)
+	}
+}
+
+// grantOrder runs one holder plus n staged waiters and reports the order
+// in which the waiters were granted.
+func grantOrder(t *testing.T, m *Manager, k Key, births []time.Time) []TxnID {
+	t.Helper()
+	if err := m.Acquire(100, birth(0), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []TxnID
+	var wg sync.WaitGroup
+	for i, b := range births {
+		wg.Add(1)
+		id := TxnID(i + 1)
+		bb := b
+		go func() {
+			defer wg.Done()
+			if err := m.Acquire(id, bb, k, Exclusive); err != nil {
+				t.Errorf("txn %d: %v", id, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond) // hold briefly to serialize grants
+			m.ReleaseAll(id)
+		}()
+		time.Sleep(5 * time.Millisecond) // stage arrivals in index order
+	}
+	m.ReleaseAll(100)
+	wg.Wait()
+	return order
+}
+
+func TestFCFSGrantsInArrivalOrder(t *testing.T) {
+	m := NewManager(Options{Scheduler: FCFS{}, DetectInterval: -1})
+	defer m.Close()
+	// Births deliberately reversed: FCFS must ignore age.
+	order := grantOrder(t, m, Key{2, 1}, []time.Time{birth(3), birth(2), birth(1)})
+	want := []TxnID{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FCFS order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVATSGrantsEldestFirst(t *testing.T) {
+	m := NewManager(Options{Scheduler: VATS{}, DetectInterval: -1})
+	defer m.Close()
+	// Arrival order 1,2,3 but txn 3 is eldest and txn 1 youngest.
+	order := grantOrder(t, m, Key{2, 2}, []time.Time{birth(3), birth(2), birth(1)})
+	want := []TxnID{3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("VATS order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRSGrantsEveryone(t *testing.T) {
+	m := NewManager(Options{Scheduler: RS{}, DetectInterval: -1})
+	defer m.Close()
+	order := grantOrder(t, m, Key{2, 3}, []time.Time{birth(1), birth(2), birth(3)})
+	if len(order) != 3 {
+		t.Fatalf("RS granted %d of 3", len(order))
+	}
+}
+
+func TestStrictFCFSArrivalWaitsBehindQueue(t *testing.T) {
+	// Holder has X; one S waiter queued; a second S arrival must NOT be
+	// granted even though it is compatible with the (eventual) state —
+	// strict FCFS grants arrivals only when the queue is empty.
+	m := NewManager(Options{Scheduler: FCFS{}, DetectInterval: -1})
+	defer m.Close()
+	k := Key{2, 4}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	r1 := make(chan error, 1)
+	go func() { r1 <- m.Acquire(2, birth(2), k, Shared) }()
+	time.Sleep(5 * time.Millisecond)
+	r2 := make(chan error, 1)
+	go func() { r2 <- m.Acquire(3, birth(3), k, Shared) }()
+	time.Sleep(5 * time.Millisecond)
+	if m.QueueLen(k) != 2 {
+		t.Fatalf("queue = %d, want 2", m.QueueLen(k))
+	}
+	m.ReleaseAll(1)
+	// Both S waiters are compatible; the grant pass conveys both.
+	for _, ch := range []chan error{r1, r2} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("S waiter not granted after release")
+		}
+	}
+	if got := m.HolderCount(k); got != 2 {
+		t.Fatalf("holders = %d, want 2", got)
+	}
+}
+
+func TestWriterNotStarvedByReaders(t *testing.T) {
+	// S holder; X waiter; then S arrivals. The S arrivals must queue
+	// behind the X waiter (footnote 7 of the paper), for every scheduler.
+	for _, sched := range []Scheduler{FCFS{}, VATS{}, RS{}} {
+		m := NewManager(Options{Scheduler: sched, DetectInterval: -1})
+		k := Key{2, 5}
+		if err := m.Acquire(1, birth(1), k, Shared); err != nil {
+			t.Fatal(err)
+		}
+		xc := make(chan error, 1)
+		go func() { xc <- m.Acquire(2, birth(2), k, Exclusive) }()
+		time.Sleep(5 * time.Millisecond)
+		sc := make(chan error, 1)
+		go func() { sc <- m.Acquire(3, birth(3), k, Shared) }()
+		select {
+		case <-sc:
+			t.Fatalf("%s: late S reader jumped the waiting writer", sched.Name())
+		case <-time.After(10 * time.Millisecond):
+		}
+		m.ReleaseAll(1)
+		if err := <-xc; err != nil {
+			t.Fatalf("%s: writer: %v", sched.Name(), err)
+		}
+		m.ReleaseAll(2)
+		if err := <-sc; err != nil {
+			t.Fatalf("%s: reader: %v", sched.Name(), err)
+		}
+		m.ReleaseAll(3)
+		m.Close()
+	}
+}
+
+func TestVATSEldestSArrivalJoinsReaders(t *testing.T) {
+	// Readers hold S; an *eldest* S arrival with no conflicting waiter
+	// ahead should be granted immediately under VATS's conveyance rule.
+	m := NewManager(Options{Scheduler: VATS{}, DetectInterval: -1})
+	defer m.Close()
+	k := Key{2, 6}
+	if err := m.Acquire(1, birth(5), k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// A waiting X from a *younger* txn.
+	xc := make(chan error, 1)
+	go func() { xc <- m.Acquire(2, birth(9), k, Exclusive) }()
+	time.Sleep(5 * time.Millisecond)
+	// An elder S arrival: ahead of the X in eldest-first order and
+	// compatible with holders, so VATS grants it immediately.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, birth(1), k, Shared) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("elder S arrival was not conveyed under VATS")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(3)
+	if err := <-xc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetectedAndYoungestAborted(t *testing.T) {
+	m := NewManager(Options{Scheduler: FCFS{}, DetectInterval: time.Millisecond})
+	defer m.Close()
+	k1, k2 := Key{3, 1}, Key{3, 2}
+	if err := m.Acquire(1, birth(1), k1, Exclusive); err != nil { // elder
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, birth(2), k2, Exclusive); err != nil { // younger
+		t.Fatal(err)
+	}
+	r1 := make(chan error, 1)
+	r2 := make(chan error, 1)
+	go func() { r1 <- m.Acquire(1, birth(1), k2, Exclusive) }()
+	go func() { r2 <- m.Acquire(2, birth(2), k1, Exclusive) }()
+
+	select {
+	case err := <-r2:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("victim got %v, want ErrDeadlock", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadlock not detected")
+	}
+	// Victim releases; elder proceeds.
+	m.ReleaseAll(2)
+	select {
+	case err := <-r1:
+		if err != nil {
+			t.Fatalf("survivor got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never granted")
+	}
+	if m.Stats().Deadlocks == 0 {
+		t.Error("deadlock counter not incremented")
+	}
+}
+
+func TestUpgradeDeadlockResolved(t *testing.T) {
+	m := NewManager(Options{Scheduler: VATS{}, DetectInterval: time.Millisecond})
+	defer m.Close()
+	k := Key{3, 3}
+	if err := m.Acquire(1, birth(1), k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, birth(2), k, Shared); err != nil {
+		t.Fatal(err)
+	}
+	r1 := make(chan error, 1)
+	r2 := make(chan error, 1)
+	go func() { r1 <- m.Acquire(1, birth(1), k, Exclusive) }()
+	go func() { r2 <- m.Acquire(2, birth(2), k, Exclusive) }()
+	var errs []error
+	for i := 0; i < 1; i++ {
+		select {
+		case err := <-r1:
+			errs = append(errs, err)
+			m.ReleaseAll(1)
+		case err := <-r2:
+			errs = append(errs, err)
+			m.ReleaseAll(2)
+		case <-time.After(2 * time.Second):
+			t.Fatal("upgrade-upgrade deadlock not resolved")
+		}
+	}
+	if !errors.Is(errs[0], ErrDeadlock) {
+		t.Fatalf("first resolution = %v, want deadlock victim", errs[0])
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	m := NewManager(Options{Scheduler: FCFS{}, WaitTimeout: 20 * time.Millisecond, DetectInterval: -1})
+	defer m.Close()
+	k := Key{3, 4}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Acquire(2, birth(2), k, Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("timed out too early")
+	}
+	if m.QueueLen(k) != 0 {
+		t.Error("timed-out waiter left in queue")
+	}
+	if m.Stats().Timeouts != 1 {
+		t.Errorf("timeouts = %d", m.Stats().Timeouts)
+	}
+	// The lock still works afterwards.
+	m.ReleaseAll(1)
+	if err := m.Acquire(2, birth(2), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllCancelsPendingWaits(t *testing.T) {
+	m := NewManager(Options{Scheduler: FCFS{}, DetectInterval: -1})
+	defer m.Close()
+	k := Key{3, 5}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	r := make(chan error, 1)
+	go func() { r <- m.Acquire(2, birth(2), k, Exclusive) }()
+	time.Sleep(5 * time.Millisecond)
+	m.ReleaseAll(2) // abort txn 2: its pending wait must fail
+	select {
+	case err := <-r:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending wait not cancelled")
+	}
+}
+
+func TestTimeoutRaceWithGrant(t *testing.T) {
+	// Stress the timeout-vs-grant race: many rounds of a short-timeout
+	// waiter whose lock is released right at the deadline.
+	m := NewManager(Options{Scheduler: FCFS{}, WaitTimeout: time.Millisecond, DetectInterval: -1})
+	defer m.Close()
+	k := Key{3, 6}
+	for i := 0; i < 50; i++ {
+		if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- m.Acquire(2, birth(2), k, Exclusive) }()
+		time.Sleep(time.Millisecond)
+		m.ReleaseAll(1)
+		err := <-done
+		if err == nil {
+			m.ReleaseAll(2)
+		} else if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if m.QueueLen(k) != 0 {
+			t.Fatalf("round %d: queue leaked", i)
+		}
+	}
+	if m.HolderCount(k) != 0 {
+		t.Fatal("holders leaked")
+	}
+}
+
+func TestMutualExclusionUnderLoad(t *testing.T) {
+	// Property: X locks give true mutual exclusion; S locks exclude X.
+	for _, sched := range []Scheduler{FCFS{}, VATS{}, RS{}} {
+		sched := sched
+		t.Run(sched.Name(), func(t *testing.T) {
+			m := NewManager(Options{Scheduler: sched, DetectInterval: time.Millisecond, WaitTimeout: time.Second})
+			defer m.Close()
+			const keys = 8
+			var writers [keys]atomic.Int32
+			var readers [keys]atomic.Int32
+			var violations atomic.Int32
+			var wg sync.WaitGroup
+			for g := 0; g < 16; g++ {
+				wg.Add(1)
+				gid := g
+				go func() {
+					defer wg.Done()
+					b := birth(gid)
+					for i := 0; i < 60; i++ {
+						id := TxnID(gid*1000 + i + 1)
+						k := Key{4, uint64((gid + i) % keys)}
+						if (gid+i)%3 == 0 {
+							if err := m.Acquire(id, b, k, Exclusive); err == nil {
+								if writers[k.ID].Add(1) != 1 || readers[k.ID].Load() != 0 {
+									violations.Add(1)
+								}
+								writers[k.ID].Add(-1)
+							}
+						} else {
+							if err := m.Acquire(id, b, k, Shared); err == nil {
+								if writers[k.ID].Load() != 0 {
+									violations.Add(1)
+								}
+								readers[k.ID].Add(1)
+								readers[k.ID].Add(-1)
+							}
+						}
+						m.ReleaseAll(id)
+					}
+				}()
+			}
+			wg.Wait()
+			if violations.Load() != 0 {
+				t.Fatalf("%d mutual-exclusion violations", violations.Load())
+			}
+			for i := 0; i < keys; i++ {
+				k := Key{4, uint64(i)}
+				if m.HolderCount(k) != 0 || m.QueueLen(k) != 0 {
+					t.Fatalf("key %v leaked state", k)
+				}
+			}
+		})
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := newMgr(VATS{})
+	defer m.Close()
+	k := Key{5, 1}
+	if err := m.Acquire(1, birth(1), k, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, birth(2), k, Exclusive) }()
+	time.Sleep(5 * time.Millisecond)
+	m.ReleaseAll(1)
+	<-done
+	st := m.Stats()
+	if st.Acquires != 2 {
+		t.Errorf("acquires = %d", st.Acquires)
+	}
+	if st.Waits != 1 {
+		t.Errorf("waits = %d", st.Waits)
+	}
+	if st.WaitTime <= 0 {
+		t.Errorf("wait time = %v", st.WaitTime)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("VATS").Name() != "VATS" || ByName("vats").Name() != "VATS" {
+		t.Error("ByName VATS")
+	}
+	if ByName("RS").Name() != "RS" {
+		t.Error("ByName RS")
+	}
+	if ByName("anything").Name() != "FCFS" {
+		t.Error("ByName default")
+	}
+}
+
+func TestModeStringAndKeyString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode strings")
+	}
+	if (Key{1, 2}).String() != "1:2" {
+		t.Error("key string")
+	}
+	if Compatible(Shared, Exclusive) || !Compatible(Shared, Shared) {
+		t.Error("compatibility matrix")
+	}
+}

@@ -1,0 +1,138 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mkRequests builds a waiter list from (birth-offset, seq) pairs.
+func mkRequests(pairs [][2]int) []*Request {
+	out := make([]*Request, len(pairs))
+	for i, p := range pairs {
+		out[i] = &Request{
+			Owner:    TxnID(i + 1),
+			Birth:    t0.Add(time.Duration(p[0]) * time.Second),
+			Seq:      uint64(p[1]),
+			RandPrio: uint64(i*2654435761 + 7),
+		}
+	}
+	return out
+}
+
+func TestFCFSOrderBySeq(t *testing.T) {
+	ws := mkRequests([][2]int{{5, 3}, {1, 1}, {9, 2}})
+	got := (FCFS{}).Order(ws)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Seq > got[i].Seq {
+			t.Fatalf("FCFS order not by seq: %v then %v", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestVATSOrderEldestFirst(t *testing.T) {
+	ws := mkRequests([][2]int{{5, 1}, {1, 2}, {9, 3}})
+	got := (VATS{}).Order(ws)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Birth.After(got[i].Birth) {
+			t.Fatalf("VATS order not eldest-first")
+		}
+	}
+	if got[0].Birth != t0.Add(time.Second) {
+		t.Fatalf("eldest not first")
+	}
+}
+
+func TestVATSTieBreakBySeq(t *testing.T) {
+	ws := mkRequests([][2]int{{3, 9}, {3, 1}, {3, 5}})
+	got := (VATS{}).Order(ws)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Seq > got[i].Seq {
+			t.Fatalf("equal-age tie not broken by seq")
+		}
+	}
+}
+
+// Property: every scheduler's Order is a permutation of its input and
+// does not mutate the input slice.
+func TestOrderIsPermutation(t *testing.T) {
+	scheds := []Scheduler{FCFS{}, VATS{}, RS{}, VATSStrict{}}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		pairs := make([][2]int, len(raw))
+		for i, r := range raw {
+			pairs[i] = [2]int{int(r % 17), i}
+		}
+		ws := mkRequests(pairs)
+		orig := append([]*Request(nil), ws...)
+		for _, s := range scheds {
+			got := s.Order(ws)
+			if len(got) != len(ws) {
+				return false
+			}
+			seen := map[*Request]bool{}
+			for _, r := range got {
+				if seen[r] {
+					return false // duplicate
+				}
+				seen[r] = true
+			}
+			for _, r := range ws {
+				if !seen[r] {
+					return false // missing
+				}
+			}
+			for i := range ws {
+				if ws[i] != orig[i] {
+					return false // input mutated
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSOrderIsStablePerQueue(t *testing.T) {
+	// RS sorts by the random priority assigned at enqueue: calling
+	// Order twice on the same waiters yields the same order.
+	ws := mkRequests([][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	a := (RS{}).Order(ws)
+	b := (RS{}).Order(ws)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RS order not stable for a fixed queue")
+		}
+	}
+}
+
+func TestVATSStrictBehaviour(t *testing.T) {
+	if (VATSStrict{}).GrantOnArrival() {
+		t.Fatal("strict variant must not grant on arrival")
+	}
+	ws := mkRequests([][2]int{{5, 1}, {1, 2}})
+	if got := (VATSStrict{}).Order(ws); got[0].Birth.After(got[1].Birth) {
+		t.Fatal("strict variant must still order eldest-first")
+	}
+	if ByName("VATS-strict").Name() != "VATS-strict" {
+		t.Fatal("ByName missing strict variant")
+	}
+}
+
+func TestVATSStrictEndToEnd(t *testing.T) {
+	// The strict variant still provides mutual exclusion and grants
+	// eldest-first on release.
+	m := NewManager(Options{Scheduler: VATSStrict{}, DetectInterval: -1})
+	defer m.Close()
+	order := grantOrder(t, m, Key{9, 1}, []time.Time{birth(3), birth(1), birth(2)})
+	want := []TxnID{2, 3, 1} // births 1,2,3 in eldest-first order
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package queuesim substitutes for VoltDB in the paper's Appendix A
+// study: an event-based execution model where each transaction is a
+// stored-procedure invocation that waits in a global task queue until
+// one of N worker threads picks it up.
+//
+// TProfiler attributes 99.9% of VoltDB's latency variance to this
+// queueing delay, and the paper's fix (fig. 7) is pure tuning: raise the
+// worker count. The Server here reproduces both: per-task queue-wait and
+// service-time are measured separately, so the variance share of
+// queueing is directly computable, and Workers is the fig. 7 knob.
+package queuesim
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"vats/internal/stats"
+	"vats/internal/xrand"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the number of worker threads executing procedures
+	// (VoltDB's default in the paper's experiment is 2).
+	Workers int
+	// ServiceMedian is the median stored-procedure execution time.
+	ServiceMedian time.Duration
+	// ServiceSigma is the log-normal spread of service times.
+	ServiceSigma float64
+	// Seed seeds the service-time sampler.
+	Seed int64
+}
+
+// Stats summarizes the per-task measurements so far.
+type Stats struct {
+	Tasks int
+	// Wait/Service/Total are latency summaries in milliseconds.
+	Wait    stats.Summary
+	Service stats.Summary
+	Total   stats.Summary
+	// QueueVarianceShare is Var(wait)/Var(total): the fraction of
+	// latency variance attributable to queueing (≈99.9% in the paper's
+	// VoltDB study at its default worker count).
+	QueueVarianceShare float64
+}
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("queuesim: server stopped")
+
+type task struct {
+	enq  time.Time
+	done chan result
+}
+
+type result struct {
+	wait    time.Duration
+	service time.Duration
+}
+
+// Server is the event-based execution engine.
+type Server struct {
+	cfg   Config
+	queue chan task
+	lat   *xrand.LogNormal
+
+	mu      sync.Mutex
+	waits   []float64
+	svcs    []float64
+	totals  []float64
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// New starts a server with cfg.Workers worker goroutines.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.ServiceMedian <= 0 {
+		cfg.ServiceMedian = time.Millisecond
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan task, 4096),
+	}
+	s.lat = xrand.NewLogNormal(xrand.New(cfg.Seed),
+		float64(cfg.ServiceMedian)/float64(time.Millisecond),
+		cfg.ServiceSigma, 0, 0)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		wait := time.Since(t.enq)
+		service := time.Duration(s.lat.Sample() * float64(time.Millisecond))
+		time.Sleep(service)
+		t.done <- result{wait: wait, service: service}
+	}
+}
+
+// Submit enqueues one stored-procedure invocation and blocks until a
+// worker has executed it, returning the queue wait and service time.
+func (s *Server) Submit() (wait, service time.Duration, err error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return 0, 0, ErrStopped
+	}
+	s.mu.Unlock()
+	t := task{enq: time.Now(), done: make(chan result, 1)}
+	s.queue <- t
+	r := <-t.done
+	total := r.wait + r.service
+	s.mu.Lock()
+	s.waits = append(s.waits, float64(r.wait)/float64(time.Millisecond))
+	s.svcs = append(s.svcs, float64(r.service)/float64(time.Millisecond))
+	s.totals = append(s.totals, float64(total)/float64(time.Millisecond))
+	s.mu.Unlock()
+	return r.wait, r.service, nil
+}
+
+// Stop drains the queue and terminates the workers. Pending Submit
+// calls complete; new ones fail.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Workers returns the configured worker count.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// QueueLen returns the number of tasks currently waiting.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Stats summarizes all completed tasks.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	waits := append([]float64(nil), s.waits...)
+	svcs := append([]float64(nil), s.svcs...)
+	totals := append([]float64(nil), s.totals...)
+	s.mu.Unlock()
+	st := Stats{
+		Tasks:   len(totals),
+		Wait:    stats.Summarize(waits),
+		Service: stats.Summarize(svcs),
+		Total:   stats.Summarize(totals),
+	}
+	if st.Total.Variance > 0 {
+		st.QueueVarianceShare = st.Wait.Variance / st.Total.Variance
+	}
+	return st
+}

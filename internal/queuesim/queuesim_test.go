@@ -1,0 +1,139 @@
+package queuesim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSubmitExecutes(t *testing.T) {
+	s := New(Config{Workers: 2, ServiceMedian: 100 * time.Microsecond, Seed: 1})
+	defer s.Stop()
+	wait, service, err := s.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if service <= 0 {
+		t.Fatal("no service time")
+	}
+	if wait < 0 {
+		t.Fatal("negative wait")
+	}
+	st := s.Stats()
+	if st.Tasks != 1 {
+		t.Fatalf("tasks = %d", st.Tasks)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(Config{})
+	defer s.Stop()
+	if s.Workers() != 2 {
+		t.Fatalf("default workers = %d", s.Workers())
+	}
+}
+
+func TestSubmitAfterStopFails(t *testing.T) {
+	s := New(Config{Workers: 1, ServiceMedian: 50 * time.Microsecond, Seed: 1})
+	s.Stop()
+	if _, _, err := s.Submit(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Stop() // idempotent
+}
+
+func TestQueueingUnderLoad(t *testing.T) {
+	// 1 worker, 8 concurrent clients: queue waits must dominate and the
+	// queueing share of variance must be large (the Appendix A finding).
+	s := New(Config{Workers: 1, ServiceMedian: 500 * time.Microsecond, ServiceSigma: 0.2, Seed: 2})
+	defer s.Stop()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				s.Submit()
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Tasks != 120 {
+		t.Fatalf("tasks = %d", st.Tasks)
+	}
+	if st.Wait.Mean <= st.Service.Mean {
+		t.Errorf("wait mean %v not dominating service mean %v under saturation",
+			st.Wait.Mean, st.Service.Mean)
+	}
+	if st.QueueVarianceShare < 0.5 {
+		t.Errorf("queue variance share = %v, expected queueing to dominate", st.QueueVarianceShare)
+	}
+}
+
+func TestMoreWorkersReduceWaits(t *testing.T) {
+	// The fig. 7 mechanism: same offered load, more workers, less wait.
+	run := func(workers int) float64 {
+		s := New(Config{Workers: workers, ServiceMedian: 400 * time.Microsecond, ServiceSigma: 0.2, Seed: 3})
+		defer s.Stop()
+		var wg sync.WaitGroup
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 15; i++ {
+					s.Submit()
+				}
+			}()
+		}
+		wg.Wait()
+		return s.Stats().Wait.Mean
+	}
+	w2 := run(2)
+	w12 := run(12)
+	if w12 >= w2 {
+		t.Errorf("12 workers wait %vms >= 2 workers %vms", w12, w2)
+	}
+}
+
+func TestStopDrainsPendingWork(t *testing.T) {
+	s := New(Config{Workers: 2, ServiceMedian: 200 * time.Microsecond, Seed: 4})
+	var wg sync.WaitGroup
+	errs := make([]error, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = s.Submit()
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	wg.Wait() // all submits complete before Stop
+	s.Stop()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	s := New(Config{Workers: 1, ServiceMedian: 5 * time.Millisecond, ServiceSigma: 0, Seed: 5})
+	defer s.Stop()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			s.Submit()
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if s.QueueLen() == 0 {
+		t.Error("expected queued tasks behind the slow worker")
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,193 @@
+// Package sched is a pure (storage-free) simulator of the paper's §5
+// scheduling theory. It models a single lock queue: a menu of
+// transactions, each with an age at arrival and an arrival time; the
+// lock serves one transaction at a time; remaining times R(T) are i.i.d.
+// draws from a distribution D.
+//
+// Theorem 1 states that the eldest-first policy (VATS) minimizes the
+// expected Lp norm of final latencies for every menu, every p ≥ 1 and
+// every D — even against schedulers given D as advice. The package lets
+// tests check this empirically against FCFS, random scheduling, and a
+// clairvoyant shortest-remaining-time oracle (which is *allowed* to beat
+// VATS: it sees the realized R values, which the theorem's setting
+// forbids).
+package sched
+
+import (
+	"sort"
+
+	"vats/internal/stats"
+	"vats/internal/xrand"
+)
+
+// TxnSpec is one transaction in a menu: its age when it arrives at the
+// queue (time already spent elsewhere in the system) and its arrival
+// time at this queue.
+type TxnSpec struct {
+	Age     float64
+	Arrival float64
+}
+
+// Menu is the paper's "menu": a fixed sequence of transactions defining
+// one problem instance.
+type Menu []TxnSpec
+
+// Policy picks which waiting transaction to serve next. waiting holds
+// menu indices; now is the current simulation time; r holds the realized
+// remaining times (only the Oracle may look).
+type Policy interface {
+	Name() string
+	Pick(waiting []int, menu Menu, now float64, r []float64, rng *xrand.Source) int
+}
+
+// EldestFirst is VATS: serve the transaction with the largest current
+// age (Age + time waited here).
+type EldestFirst struct{}
+
+// Name returns "VATS".
+func (EldestFirst) Name() string { return "VATS" }
+
+// Pick selects the waiting transaction with maximum age.
+func (EldestFirst) Pick(waiting []int, menu Menu, now float64, _ []float64, _ *xrand.Source) int {
+	best := waiting[0]
+	bestAge := menu[best].Age + now - menu[best].Arrival
+	for _, i := range waiting[1:] {
+		if age := menu[i].Age + now - menu[i].Arrival; age > bestAge {
+			best, bestAge = i, age
+		}
+	}
+	return best
+}
+
+// ArrivalOrder is FCFS: serve in queue-arrival order.
+type ArrivalOrder struct{}
+
+// Name returns "FCFS".
+func (ArrivalOrder) Name() string { return "FCFS" }
+
+// Pick selects the earliest arrival (ties by menu position).
+func (ArrivalOrder) Pick(waiting []int, menu Menu, _ float64, _ []float64, _ *xrand.Source) int {
+	best := waiting[0]
+	for _, i := range waiting[1:] {
+		if menu[i].Arrival < menu[best].Arrival ||
+			(menu[i].Arrival == menu[best].Arrival && i < best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Random is RS: serve a uniformly random waiter.
+type Random struct{}
+
+// Name returns "RS".
+func (Random) Name() string { return "RS" }
+
+// Pick selects uniformly at random.
+func (Random) Pick(waiting []int, _ Menu, _ float64, _ []float64, rng *xrand.Source) int {
+	return waiting[rng.Intn(len(waiting))]
+}
+
+// Oracle is clairvoyant shortest-remaining-time-first. It violates the
+// theorem's information model (it sees realized R values) and serves as
+// an illustrative lower-bound policy, not a legal competitor.
+type Oracle struct{}
+
+// Name returns "SRT-oracle".
+func (Oracle) Name() string { return "SRT-oracle" }
+
+// Pick selects the waiter with the smallest realized remaining time.
+func (Oracle) Pick(waiting []int, _ Menu, _ float64, r []float64, _ *xrand.Source) int {
+	best := waiting[0]
+	for _, i := range waiting[1:] {
+		if r[i] < r[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Simulate runs one realization: remaining times r[i] for each menu
+// entry, policy s. It returns the final latency of each transaction:
+// age at arrival + time from arrival to completion.
+func Simulate(menu Menu, r []float64, s Policy, rng *xrand.Source) []float64 {
+	if len(r) != len(menu) {
+		panic("sched: r/menu length mismatch")
+	}
+	n := len(menu)
+	latency := make([]float64, n)
+
+	// Arrival order by time.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return menu[order[a]].Arrival < menu[order[b]].Arrival
+	})
+
+	now := 0.0
+	nextArrival := 0
+	var waiting []int
+	served := 0
+	for served < n {
+		// Admit everything that has arrived.
+		for nextArrival < n && menu[order[nextArrival]].Arrival <= now {
+			waiting = append(waiting, order[nextArrival])
+			nextArrival++
+		}
+		if len(waiting) == 0 {
+			now = menu[order[nextArrival]].Arrival
+			continue
+		}
+		pick := s.Pick(waiting, menu, now, r, rng)
+		for i, w := range waiting {
+			if w == pick {
+				waiting = append(waiting[:i], waiting[i+1:]...)
+				break
+			}
+		}
+		if at := menu[pick].Arrival; at > now {
+			now = at
+		}
+		now += r[pick]
+		latency[pick] = menu[pick].Age + now - menu[pick].Arrival
+		served++
+	}
+	return latency
+}
+
+// Sampler draws i.i.d. remaining times.
+type Sampler func() float64
+
+// ExpectedLp estimates the p-performance of a policy on a menu: the
+// expected Lp norm of latencies over `trials` independent drawings of
+// the remaining times from the sampler.
+func ExpectedLp(menu Menu, draw Sampler, s Policy, p float64, trials int, seed int64) float64 {
+	rng := xrand.New(seed)
+	var acc stats.Welford
+	r := make([]float64, len(menu))
+	for t := 0; t < trials; t++ {
+		for i := range r {
+			r[i] = draw()
+		}
+		lat := Simulate(menu, r, s, rng)
+		acc.Add(stats.LpNorm(lat, p))
+	}
+	return acc.Mean()
+}
+
+// RandomMenu generates a menu of n transactions with exponential-ish
+// arrival spacing and uniform ages, for property tests.
+func RandomMenu(n int, rng *xrand.Source) Menu {
+	m := make(Menu, n)
+	t := 0.0
+	for i := range m {
+		t += rng.ExpFloat64() * 0.5
+		m[i] = TxnSpec{
+			Age:     rng.Float64() * 10,
+			Arrival: t,
+		}
+	}
+	return m
+}

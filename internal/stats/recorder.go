@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder is a concurrency-safe collector of latency observations. The
+// experiment harness gives one Recorder to all worker goroutines; at the
+// end of a run the recorder produces a Summary.
+type Recorder struct {
+	mu  sync.Mutex
+	obs []float64
+}
+
+// NewRecorder returns a Recorder with capacity preallocated for n
+// observations.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{obs: make([]float64, 0, n)}
+}
+
+// Record adds a single latency observation.
+func (r *Recorder) Record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.obs = append(r.obs, ms)
+	r.mu.Unlock()
+}
+
+// RecordValue adds a raw float observation (already in the caller's unit).
+func (r *Recorder) RecordValue(v float64) {
+	r.mu.Lock()
+	r.obs = append(r.obs, v)
+	r.mu.Unlock()
+}
+
+// Len returns the number of observations recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.obs)
+}
+
+// Snapshot returns a copy of the observations recorded so far.
+func (r *Recorder) Snapshot() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(r.obs))
+	copy(out, r.obs)
+	return out
+}
+
+// Summary summarizes everything recorded so far.
+func (r *Recorder) Summary() Summary {
+	return Summarize(r.Snapshot())
+}
+
+// Reset discards all observations.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.obs = r.obs[:0]
+	r.mu.Unlock()
+}
+
+// Histogram is a fixed-bucket latency histogram used by the CLI tools to
+// visualize latency dispersion.
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds; last bucket is overflow
+	Counts []int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. An extra overflow bucket is appended automatically.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe adds a value to the histogram.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.Bounds {
+		if v <= ub {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// Total returns the number of observed values.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,319 @@
+// Package stats provides the statistical machinery used throughout the
+// reproduction: online mean/variance (Welford), covariance, percentiles,
+// Lp norms, Pearson correlation and latency summaries.
+//
+// The paper reasons about performance predictability in terms of latency
+// variance, coefficient of variation and high-percentile (p99) latency;
+// every experiment harness in this repository reports its results through
+// the Summary type defined here.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford accumulates a running mean and variance using Welford's online
+// algorithm, which is numerically stable for long runs. The zero value is
+// ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations seen so far.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 if no observations were added.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (dividing by n). It returns 0
+// for fewer than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CoV returns the coefficient of variation (stddev / mean), the
+// standardized dispersion measure discussed in the paper's §2. It returns
+// 0 when the mean is 0.
+func (w *Welford) CoV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}
+
+// Merge combines another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	mean := w.mean + d*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Cov accumulates the covariance of a stream of (x, y) pairs using a
+// stable online update. The zero value is ready to use.
+type Cov struct {
+	n      int64
+	meanX  float64
+	meanY  float64
+	coMom  float64
+	varAcX Welford
+	varAcY Welford
+}
+
+// Add incorporates one (x, y) observation.
+func (c *Cov) Add(x, y float64) {
+	c.n++
+	dx := x - c.meanX
+	c.meanX += dx / float64(c.n)
+	c.meanY += (y - c.meanY) / float64(c.n)
+	c.coMom += dx * (y - c.meanY)
+	c.varAcX.Add(x)
+	c.varAcY.Add(y)
+}
+
+// N returns the number of pairs seen.
+func (c *Cov) N() int64 { return c.n }
+
+// Covariance returns the population covariance of the pairs seen so far.
+func (c *Cov) Covariance() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	return c.coMom / float64(c.n)
+}
+
+// Correlation returns the Pearson correlation coefficient in [-1, 1], or
+// 0 when either marginal variance is 0. Figure 8 of the paper reports this
+// statistic for transaction age vs. remaining time.
+func (c *Cov) Correlation() float64 {
+	sx := c.varAcX.StdDev()
+	sy := c.varAcY.StdDev()
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return c.Covariance() / (sx * sy)
+}
+
+// Correlation computes the Pearson correlation of two equal-length slices.
+// It returns an error if the lengths differ or fewer than two pairs exist.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("stats: need at least two pairs")
+	}
+	var c Cov
+	for i := range xs {
+		c.Add(xs[i], ys[i])
+	}
+	return c.Correlation(), nil
+}
+
+// LpNorm returns (Σ |x_i|^p)^(1/p), the convex loss function from §5.1
+// (eq. 4). p must be >= 1; p = 2 is the typical practical value. As p→∞
+// the norm approaches max|x_i|.
+func LpNorm(xs []float64, p float64) float64 {
+	if p < 1 {
+		panic("stats: LpNorm requires p >= 1")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	if math.IsInf(p, 1) {
+		m := 0.0
+		for _, x := range xs {
+			if a := math.Abs(x); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+	// Scale by the max to avoid overflow for large p.
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Pow(math.Abs(x)/m, p)
+	}
+	return m * math.Pow(s, 1/p)
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. xs need not be sorted; it is not
+// modified. Returns 0 for an empty slice.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 || q > 1 {
+		panic("stats: percentile out of range")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return percentileSorted(s, q)
+}
+
+func percentileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 if empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.Variance()
+}
+
+// Summary condenses a set of latency observations into the metrics the
+// paper reports for every experiment: mean, variance, standard deviation,
+// coefficient of variation, p50/p95/p99 and max.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64
+	StdDev   float64
+	CoV      float64
+	P50      float64
+	P95      float64
+	P99      float64
+	Max      float64
+}
+
+// Summarize computes a Summary over raw observations (any unit).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var w Welford
+	for _, x := range s {
+		w.Add(x)
+	}
+	return Summary{
+		N:        len(s),
+		Mean:     w.Mean(),
+		Variance: w.Variance(),
+		StdDev:   w.StdDev(),
+		CoV:      w.CoV(),
+		P50:      percentileSorted(s, 0.50),
+		P95:      percentileSorted(s, 0.95),
+		P99:      percentileSorted(s, 0.99),
+		Max:      s[len(s)-1],
+	}
+}
+
+// String renders the summary assuming the observations are in milliseconds.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3fms var=%.3f σ=%.3fms cov=%.2f p50=%.3fms p99=%.3fms max=%.3fms",
+		s.N, s.Mean, s.Variance, s.StdDev, s.CoV, s.P50, s.P99, s.Max)
+}
+
+// Ratio compares a baseline summary against a modified one, producing the
+// "Orig. / Modified" ratios the paper's Table 3 and Figures 2-4 report.
+// A ratio > 1 means the modification improved (lowered) the metric.
+type Ratio struct {
+	Mean     float64
+	Variance float64
+	P99      float64
+}
+
+// RatioOf returns baseline metrics divided by modified metrics. Zero
+// denominators yield +Inf guards clamped to 0 to keep reports readable.
+func RatioOf(baseline, modified Summary) Ratio {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return Ratio{
+		Mean:     div(baseline.Mean, modified.Mean),
+		Variance: div(baseline.Variance, modified.Variance),
+		P99:      div(baseline.P99, modified.P99),
+	}
+}
+
+// String renders the ratio triple in the paper's column order.
+func (r Ratio) String() string {
+	return fmt.Sprintf("mean=%.2fx var=%.2fx p99=%.2fx", r.Mean, r.Variance, r.P99)
+}
+
+// DurationsToMillis converts a slice of durations to float64 milliseconds.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// RowBuilder assembles a row image from typed fields. Fields must be
+// read back with a RowReader in the same order. The zero value is ready
+// to use.
+type RowBuilder struct {
+	buf []byte
+}
+
+// Uint64 appends an unsigned 64-bit field.
+func (b *RowBuilder) Uint64(v uint64) *RowBuilder {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	b.buf = append(b.buf, tmp[:]...)
+	return b
+}
+
+// Int64 appends a signed 64-bit field.
+func (b *RowBuilder) Int64(v int64) *RowBuilder {
+	return b.Uint64(uint64(v))
+}
+
+// Uint32 appends an unsigned 32-bit field.
+func (b *RowBuilder) Uint32(v uint32) *RowBuilder {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.buf = append(b.buf, tmp[:]...)
+	return b
+}
+
+// Float64 appends a float field (IEEE 754 bits).
+func (b *RowBuilder) Float64(v float64) *RowBuilder {
+	return b.Uint64(math.Float64bits(v))
+}
+
+// String appends a length-prefixed string field (max 64 KiB).
+func (b *RowBuilder) String(s string) *RowBuilder {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], uint16(len(s)))
+	b.buf = append(b.buf, tmp[:]...)
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+// Bytes returns the encoded row. The builder can keep appending; the
+// returned slice aliases the builder's buffer.
+func (b *RowBuilder) Bytes() []byte { return b.buf }
+
+// Reset clears the builder for reuse.
+func (b *RowBuilder) Reset() *RowBuilder {
+	b.buf = b.buf[:0]
+	return b
+}
+
+// RowReader decodes fields in the order they were built. Reads past the
+// end return zero values (Ok turns false).
+type RowReader struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+// NewRowReader wraps a row image.
+func NewRowReader(row []byte) *RowReader { return &RowReader{buf: row} }
+
+// Ok reports whether all reads so far were in bounds.
+func (r *RowReader) Ok() bool { return !r.bad }
+
+// Uint64 reads an unsigned 64-bit field.
+func (r *RowReader) Uint64() uint64 {
+	if r.off+8 > len(r.buf) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Int64 reads a signed 64-bit field.
+func (r *RowReader) Int64() int64 { return int64(r.Uint64()) }
+
+// Uint32 reads an unsigned 32-bit field.
+func (r *RowReader) Uint32() uint32 {
+	if r.off+4 > len(r.buf) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Float64 reads a float field.
+func (r *RowReader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// String reads a length-prefixed string field.
+func (r *RowReader) String() string {
+	if r.off+2 > len(r.buf) {
+		r.bad = true
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(r.buf[r.off:]))
+	r.off += 2
+	if r.off+n > len(r.buf) {
+		r.bad = true
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"fmt"
+
+	"vats/internal/btree"
+	"vats/internal/buffer"
+)
+
+// IndexKeyFunc derives a (non-unique) secondary key from a row. Return
+// ok=false to leave the row out of the index (partial index).
+type IndexKeyFunc func(pk uint64, row []byte) (key uint64, ok bool)
+
+// secondaryIndex maps a derived key to the primary keys of the rows
+// carrying it. It lives under the table's index mutex.
+type secondaryIndex struct {
+	name  string
+	keyOf IndexKeyFunc
+	tree  *btree.Tree[[]uint64]
+}
+
+func (ix *secondaryIndex) add(key, pk uint64) {
+	pks, _ := ix.tree.Get(key)
+	ix.tree.Insert(key, append(pks, pk))
+}
+
+func (ix *secondaryIndex) remove(key, pk uint64) {
+	pks, ok := ix.tree.Get(key)
+	if !ok {
+		return
+	}
+	for i, p := range pks {
+		if p == pk {
+			pks = append(pks[:i], pks[i+1:]...)
+			break
+		}
+	}
+	if len(pks) == 0 {
+		ix.tree.Delete(key)
+	} else {
+		ix.tree.Insert(key, pks)
+	}
+}
+
+// CreateIndex adds a secondary index and backfills it from the existing
+// rows. h is the caller's buffer handle (backfill reads pages).
+func (t *Table) CreateIndex(h *buffer.Handle, name string, keyOf IndexKeyFunc) error {
+	if keyOf == nil {
+		return fmt.Errorf("storage %s: nil index key func", t.name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ix := range t.indexes {
+		if ix.name == name {
+			return fmt.Errorf("storage %s: index %q exists", t.name, name)
+		}
+	}
+	ix := &secondaryIndex{name: name, keyOf: keyOf, tree: btree.New[[]uint64](0)}
+	// Backfill. Collect RIDs first, then read pages (readRID takes no
+	// table lock, so doing it under t.mu is deadlock-free and keeps the
+	// backfill atomic with respect to writers).
+	var err error
+	t.index.Ascend(func(pk uint64, rid RID) bool {
+		var row []byte
+		row, err = t.readRID(h, rid)
+		if err != nil {
+			return false
+		}
+		if key, ok := keyOf(pk, row); ok {
+			ix.add(key, pk)
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("storage %s: backfill %q: %w", t.name, name, err)
+	}
+	t.indexes = append(t.indexes, ix)
+	return nil
+}
+
+func (t *Table) indexByName(name string) (*secondaryIndex, bool) {
+	for _, ix := range t.indexes {
+		if ix.name == name {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// indexInsertLocked/indexDeleteLocked maintain all indexes; caller
+// holds t.mu.
+func (t *Table) indexInsertLocked(pk uint64, row []byte) {
+	for _, ix := range t.indexes {
+		if key, ok := ix.keyOf(pk, row); ok {
+			ix.add(key, pk)
+		}
+	}
+}
+
+func (t *Table) indexDeleteLocked(pk uint64, row []byte) {
+	for _, ix := range t.indexes {
+		if key, ok := ix.keyOf(pk, row); ok {
+			ix.remove(key, pk)
+		}
+	}
+}
+
+// IndexScan calls fn for every row whose secondary key falls in
+// [lo, hi], ascending by secondary key (rows sharing a key come in
+// primary-key order). Row images are copies; like Scan, it reads at
+// read-committed isolation.
+func (t *Table) IndexScan(h *buffer.Handle, name string, lo, hi uint64, fn func(pk uint64, row []byte) bool) error {
+	t.mu.RLock()
+	ix, ok := t.indexByName(name)
+	if !ok {
+		t.mu.RUnlock()
+		return fmt.Errorf("storage %s: no index %q", t.name, name)
+	}
+	type entry struct {
+		pk  uint64
+		rid RID
+	}
+	var items []entry
+	ix.tree.AscendRange(lo, hi, func(_ uint64, pks []uint64) bool {
+		for _, pk := range pks {
+			if rid, ok := t.index.Get(pk); ok {
+				items = append(items, entry{pk, rid})
+			}
+		}
+		return true
+	})
+	t.mu.RUnlock()
+	for _, it := range items {
+		row, err := t.readRID(h, it.rid)
+		if err != nil {
+			continue // deleted or relocated since the snapshot
+		}
+		if !fn(it.pk, row) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package storage implements heap tables over the buffer pool: slotted
+// pages for row data, a clustered B+-tree index mapping primary keys to
+// row locations, and a compact row codec used by the workloads.
+//
+// Storage provides physical consistency (latched pages, consistent
+// indexes). Transactional isolation for same-key access is the caller's
+// job: the engine wraps every row operation in record locks from
+// internal/lock, which is precisely the boundary the paper studies.
+package storage
+
+import "encoding/binary"
+
+// Slotted page layout (little endian):
+//
+//	[0:2]  numSlots
+//	[2:4]  dataStart — offset of the lowest used data byte
+//	[4:..] slot directory, 4 bytes per slot: offset uint16, length uint16
+//	[...]  free space
+//	[dataStart:] row data, growing downward from the page end
+//
+// A slot with offset 0 is dead (deleted or relocated). Dead slots are
+// never reused, so a stale RID can never alias a different row.
+
+const (
+	pageHeaderSize = 4
+	slotSize       = 4
+	deadOffset     = 0
+)
+
+func pageInit(data []byte) {
+	binary.LittleEndian.PutUint16(data[0:2], 0)
+	binary.LittleEndian.PutUint16(data[2:4], uint16(len(data)))
+}
+
+func pageNumSlots(data []byte) int {
+	return int(binary.LittleEndian.Uint16(data[0:2]))
+}
+
+func pageDataStart(data []byte) int {
+	return int(binary.LittleEndian.Uint16(data[2:4]))
+}
+
+func pageFreeSpace(data []byte) int {
+	return pageDataStart(data) - pageHeaderSize - slotSize*pageNumSlots(data)
+}
+
+// pageInsertRow appends a row, returning its slot, or ok=false when the
+// page lacks space.
+func pageInsertRow(data []byte, row []byte) (slot int, ok bool) {
+	if len(row) == 0 || len(row) > maxRowSize(len(data)) {
+		return 0, false
+	}
+	if pageFreeSpace(data) < len(row)+slotSize {
+		return 0, false
+	}
+	n := pageNumSlots(data)
+	start := pageDataStart(data) - len(row)
+	copy(data[start:], row)
+	slotOff := pageHeaderSize + slotSize*n
+	binary.LittleEndian.PutUint16(data[slotOff:], uint16(start))
+	binary.LittleEndian.PutUint16(data[slotOff+2:], uint16(len(row)))
+	binary.LittleEndian.PutUint16(data[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(data[2:4], uint16(start))
+	return n, true
+}
+
+// pageReadRow copies the row in slot out of the page.
+func pageReadRow(data []byte, slot int) ([]byte, bool) {
+	if slot < 0 || slot >= pageNumSlots(data) {
+		return nil, false
+	}
+	so := pageHeaderSize + slotSize*slot
+	off := int(binary.LittleEndian.Uint16(data[so:]))
+	if off == deadOffset {
+		return nil, false
+	}
+	length := int(binary.LittleEndian.Uint16(data[so+2:]))
+	out := make([]byte, length)
+	copy(out, data[off:off+length])
+	return out, true
+}
+
+// pageUpdateRowInPlace overwrites a row if the new image fits in the
+// slot's existing space.
+func pageUpdateRowInPlace(data []byte, slot int, row []byte) bool {
+	if slot < 0 || slot >= pageNumSlots(data) {
+		return false
+	}
+	so := pageHeaderSize + slotSize*slot
+	off := int(binary.LittleEndian.Uint16(data[so:]))
+	if off == deadOffset {
+		return false
+	}
+	length := int(binary.LittleEndian.Uint16(data[so+2:]))
+	if len(row) > length || len(row) == 0 {
+		return false
+	}
+	copy(data[off:], row)
+	binary.LittleEndian.PutUint16(data[so+2:], uint16(len(row)))
+	return true
+}
+
+// pageDeleteRow tombstones a slot. The space is not reclaimed.
+func pageDeleteRow(data []byte, slot int) bool {
+	if slot < 0 || slot >= pageNumSlots(data) {
+		return false
+	}
+	so := pageHeaderSize + slotSize*slot
+	if binary.LittleEndian.Uint16(data[so:]) == deadOffset {
+		return false
+	}
+	binary.LittleEndian.PutUint16(data[so:], deadOffset)
+	return true
+}
+
+// maxRowSize is the largest row a page of the given size can hold.
+func maxRowSize(pageSize int) int {
+	return pageSize - pageHeaderSize - slotSize
+}

@@ -1,0 +1,327 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vats/internal/btree"
+	"vats/internal/buffer"
+)
+
+// Errors returned by Table operations.
+var (
+	// ErrDuplicateKey means an Insert hit an existing primary key.
+	ErrDuplicateKey = errors.New("storage: duplicate key")
+	// ErrKeyNotFound means the primary key does not exist.
+	ErrKeyNotFound = errors.New("storage: key not found")
+	// ErrRowTooLarge means the row cannot fit in a page.
+	ErrRowTooLarge = errors.New("storage: row too large for page")
+)
+
+// RID locates a row: the page and its slot.
+type RID struct {
+	Page buffer.PageID
+	Slot int
+}
+
+// Table is a heap table with a clustered B+-tree index on a uint64
+// primary key. Row images are opaque byte slices (see RowBuilder).
+//
+// Physical consistency is internal (index mutex + page latches);
+// isolation between transactions touching the same key is the caller's
+// responsibility via the lock manager.
+type Table struct {
+	name  string
+	space uint32
+	pool  *buffer.Pool
+
+	mu       sync.RWMutex
+	index    *btree.Tree[RID]
+	indexes  []*secondaryIndex
+	nextPage uint64
+	fillPage buffer.PageID
+	hasFill  bool
+}
+
+// NewTable creates an empty table in the given buffer pool. space must
+// be unique per pool.
+func NewTable(name string, space uint32, pool *buffer.Pool) *Table {
+	return &Table{
+		name:  name,
+		space: space,
+		pool:  pool,
+		index: btree.New[RID](0),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Space returns the table's page-space id.
+func (t *Table) Space() uint32 { return t.space }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.index.Len()
+}
+
+// Pages returns the number of pages allocated so far.
+func (t *Table) Pages() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextPage
+}
+
+// Insert adds a row under key. h is the caller's worker-local buffer
+// handle.
+func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
+	if len(row) > maxRowSize(t.pool.PageSize()) {
+		return ErrRowTooLarge
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index.Get(key); ok {
+		return ErrDuplicateKey
+	}
+	rid, err := t.placeRowLocked(h, row)
+	if err != nil {
+		return err
+	}
+	t.index.Insert(key, rid)
+	t.indexInsertLocked(key, row)
+	return nil
+}
+
+// placeRowLocked finds space for a row, allocating pages as needed.
+// Caller holds t.mu.
+func (t *Table) placeRowLocked(h *buffer.Handle, row []byte) (RID, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		if t.hasFill {
+			fr, err := h.Fetch(t.fillPage)
+			if err != nil {
+				return RID{}, fmt.Errorf("storage %s: fill page: %w", t.name, err)
+			}
+			var slot int
+			var ok bool
+			fr.WithPageLock(func() {
+				slot, ok = pageInsertRow(fr.Data(), row)
+			})
+			if ok {
+				fr.MarkDirty()
+				rid := RID{Page: fr.ID(), Slot: slot}
+				fr.Release()
+				return rid, nil
+			}
+			fr.Release()
+			t.hasFill = false
+		}
+		// Allocate a fresh page.
+		t.nextPage++
+		id := buffer.PageID{Space: t.space, No: t.nextPage}
+		fr, err := t.pool.Create(id)
+		if err != nil {
+			return RID{}, fmt.Errorf("storage %s: create page: %w", t.name, err)
+		}
+		fr.WithPageLock(func() {
+			pageInit(fr.Data())
+		})
+		fr.MarkDirty()
+		fr.Release()
+		t.fillPage = id
+		t.hasFill = true
+	}
+	return RID{}, ErrRowTooLarge
+}
+
+// Get copies the row stored under key.
+func (t *Table) Get(h *buffer.Handle, key uint64) ([]byte, error) {
+	t.mu.RLock()
+	rid, ok := t.index.Get(key)
+	t.mu.RUnlock()
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	return t.readRID(h, rid)
+}
+
+func (t *Table) readRID(h *buffer.Handle, rid RID) ([]byte, error) {
+	fr, err := h.Fetch(rid.Page)
+	if err != nil {
+		return nil, fmt.Errorf("storage %s: %w", t.name, err)
+	}
+	var row []byte
+	var ok bool
+	fr.WithPageLock(func() {
+		row, ok = pageReadRow(fr.Data(), rid.Slot)
+	})
+	fr.Release()
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	return row, nil
+}
+
+// Update replaces the row under key, relocating it if the new image no
+// longer fits in place. Tables with secondary indexes take the slower
+// write-locked path so index maintenance is atomic with the row change.
+func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
+	if len(row) > maxRowSize(t.pool.PageSize()) {
+		return ErrRowTooLarge
+	}
+	t.mu.RLock()
+	rid, ok := t.index.Get(key)
+	indexed := len(t.indexes) > 0
+	t.mu.RUnlock()
+	if !ok {
+		return ErrKeyNotFound
+	}
+	if indexed {
+		return t.updateIndexed(h, key, row)
+	}
+	fr, err := h.Fetch(rid.Page)
+	if err != nil {
+		return fmt.Errorf("storage %s: %w", t.name, err)
+	}
+	inPlace := false
+	fr.WithPageLock(func() {
+		inPlace = pageUpdateRowInPlace(fr.Data(), rid.Slot, row)
+	})
+	if inPlace {
+		fr.MarkDirty()
+		fr.Release()
+		return nil
+	}
+	fr.Release()
+
+	// Relocate under the index write lock.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid2, ok := t.index.Get(key)
+	if !ok {
+		return ErrKeyNotFound
+	}
+	newRID, err := t.placeRowLocked(h, row)
+	if err != nil {
+		return err
+	}
+	// Tombstone the old slot.
+	fr2, err := h.Fetch(rid2.Page)
+	if err != nil {
+		return fmt.Errorf("storage %s: %w", t.name, err)
+	}
+	fr2.WithPageLock(func() {
+		pageDeleteRow(fr2.Data(), rid2.Slot)
+	})
+	fr2.MarkDirty()
+	fr2.Release()
+	t.index.Insert(key, newRID)
+	return nil
+}
+
+// updateIndexed performs an update under the table write lock,
+// maintaining every secondary index against the old row image.
+func (t *Table) updateIndexed(h *buffer.Handle, key uint64, row []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, ok := t.index.Get(key)
+	if !ok {
+		return ErrKeyNotFound
+	}
+	old, err := t.readRID(h, rid)
+	if err != nil {
+		return err
+	}
+	fr, err := h.Fetch(rid.Page)
+	if err != nil {
+		return fmt.Errorf("storage %s: %w", t.name, err)
+	}
+	inPlace := false
+	fr.WithPageLock(func() {
+		inPlace = pageUpdateRowInPlace(fr.Data(), rid.Slot, row)
+	})
+	if inPlace {
+		fr.MarkDirty()
+	}
+	fr.Release()
+	if !inPlace {
+		newRID, err := t.placeRowLocked(h, row)
+		if err != nil {
+			return err
+		}
+		fr2, err := h.Fetch(rid.Page)
+		if err != nil {
+			return fmt.Errorf("storage %s: %w", t.name, err)
+		}
+		fr2.WithPageLock(func() {
+			pageDeleteRow(fr2.Data(), rid.Slot)
+		})
+		fr2.MarkDirty()
+		fr2.Release()
+		t.index.Insert(key, newRID)
+	}
+	t.indexDeleteLocked(key, old)
+	t.indexInsertLocked(key, row)
+	return nil
+}
+
+// Delete removes the row under key.
+func (t *Table) Delete(h *buffer.Handle, key uint64) error {
+	t.mu.Lock()
+	rid, ok := t.index.Get(key)
+	if !ok {
+		t.mu.Unlock()
+		return ErrKeyNotFound
+	}
+	if len(t.indexes) > 0 {
+		if old, err := t.readRID(h, rid); err == nil {
+			t.indexDeleteLocked(key, old)
+		}
+	}
+	t.index.Delete(key)
+	t.mu.Unlock()
+
+	fr, err := h.Fetch(rid.Page)
+	if err != nil {
+		return fmt.Errorf("storage %s: %w", t.name, err)
+	}
+	fr.WithPageLock(func() {
+		pageDeleteRow(fr.Data(), rid.Slot)
+	})
+	fr.MarkDirty()
+	fr.Release()
+	return nil
+}
+
+// Scan calls fn for every key in [lo, hi] ascending until fn returns
+// false. The row images passed to fn are copies.
+func (t *Table) Scan(h *buffer.Handle, lo, hi uint64, fn func(key uint64, row []byte) bool) error {
+	// Snapshot matching RIDs under the read lock, then fetch rows
+	// without it so long scans do not starve writers.
+	type kr struct {
+		key uint64
+		rid RID
+	}
+	t.mu.RLock()
+	var items []kr
+	t.index.AscendRange(lo, hi, func(k uint64, rid RID) bool {
+		items = append(items, kr{k, rid})
+		return true
+	})
+	t.mu.RUnlock()
+	for _, it := range items {
+		row, err := t.readRID(h, it.rid)
+		if errors.Is(err, ErrKeyNotFound) {
+			continue // deleted or relocated since the snapshot
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(it.key, row) {
+			return nil
+		}
+	}
+	return nil
+}

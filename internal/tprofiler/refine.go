@@ -1,0 +1,135 @@
+package tprofiler
+
+import (
+	"math"
+
+	"vats/internal/xrand"
+)
+
+// Model describes a synthetic static call graph with uniform fan-out,
+// used to compare profiling strategies (fig. 5 right of the paper): how
+// many profiling runs are needed to localize the dominant variance
+// sources when each run can instrument at most Budget functions.
+//
+// The paper reports MySQL's static call graph has ~2×10^15 path nodes;
+// a naive profiler that decomposes *every* factor needs a run count
+// proportional to the non-leaf node count, while TProfiler's score-based
+// top-k selection only drills down the high-variance paths.
+type Model struct {
+	// Fanout is the number of children per non-leaf path node.
+	Fanout int
+	// Depth is the call-graph height (leaves at this depth).
+	Depth int
+	// Budget is how many functions one run may instrument without
+	// distorting the latency profile.
+	Budget int
+	// TopK is TProfiler's per-iteration factor selection width.
+	TopK int
+	// Culprits is the number of true leaf-level variance sources.
+	Culprits int
+}
+
+// NaiveRuns returns the number of runs a decompose-everything profiler
+// needs: every non-leaf path node's children must be instrumented once.
+// Returned as float64 because it overflows int64 for realistic graphs.
+func (m Model) NaiveRuns() float64 {
+	if m.Fanout < 2 {
+		return float64(m.Depth) / float64(m.Budget)
+	}
+	// Non-leaf path nodes of a complete Fanout-ary tree of height Depth:
+	// (Fanout^Depth - 1) / (Fanout - 1).
+	nonLeaf := (math.Pow(float64(m.Fanout), float64(m.Depth)) - 1) / float64(m.Fanout-1)
+	runs := nonLeaf * float64(m.Fanout) / float64(m.Budget)
+	if runs < 1 {
+		return 1
+	}
+	return runs
+}
+
+// GuidedRuns simulates TProfiler's iterative refinement on the model:
+// plant Culprits random high-variance leaves, then repeatedly instrument
+// the children of the current top-K highest-scoring frontier nodes until
+// every culprit's leaf is isolated. Returns the number of runs used.
+//
+// Ancestor nodes of a culprit observe the culprit's variance (a parent's
+// variance includes its children's), which is what makes greedy
+// drill-down work.
+func (m Model) GuidedRuns(seed int64) int {
+	rng := xrand.New(seed)
+	// A culprit is a random root-to-leaf path, encoded as child indices.
+	culprits := make([][]int, m.Culprits)
+	for i := range culprits {
+		path := make([]int, m.Depth)
+		for d := range path {
+			path[d] = rng.Intn(m.Fanout)
+		}
+		culprits[i] = path
+	}
+
+	type frontierNode struct {
+		path []int // child indices from root
+		hot  bool  // lies on a culprit path
+	}
+	onCulpritPath := func(path []int) bool {
+		for _, c := range culprits {
+			match := true
+			for d, idx := range path {
+				if c[d] != idx {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+
+	frontier := []frontierNode{{path: nil, hot: true}}
+	runs := 0
+	found := 0
+	for len(frontier) > 0 && found < m.Culprits {
+		// Score: hot nodes (variance flows up from culprits) dominate;
+		// among equals, deeper is more specific. Take top-K hot nodes.
+		var expand []frontierNode
+		for _, f := range frontier {
+			if f.hot {
+				expand = append(expand, f)
+				if len(expand) == m.TopK {
+					break
+				}
+			}
+		}
+		if len(expand) == 0 {
+			break
+		}
+		// One refinement iteration instruments the children of the
+		// selected nodes, possibly spanning several runs if over budget.
+		instrumented := len(expand) * m.Fanout
+		runs += (instrumented + m.Budget - 1) / m.Budget
+		var next []frontierNode
+		for _, f := range expand {
+			for c := 0; c < m.Fanout; c++ {
+				child := append(append([]int(nil), f.path...), c)
+				hot := onCulpritPath(child)
+				if hot && len(child) == m.Depth {
+					found++
+					continue
+				}
+				if len(child) < m.Depth {
+					next = append(next, frontierNode{path: child, hot: hot})
+				}
+			}
+		}
+		// Keep only hot nodes on the frontier (cold subtrees have
+		// negligible variance and are pruned, per §3.2).
+		frontier = frontier[:0]
+		for _, f := range next {
+			if f.hot {
+				frontier = append(frontier, f)
+			}
+		}
+	}
+	return runs
+}

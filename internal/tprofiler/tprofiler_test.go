@@ -1,0 +1,369 @@
+package tprofiler
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runTxn executes one synthetic transaction: parent "op" with children
+// "fast" (constant) and "slow" (alternating), so "slow" is the variance
+// culprit.
+func runTxn(p *Profiler, i int) {
+	tc := p.StartTxn()
+	op := tc.Enter("op")
+	fast := tc.Enter("fast")
+	time.Sleep(200 * time.Microsecond)
+	tc.Exit(fast)
+	slow := tc.Enter("slow")
+	if i%2 == 0 {
+		time.Sleep(2 * time.Millisecond)
+	} else {
+		time.Sleep(100 * time.Microsecond)
+	}
+	tc.Exit(slow)
+	tc.Exit(op)
+	tc.End()
+}
+
+func TestNilProfilerIsNoop(t *testing.T) {
+	var p *Profiler
+	tc := p.StartTxn()
+	tok := tc.Enter("x")
+	tc.Record("y", time.Millisecond)
+	tc.Exit(tok)
+	tc.End()
+	if p.TxnCount() != 0 || p.RootVariance() != 0 || p.Tree() != nil || p.TopFactors(3) != nil {
+		t.Fatal("nil profiler leaked state")
+	}
+	p.Instrument("a")
+	p.InstrumentAll()
+}
+
+func TestVarianceAttribution(t *testing.T) {
+	p := New()
+	for i := 0; i < 40; i++ {
+		runTxn(p, i)
+	}
+	if p.TxnCount() != 40 {
+		t.Fatalf("txn count = %d", p.TxnCount())
+	}
+	if p.RootVariance() <= 0 {
+		t.Fatal("no root variance measured")
+	}
+	factors := p.TopFactors(3)
+	if len(factors) == 0 {
+		t.Fatal("no factors")
+	}
+	if factors[0].Functions[0] != "slow" {
+		t.Fatalf("top factor = %v, want slow", factors[0].Functions)
+	}
+	// slow alternates ~2ms/0.1ms: it should explain most of the variance.
+	if factors[0].FracOfTotal < 0.5 {
+		t.Errorf("slow explains only %.1f%%", 100*factors[0].FracOfTotal)
+	}
+}
+
+func TestScorePrefersDeepFunctions(t *testing.T) {
+	// Parent "op" has higher variance than child "slow" (it contains
+	// it), but specificity must rank "slow" above "op".
+	p := New()
+	for i := 0; i < 30; i++ {
+		runTxn(p, i)
+	}
+	factors := p.TopFactors(10)
+	posOf := func(name string) int {
+		for i, f := range factors {
+			if f.Kind == VarianceFactor && f.Functions[0] == name {
+				return i
+			}
+		}
+		return -1
+	}
+	ps, po := posOf("slow"), posOf("op")
+	if ps == -1 || po == -1 {
+		t.Fatalf("missing factors: slow=%d op=%d", ps, po)
+	}
+	if ps > po {
+		t.Errorf("slow ranked %d below op %d despite specificity", ps, po)
+	}
+}
+
+func TestParentVarianceExceedsChild(t *testing.T) {
+	p := New()
+	for i := 0; i < 30; i++ {
+		runTxn(p, i)
+	}
+	tree := p.Tree()
+	var op, slow *Node
+	var find func(n *Node)
+	find = func(n *Node) {
+		switch n.Name {
+		case "op":
+			op = n
+		case "slow":
+			slow = n
+		}
+		for _, c := range n.Children {
+			find(c)
+		}
+	}
+	find(tree)
+	if op == nil || slow == nil {
+		t.Fatal("tree missing nodes")
+	}
+	if op.Variance < slow.Variance*0.9 {
+		t.Errorf("parent variance %v << child %v", op.Variance, slow.Variance)
+	}
+	if slow.Depth <= op.Depth {
+		t.Errorf("depths: slow %d, op %d", slow.Depth, op.Depth)
+	}
+}
+
+func TestVarianceDecompositionHolds(t *testing.T) {
+	// Var(parent) ≈ Σ Var(children incl. body) + 2 Σ Cov(siblings).
+	p := New()
+	for i := 0; i < 60; i++ {
+		runTxn(p, i)
+	}
+	p.mu.Lock()
+	p.analyzeLocked()
+	defer p.mu.Unlock()
+	parent := p.nodes["op"]
+	if parent == nil {
+		t.Fatal("no op node")
+	}
+	sumVar := 0.0
+	var childPaths []string
+	for path, n := range p.nodes {
+		if parentOf(path) == "op" {
+			sumVar += n.acc.Variance()
+			childPaths = append(childPaths, path)
+		}
+	}
+	sumCov := 0.0
+	for key, c := range p.covs {
+		if parentOf(key[0]) == "op" && parentOf(key[1]) == "op" {
+			sumCov += c.Covariance()
+		}
+	}
+	lhs := parent.acc.Variance()
+	rhs := sumVar + 2*sumCov
+	if lhs == 0 {
+		t.Fatal("zero parent variance")
+	}
+	if math.Abs(lhs-rhs)/lhs > 0.15 {
+		t.Errorf("decomposition: Var(op)=%v but ΣVar+2ΣCov=%v (children %v)", lhs, rhs, childPaths)
+	}
+}
+
+func TestInstrumentSubsetCollapsesFrames(t *testing.T) {
+	p := New()
+	p.Instrument("op") // "slow"/"fast" uninstrumented
+	for i := 0; i < 20; i++ {
+		runTxn(p, i)
+	}
+	tree := p.Tree()
+	var sawSlow bool
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Name == "slow" {
+			sawSlow = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	if sawSlow {
+		t.Fatal("uninstrumented function appeared in the tree")
+	}
+	factors := p.TopFactors(5)
+	for _, f := range factors {
+		for _, fn := range f.Functions {
+			if fn == "slow" || fn == "fast" {
+				t.Fatalf("uninstrumented factor: %v", f)
+			}
+		}
+	}
+}
+
+func TestInstrumentMiddleFrameCollapse(t *testing.T) {
+	// txn -> a(off) -> b(on): b must attach under the root, not under a.
+	p := New()
+	p.Instrument("b")
+	tc := p.StartTxn()
+	ta := tc.Enter("a")
+	tb := tc.Enter("b")
+	time.Sleep(100 * time.Microsecond)
+	tc.Exit(tb)
+	tc.Exit(ta)
+	tc.End()
+	p.mu.Lock()
+	p.analyzeLocked()
+	_, topLevel := p.nodes["b"]
+	_, nested := p.nodes["a/b"]
+	p.mu.Unlock()
+	if !topLevel || nested {
+		t.Fatalf("collapse failed: top=%v nested=%v", topLevel, nested)
+	}
+}
+
+func TestRecordAttachesLeaf(t *testing.T) {
+	p := New()
+	tc := p.StartTxn()
+	op := tc.Enter("op")
+	tc.Record("mutex_wait", 3*time.Millisecond)
+	tc.Exit(op)
+	tc.End()
+	p.mu.Lock()
+	p.analyzeLocked()
+	n := p.nodes["op/mutex_wait"]
+	p.mu.Unlock()
+	if n == nil {
+		t.Fatal("recorded leaf missing")
+	}
+	if m := n.acc.Mean(); math.Abs(m-3) > 0.01 {
+		t.Fatalf("recorded mean = %v, want 3ms", m)
+	}
+}
+
+func TestUnbalancedExitPanics(t *testing.T) {
+	p := New()
+	tc := p.StartTxn()
+	tc.Enter("a")
+	tc.Enter("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tc.Exit(1) // wrong token
+}
+
+func TestEndWithOpenSpanPanics(t *testing.T) {
+	p := New()
+	tc := p.StartTxn()
+	tc.Enter("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tc.End()
+}
+
+func TestConcurrentTransactions(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tc := p.StartTxn()
+				tok := tc.Enter("work")
+				tc.Exit(tok)
+				tc.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.TxnCount() != 160 {
+		t.Fatalf("count = %d", p.TxnCount())
+	}
+}
+
+func TestBodyTimeComputed(t *testing.T) {
+	// Parent with sleeping body and one child: parent body node exists.
+	p := New()
+	tc := p.StartTxn()
+	op := tc.Enter("op")
+	c := tc.Enter("child")
+	time.Sleep(200 * time.Microsecond)
+	tc.Exit(c)
+	time.Sleep(500 * time.Microsecond) // body time
+	tc.Exit(op)
+	tc.End()
+	p.mu.Lock()
+	p.analyzeLocked()
+	body := p.nodes["op/[body]"]
+	p.mu.Unlock()
+	if body == nil {
+		t.Fatal("no body node")
+	}
+	if body.acc.Mean() < 0.3 {
+		t.Errorf("body mean = %v ms, want ~0.5", body.acc.Mean())
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	p := New()
+	for i := 0; i < 10; i++ {
+		runTxn(p, i)
+	}
+	r := p.Report()
+	if !strings.Contains(r, "txn") || !strings.Contains(r, "slow") {
+		t.Fatalf("report missing nodes:\n%s", r)
+	}
+	if f := p.TopFactors(1); len(f) == 1 && f[0].String() == "" {
+		t.Error("empty factor string")
+	}
+}
+
+func TestProbeCostAddsOverhead(t *testing.T) {
+	fast := New()
+	heavy := New()
+	heavy.ProbeCost = 200 * time.Microsecond
+
+	measure := func(p *Profiler) time.Duration {
+		start := time.Now()
+		tc := p.StartTxn()
+		for i := 0; i < 10; i++ {
+			tok := tc.Enter("f")
+			tc.Exit(tok)
+		}
+		tc.End()
+		return time.Since(start)
+	}
+	tf := measure(fast)
+	th := measure(heavy)
+	if th < tf+3*time.Millisecond {
+		t.Errorf("heavy probes (%v) not slower than light (%v)", th, tf)
+	}
+}
+
+func TestModelRunCounts(t *testing.T) {
+	m := Model{Fanout: 6, Depth: 8, Budget: 50, TopK: 3, Culprits: 2}
+	naive := m.NaiveRuns()
+	guided := m.GuidedRuns(1)
+	if guided <= 0 {
+		t.Fatal("guided found nothing")
+	}
+	if naive < 1000*float64(guided) {
+		t.Errorf("naive (%.3g) should dwarf guided (%d)", naive, guided)
+	}
+	// Guided ≈ depth × ceil(TopK·Fanout/Budget): small.
+	if guided > 4*m.Depth {
+		t.Errorf("guided = %d runs, too many for depth %d", guided, m.Depth)
+	}
+}
+
+func TestModelDeterministicPerSeed(t *testing.T) {
+	m := Model{Fanout: 4, Depth: 6, Budget: 20, TopK: 2, Culprits: 1}
+	if m.GuidedRuns(7) != m.GuidedRuns(7) {
+		t.Fatal("GuidedRuns not deterministic")
+	}
+}
+
+func TestModelDegenerateFanout(t *testing.T) {
+	m := Model{Fanout: 1, Depth: 5, Budget: 1, TopK: 1, Culprits: 1}
+	if m.NaiveRuns() <= 0 {
+		t.Fatal("degenerate naive runs")
+	}
+	if m.GuidedRuns(3) <= 0 {
+		t.Fatal("degenerate guided runs")
+	}
+}

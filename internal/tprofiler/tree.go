@@ -1,0 +1,263 @@
+package tprofiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one call-path node of the variance tree.
+type Node struct {
+	Path     string
+	Name     string // last path segment
+	Depth    int
+	Height   int // max depth of subtree beneath (0 = leaf)
+	Mean     float64
+	Variance float64
+	Children []*Node
+}
+
+// Tree builds the variance tree rooted at the transaction.
+func (p *Profiler) Tree() *Node {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.analyzeLocked()
+	byPath := make(map[string]*Node, len(p.nodes))
+	for path, acc := range p.nodes {
+		byPath[path] = &Node{
+			Path:     path,
+			Name:     lastSegment(path),
+			Depth:    acc.depth,
+			Height:   acc.height,
+			Mean:     acc.acc.Mean(),
+			Variance: acc.acc.Variance(),
+		}
+	}
+	root := byPath["txn"]
+	if root == nil {
+		root = &Node{Path: "txn", Name: "txn"}
+	}
+	for path, n := range byPath {
+		if path == "txn" {
+			continue
+		}
+		parent := parentOf(path)
+		if parent == "" {
+			root.Children = append(root.Children, n)
+			continue
+		}
+		if pn := byPath[parent]; pn != nil {
+			pn.Children = append(pn.Children, n)
+		} else {
+			root.Children = append(root.Children, n)
+		}
+	}
+	var sortChildren func(n *Node)
+	sortChildren = func(n *Node) {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].Variance > n.Children[j].Variance
+		})
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+	sortChildren(root)
+	return root
+}
+
+// RootVariance is the variance of end-to-end transaction latency (ms²).
+func (p *Profiler) RootVariance() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txns.Variance()
+}
+
+// RootMean is the mean end-to-end transaction latency (ms).
+func (p *Profiler) RootMean() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txns.Mean()
+}
+
+// FactorKind distinguishes variance factors from covariance factors.
+type FactorKind int
+
+const (
+	// VarianceFactor is the variance of a single function.
+	VarianceFactor FactorKind = iota
+	// CovarianceFactor is the covariance of a sibling function pair.
+	CovarianceFactor
+)
+
+// Factor is a ranked source of variance: a function (variance summed
+// across its call sites) or a co-varying function pair. This is what
+// TProfiler reports to the developer (the paper's Tables 1 and 2).
+type Factor struct {
+	Kind FactorKind
+	// Functions holds one name (variance) or two (covariance).
+	Functions []string
+	// Value is Σ V(φi) across call sites: the variance, or 2·covariance
+	// (the factor's contribution to the parent's variance per eq. 1).
+	Value float64
+	// Score = specificity · Value (eq. 3).
+	Score float64
+	// FracOfTotal is Value / Var(txn): the "Percentage of Overall
+	// Variance" column of Tables 1 and 2.
+	FracOfTotal float64
+}
+
+// String renders the factor like the paper's tables.
+func (f Factor) String() string {
+	return fmt.Sprintf("%-40s %6.1f%%  (score %.3g)",
+		strings.Join(f.Functions, " × "), 100*f.FracOfTotal, f.Score)
+}
+
+// TopFactors ranks factors by score and returns the best k, mirroring
+// the paper's top-k selection. The root is excluded (its variance is the
+// quantity being explained).
+func (p *Profiler) TopFactors(k int) []Factor {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.analyzeLocked()
+
+	rootVar := p.txns.Variance()
+	treeHeight := 0
+	for _, n := range p.nodes {
+		if n.depth > treeHeight {
+			treeHeight = n.depth
+		}
+	}
+
+	// Aggregate variance and height per function name across call sites.
+	type agg struct {
+		value  float64
+		height int
+	}
+	byFunc := make(map[string]*agg)
+	for path, n := range p.nodes {
+		if path == "txn" {
+			continue
+		}
+		name := lastSegment(path)
+		a := byFunc[name]
+		if a == nil {
+			a = &agg{}
+			byFunc[name] = a
+		}
+		a.value += n.acc.Variance()
+		if n.height > a.height {
+			a.height = n.height
+		}
+	}
+
+	var factors []Factor
+	specificity := func(height int) float64 {
+		d := float64(treeHeight - height)
+		return d * d
+	}
+	for name, a := range byFunc {
+		factors = append(factors, Factor{
+			Kind:        VarianceFactor,
+			Functions:   []string{name},
+			Value:       a.value,
+			Score:       specificity(a.height) * a.value,
+			FracOfTotal: frac(a.value, rootVar),
+		})
+	}
+
+	// Covariance factors, aggregated per function-name pair.
+	type pairAgg struct {
+		value  float64
+		height int
+	}
+	byPair := make(map[[2]string]*pairAgg)
+	for key, c := range p.covs {
+		na, nb := p.nodes[key[0]], p.nodes[key[1]]
+		if na == nil || nb == nil {
+			continue
+		}
+		a, b := lastSegment(key[0]), lastSegment(key[1])
+		if a > b {
+			a, b = b, a
+		}
+		pk := [2]string{a, b}
+		pa := byPair[pk]
+		if pa == nil {
+			pa = &pairAgg{}
+			byPair[pk] = pa
+		}
+		pa.value += 2 * c.Covariance() // contribution per eq. 1
+		h := na.height
+		if nb.height > h {
+			h = nb.height
+		}
+		if h > pa.height {
+			pa.height = h
+		}
+	}
+	for pk, pa := range byPair {
+		if pa.value <= 0 {
+			continue // negative covariance reduces variance; not a culprit
+		}
+		factors = append(factors, Factor{
+			Kind:        CovarianceFactor,
+			Functions:   []string{pk[0], pk[1]},
+			Value:       pa.value,
+			Score:       specificity(pa.height) * pa.value,
+			FracOfTotal: frac(pa.value, rootVar),
+		})
+	}
+
+	sort.Slice(factors, func(i, j int) bool { return factors[i].Score > factors[j].Score })
+	if k > 0 && len(factors) > k {
+		factors = factors[:k]
+	}
+	return factors
+}
+
+// Report renders the variance tree as indented text with per-node
+// variance and the share of the root's variance.
+func (p *Profiler) Report() string {
+	root := p.Tree()
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	rootVar := root.Variance
+	var walk func(n *Node, indent int)
+	walk = func(n *Node, indent int) {
+		fmt.Fprintf(&b, "%s%-30s var=%10.4f  (%5.1f%% of txn)  mean=%8.4fms\n",
+			strings.Repeat("  ", indent), n.Name, n.Variance, 100*frac(n.Variance, rootVar), n.Mean)
+		for _, c := range n.Children {
+			walk(c, indent+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+func frac(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,526 @@
+// Package wal implements the redo-log manager: LSN allocation, group
+// commit, the three durability policies MySQL exposes through
+// innodb_flush_log_at_trx_commit (eager flush, lazy flush, lazy write —
+// see the paper's Appendix B), and the single-stream vs. parallel logging
+// modes from §4.2/§6.2.
+//
+// In single-stream mode all committers serialize on one log device — the
+// Postgres WALWriteLock pathology TProfiler identifies as 76.8% of overall
+// latency variance. In parallel mode two (or more) log devices hold
+// independent sets of redo logs and a committing transaction picks the
+// stream with fewer waiters, waiting only when none is free (§6.2).
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/disk"
+)
+
+// LSN is a log sequence number; LSNs are dense and strictly increasing.
+type LSN uint64
+
+// FlushPolicy selects when redo records become durable relative to
+// commit. The names mirror the paper's Appendix B.
+type FlushPolicy int
+
+const (
+	// EagerFlush writes and fsyncs a transaction's redo records on its
+	// commit path (innodb_flush_log_at_trx_commit = 1). Durable but the
+	// full disk-latency variance lands on the transaction.
+	EagerFlush FlushPolicy = iota
+	// LazyFlush writes records on the commit path but defers fsync to a
+	// background flusher (= 2). A crash can lose transactions that
+	// committed since the last flush.
+	LazyFlush
+	// LazyWrite defers both write and fsync to the background flusher
+	// (= 0). Fastest and most predictable commit; largest crash window.
+	LazyWrite
+)
+
+// String names the policy.
+func (p FlushPolicy) String() string {
+	switch p {
+	case LazyFlush:
+		return "LazyFlush"
+	case LazyWrite:
+		return "LazyWrite"
+	default:
+		return "EagerFlush"
+	}
+}
+
+// ErrCrashed is returned by operations after Crash.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// Config configures a Manager.
+type Config struct {
+	// Devices are the log devices. One device = single-stream logging
+	// (the Postgres WALWriteLock model); two or more enable parallel
+	// logging when Parallel is set.
+	Devices []*disk.Device
+	// Parallel allows committers to use any device concurrently; when
+	// false only Devices[0] is used.
+	Parallel bool
+	// Policy is the durability policy.
+	Policy FlushPolicy
+	// FlushInterval is the background flusher period for the lazy
+	// policies (the paper's engines use ~1s; scaled default 5ms).
+	FlushInterval time.Duration
+}
+
+// Stats reports log-manager activity.
+type Stats struct {
+	Appends     int64
+	Flushes     int64
+	RecordsSync int64 // records made durable
+	Bytes       int64
+	// GroupedCommits counts commits satisfied by another transaction's
+	// flush (group commit piggybacking).
+	GroupedCommits int64
+}
+
+type recState int32
+
+const (
+	stateBuffered recState = iota
+	stateInFlight
+	stateWritten // written to device, not yet fsynced (LazyFlush)
+	stateDurable
+)
+
+type record struct {
+	lsn     LSN
+	txn     uint64
+	payload []byte
+	state   recState
+	stream  int
+}
+
+// Manager is the redo-log manager.
+type Manager struct {
+	cfg     Config
+	streams []*stream
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    LSN
+	records []*record // all records in LSN order (the "log")
+	crashed bool
+
+	appends atomic.Int64
+	flushes atomic.Int64
+	synced  atomic.Int64
+	bytes   atomic.Int64
+	grouped atomic.Int64
+
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+}
+
+type stream struct {
+	dev     *disk.Device
+	mu      sync.Mutex
+	waiters atomic.Int32
+}
+
+// New builds a Manager. At least one device is required.
+func New(cfg Config) *Manager {
+	if len(cfg.Devices) == 0 {
+		panic("wal: need at least one device")
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	m := &Manager{cfg: cfg}
+	m.cond = sync.NewCond(&m.mu)
+	for _, d := range cfg.Devices {
+		m.streams = append(m.streams, &stream{dev: d})
+	}
+	if cfg.Policy != EagerFlush {
+		m.stopFlusher = make(chan struct{})
+		m.flusherDone = make(chan struct{})
+		go m.flushLoop()
+	}
+	return m
+}
+
+// Append buffers one redo record for txn and returns its LSN. The record
+// is not durable until Commit (eager) or a background flush (lazy).
+func (m *Manager) Append(txn uint64, payload []byte) (LSN, error) {
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrCrashed
+	}
+	m.next++
+	r := &record{lsn: m.next, txn: txn, payload: p}
+	m.records = append(m.records, r)
+	m.appends.Add(1)
+	return r.lsn, nil
+}
+
+// Commit makes txn's records durable according to the policy and returns
+// when the policy's commit-path obligation is met: for EagerFlush that
+// means fsynced; for LazyFlush, written; for LazyWrite, immediately.
+func (m *Manager) Commit(txn uint64) error {
+	switch m.cfg.Policy {
+	case EagerFlush:
+		return m.commitEager(txn)
+	case LazyFlush:
+		return m.commitLazyFlush(txn)
+	default: // LazyWrite
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.crashed {
+			return ErrCrashed
+		}
+		return nil
+	}
+}
+
+func (m *Manager) commitEager(txn uint64) error {
+	for {
+		m.mu.Lock()
+		if m.crashed {
+			m.mu.Unlock()
+			return ErrCrashed
+		}
+		if m.txnDurableLocked(txn) {
+			m.mu.Unlock()
+			return nil
+		}
+		m.mu.Unlock()
+
+		// Queue on a log stream. Whoever gets the stream lock becomes
+		// the group-commit leader and flushes everything buffered at
+		// that moment; committers queued behind it find their records
+		// already durable when they get the lock.
+		st := m.pickStream()
+		st.waiters.Add(1)
+		st.mu.Lock()
+		m.mu.Lock()
+		if m.crashed {
+			m.mu.Unlock()
+			st.mu.Unlock()
+			st.waiters.Add(-1)
+			return ErrCrashed
+		}
+		if m.txnDurableLocked(txn) {
+			m.mu.Unlock()
+			st.mu.Unlock()
+			st.waiters.Add(-1)
+			m.grouped.Add(1)
+			return nil
+		}
+		batch, bytes := m.takeBatchLocked(stateBuffered, stateInFlight)
+		m.mu.Unlock()
+
+		if len(batch) == 0 {
+			// Our records are in flight with a leader on another
+			// stream (parallel mode); wait for its broadcast.
+			st.mu.Unlock()
+			st.waiters.Add(-1)
+			m.mu.Lock()
+			for !m.crashed && !m.txnDurableLocked(txn) {
+				m.cond.Wait()
+			}
+			crashed := m.crashed
+			m.mu.Unlock()
+			if crashed {
+				return ErrCrashed
+			}
+			m.grouped.Add(1)
+			return nil
+		}
+
+		st.dev.WriteBytes(bytes)
+		st.dev.Fsync()
+
+		m.mu.Lock()
+		if m.crashed {
+			m.mu.Unlock()
+			st.mu.Unlock()
+			st.waiters.Add(-1)
+			return ErrCrashed
+		}
+		for _, r := range batch {
+			r.state = stateDurable
+		}
+		m.synced.Add(int64(len(batch)))
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		st.mu.Unlock()
+		st.waiters.Add(-1)
+		m.flushes.Add(1)
+		m.bytes.Add(int64(bytes))
+	}
+}
+
+func (m *Manager) commitLazyFlush(txn uint64) error {
+	// The commit-path write lands in the OS page cache (a memcpy, not a
+	// device operation); only the background fsync touches the device,
+	// which is the whole point of the policy. The device transfer for
+	// these bytes is charged at flush time.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	for _, r := range m.records {
+		if r.txn == txn && r.state == stateBuffered {
+			r.state = stateWritten
+		}
+	}
+	return nil
+}
+
+// takeBatchLocked claims every record in `from` state, marking it `to`,
+// and returns the batch and its total byte size. Caller holds m.mu.
+func (m *Manager) takeBatchLocked(from, to recState) ([]*record, int) {
+	var batch []*record
+	bytes := 0
+	for _, r := range m.records {
+		if r.state == from {
+			r.state = to
+			batch = append(batch, r)
+			bytes += len(r.payload)
+		}
+	}
+	return batch, bytes
+}
+
+func (m *Manager) txnDurableLocked(txn uint64) bool {
+	for _, r := range m.records {
+		if r.txn == txn && r.state != stateDurable {
+			return false
+		}
+	}
+	return true
+}
+
+// pickStream returns the log stream with the fewest waiters (§6.2); in
+// single-stream mode it always returns stream 0.
+func (m *Manager) pickStream() *stream {
+	if !m.cfg.Parallel || len(m.streams) == 1 {
+		return m.streams[0]
+	}
+	best := m.streams[0]
+	bestW := best.waiters.Load()
+	for _, s := range m.streams[1:] {
+		if w := s.waiters.Load(); w < bestW {
+			best, bestW = s, w
+		}
+	}
+	return best
+}
+
+func (m *Manager) flushLoop() {
+	defer close(m.flusherDone)
+	ticker := time.NewTicker(m.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopFlusher:
+			return
+		case <-ticker.C:
+			m.backgroundFlush()
+		}
+	}
+}
+
+// backgroundFlush performs one flusher pass: write any still-buffered
+// records (LazyWrite) and fsync everything written but not yet durable.
+func (m *Manager) backgroundFlush() {
+	m.mu.Lock()
+	if m.crashed {
+		m.mu.Unlock()
+		return
+	}
+	var toWrite []*record
+	bytes := 0
+	if m.cfg.Policy == LazyWrite {
+		toWrite, bytes = m.takeBatchLocked(stateBuffered, stateInFlight)
+	}
+	var toSync []*record
+	for _, r := range m.records {
+		if r.state == stateWritten {
+			toSync = append(toSync, r)
+			bytes += len(r.payload)
+		}
+	}
+	m.mu.Unlock()
+
+	if len(toWrite) == 0 && len(toSync) == 0 {
+		return
+	}
+	st := m.pickStream()
+	st.mu.Lock()
+	if bytes > 0 {
+		st.dev.WriteBytes(bytes)
+	}
+	st.dev.Fsync()
+	st.mu.Unlock()
+	m.flushes.Add(1)
+	m.bytes.Add(int64(bytes))
+
+	m.mu.Lock()
+	if m.crashed {
+		// Crash raced with this flush; do not resurrect records.
+		m.mu.Unlock()
+		return
+	}
+	for _, r := range toWrite {
+		r.state = stateDurable
+	}
+	for _, r := range toSync {
+		r.state = stateDurable
+	}
+	m.synced.Add(int64(len(toWrite) + len(toSync)))
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Flush forces one synchronous flush pass (used by clean shutdown).
+func (m *Manager) Flush() {
+	m.mu.Lock()
+	toWrite, bytes := m.takeBatchLocked(stateBuffered, stateInFlight)
+	var toSync []*record
+	for _, r := range m.records {
+		if r.state == stateWritten {
+			toSync = append(toSync, r)
+			bytes += len(r.payload)
+		}
+	}
+	crashed := m.crashed
+	m.mu.Unlock()
+	if crashed || (len(toWrite) == 0 && len(toSync) == 0) {
+		return
+	}
+	st := m.pickStream()
+	st.mu.Lock()
+	if bytes > 0 {
+		st.dev.WriteBytes(bytes)
+	}
+	st.dev.Fsync()
+	st.mu.Unlock()
+	m.flushes.Add(1)
+	m.bytes.Add(int64(bytes))
+	m.mu.Lock()
+	for _, r := range append(toWrite, toSync...) {
+		r.state = stateDurable
+	}
+	m.synced.Add(int64(len(toWrite) + len(toSync)))
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Crash simulates a crash: all non-durable records are lost and the
+// manager refuses further work. Use Recovered to inspect the surviving
+// prefix. The paper's Appendix B: lazy policies "risk losing forward
+// progress in the event of a crash".
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	m.crashed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.stopBackground()
+}
+
+// Close stops the flusher after a final flush (clean shutdown).
+func (m *Manager) Close() {
+	m.stopBackground()
+	m.Flush()
+}
+
+func (m *Manager) stopBackground() {
+	if m.stopFlusher == nil {
+		return
+	}
+	select {
+	case <-m.stopFlusher:
+	default:
+		close(m.stopFlusher)
+	}
+	<-m.flusherDone
+}
+
+// Entry is one durable log record as seen by recovery.
+type Entry struct {
+	LSN     LSN
+	Txn     uint64
+	Payload []byte
+}
+
+// RecoveredEntries returns the durable records with their transaction
+// ids in LSN order — the input to the engine's redo recovery.
+func (m *Manager) RecoveredEntries() []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Entry
+	for _, r := range m.records {
+		if r.state == stateDurable {
+			out = append(out, Entry{LSN: r.lsn, Txn: r.txn, Payload: r.payload})
+		}
+	}
+	return out
+}
+
+// Truncate discards durable records with LSN below `before` — the log
+// reclamation step after a checkpoint. Non-durable records are never
+// discarded regardless of LSN.
+func (m *Manager) Truncate(before LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.records[:0]
+	for _, r := range m.records {
+		if r.lsn < before && r.state == stateDurable {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.records = kept
+}
+
+// Recovered returns the payloads of durable records in LSN order — what
+// crash recovery would replay.
+func (m *Manager) Recovered() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out [][]byte
+	for _, r := range m.records {
+		if r.state == stateDurable {
+			out = append(out, r.payload)
+		}
+	}
+	return out
+}
+
+// DurableCount returns how many records are durable.
+func (m *Manager) DurableCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.records {
+		if r.state == stateDurable {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Appends:        m.appends.Load(),
+		Flushes:        m.flushes.Load(),
+		RecordsSync:    m.synced.Load(),
+		Bytes:          m.bytes.Load(),
+		GroupedCommits: m.grouped.Load(),
+	}
+}

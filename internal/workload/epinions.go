@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"vats/internal/engine"
+	"vats/internal/storage"
+	"vats/internal/xrand"
+)
+
+// EpinionsConfig scales the Epinions customer-review substitute. The
+// paper uses scale factor 500 — "very low contention": a large user and
+// item population with uniform access, so two transactions rarely touch
+// the same row.
+type EpinionsConfig struct {
+	// Users (default 2000).
+	Users int
+	// Items (default 2000).
+	Items int
+}
+
+func (c *EpinionsConfig) defaults() {
+	if c.Users <= 0 {
+		c.Users = 2000
+	}
+	if c.Items <= 0 {
+		c.Items = 2000
+	}
+}
+
+// Epinions transaction tags.
+const (
+	TagGetReviewsByItem = "GetReviewsByItem"
+	TagGetAverageRating = "GetAverageRating"
+	TagGetUserTrust     = "GetUserTrust"
+	TagAddReview        = "AddReview"
+	TagUpdateTrust      = "UpdateTrust"
+)
+
+// Epinions is the review-site workload.
+type Epinions struct {
+	cfg EpinionsConfig
+}
+
+// NewEpinions builds the workload.
+func NewEpinions(cfg EpinionsConfig) *Epinions {
+	cfg.defaults()
+	return &Epinions{cfg: cfg}
+}
+
+// Name returns "epinions".
+func (w *Epinions) Name() string { return "epinions" }
+
+func epReviewKey(item int, seq uint64) uint64 { return uint64(item)*100_000 + seq }
+func epTrustKey(u, v int) uint64              { return uint64(u)*1_000_000 + uint64(v) }
+
+// Load creates users, items, reviews and trust edges.
+func (w *Epinions) Load(db *engine.DB) error {
+	for _, n := range []string{"euser", "eitem", "ereview", "etrust"} {
+		if _, err := db.CreateTable(n); err != nil {
+			return err
+		}
+	}
+	user, _ := db.Table("euser")
+	item, _ := db.Table("eitem")
+	review, _ := db.Table("ereview")
+	cfg := w.cfg
+	if err := loadBatch(db, cfg.Users, 400, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(user, uint64(i+1), b.String(fmt.Sprintf("user%05d", i+1)).Bytes())
+	}); err != nil {
+		return err
+	}
+	if err := loadBatch(db, cfg.Items, 400, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		// review count, rating sum, title.
+		return tx.Insert(item, uint64(i+1), b.Uint64(1).Uint64(3).String(fmt.Sprintf("item%05d", i+1)).Bytes())
+	}); err != nil {
+		return err
+	}
+	// One seed review per item.
+	return loadBatch(db, cfg.Items, 400, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(review, epReviewKey(i+1, 1),
+			b.Uint64(uint64(i%cfg.Users+1)).Uint64(3).Bytes())
+	})
+}
+
+// NewClient returns an Epinions client.
+func (w *Epinions) NewClient(db *engine.DB, seed int64) (Client, error) {
+	user, ok := db.Table("euser")
+	if !ok {
+		return nil, errors.New("epinions: not loaded")
+	}
+	item, _ := db.Table("eitem")
+	review, _ := db.Table("ereview")
+	trust, _ := db.Table("etrust")
+	return &epinionsClient{w: w, s: db.NewSession(), rng: xrand.New(seed),
+		user: user, item: item, review: review, trust: trust}, nil
+}
+
+type epinionsClient struct {
+	w   *Epinions
+	s   *engine.Session
+	rng *xrand.Source
+
+	user, item, review, trust *storage.Table
+}
+
+var epinionsWeights = []int{30, 30, 20, 10, 10}
+
+// Run executes one Epinions transaction.
+func (c *epinionsClient) Run() (string, error) {
+	switch pick(c.rng, epinionsWeights) {
+	case 0:
+		return TagGetReviewsByItem, c.getReviewsByItem()
+	case 1:
+		return TagGetAverageRating, c.getAverageRating()
+	case 2:
+		return TagGetUserTrust, c.getUserTrust()
+	case 3:
+		return TagAddReview, c.addReview()
+	default:
+		return TagUpdateTrust, c.updateTrust()
+	}
+}
+
+func (c *epinionsClient) randUser() int { return c.rng.UniformInt(1, c.w.cfg.Users) }
+func (c *epinionsClient) randItem() int { return c.rng.UniformInt(1, c.w.cfg.Items) }
+
+func (c *epinionsClient) getReviewsByItem() error {
+	it := c.randItem()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagGetReviewsByItem)
+		return tx.Scan(c.review, epReviewKey(it, 0), epReviewKey(it, 99_999),
+			func(uint64, []byte) bool { return true })
+	})
+}
+
+func (c *epinionsClient) getAverageRating() error {
+	it := c.randItem()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagGetAverageRating)
+		row, err := tx.Get(c.item, uint64(it))
+		if err != nil {
+			return err
+		}
+		r := storage.NewRowReader(row)
+		n := r.Uint64()
+		sum := r.Uint64()
+		_ = float64(sum) / float64(n)
+		return nil
+	})
+}
+
+func (c *epinionsClient) getUserTrust() error {
+	u := c.randUser()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagGetUserTrust)
+		if _, err := tx.Get(c.user, uint64(u)); err != nil {
+			return err
+		}
+		return tx.Scan(c.trust, epTrustKey(u, 0), epTrustKey(u, 999_999),
+			func(uint64, []byte) bool { return true })
+	})
+}
+
+func (c *epinionsClient) addReview() error {
+	it := c.randItem()
+	u := c.randUser()
+	rating := uint64(c.rng.UniformInt(1, 5))
+	seq := uint64(c.rng.Intn(90_000)) + 2
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagAddReview)
+		var rb storage.RowBuilder
+		err := tx.Insert(c.review, epReviewKey(it, seq), rb.Uint64(uint64(u)).Uint64(rating).Bytes())
+		if errors.Is(err, storage.ErrDuplicateKey) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		row, err := tx.GetForUpdate(c.item, uint64(it))
+		if err != nil {
+			return err
+		}
+		r := storage.NewRowReader(row)
+		n := r.Uint64()
+		sum := r.Uint64()
+		title := r.String()
+		var ib storage.RowBuilder
+		return tx.Update(c.item, uint64(it), ib.Uint64(n+1).Uint64(sum+rating).String(title).Bytes())
+	})
+}
+
+func (c *epinionsClient) updateTrust() error {
+	u, v := c.randUser(), c.randUser()
+	val := uint64(c.rng.Intn(2))
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagUpdateTrust)
+		key := epTrustKey(u, v)
+		var b storage.RowBuilder
+		err := tx.Insert(c.trust, key, b.Uint64(val).Bytes())
+		if errors.Is(err, storage.ErrDuplicateKey) {
+			var b2 storage.RowBuilder
+			return tx.Update(c.trust, key, b2.Uint64(val).Bytes())
+		}
+		return err
+	})
+}

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"vats/internal/engine"
+	"vats/internal/storage"
+	"vats/internal/xrand"
+)
+
+// SEATSConfig scales the SEATS airline-reservation substitute. The
+// paper runs SEATS at scale factor 50, which produces a *highly
+// contended* workload: many customers race for seats on the same few
+// flights. The defaults keep that property: a small set of open flights
+// and per-flight seat maps fought over by every client.
+type SEATSConfig struct {
+	// Flights (default 4 — few hot flights).
+	Flights int
+	// SeatsPerFlight (default 60).
+	SeatsPerFlight int
+	// Customers (default 500).
+	Customers int
+}
+
+func (c *SEATSConfig) defaults() {
+	if c.Flights <= 0 {
+		c.Flights = 4
+	}
+	if c.SeatsPerFlight <= 0 {
+		c.SeatsPerFlight = 60
+	}
+	if c.Customers <= 0 {
+		c.Customers = 500
+	}
+}
+
+// SEATS transaction tags.
+const (
+	TagFindOpenSeats     = "FindOpenSeats"
+	TagNewReservation    = "NewReservation"
+	TagDeleteReservation = "DeleteReservation"
+	TagUpdateCustomer    = "UpdateCustomer"
+)
+
+// SEATS is the airline ticketing workload.
+type SEATS struct {
+	cfg SEATSConfig
+}
+
+// NewSEATS builds the workload.
+func NewSEATS(cfg SEATSConfig) *SEATS {
+	cfg.defaults()
+	return &SEATS{cfg: cfg}
+}
+
+// Name returns "seats".
+func (w *SEATS) Name() string { return "seats" }
+
+func seatKey(f, s int) uint64 { return uint64(f)*1000 + uint64(s) }
+
+// Load creates flights, seats and customers.
+func (w *SEATS) Load(db *engine.DB) error {
+	for _, n := range []string{"flight", "seat", "scustomer"} {
+		if _, err := db.CreateTable(n); err != nil {
+			return err
+		}
+	}
+	flight, _ := db.Table("flight")
+	seat, _ := db.Table("seat")
+	cust, _ := db.Table("scustomer")
+	cfg := w.cfg
+	if err := loadBatch(db, cfg.Flights, 100, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(flight, uint64(i+1), b.Int64(int64(cfg.SeatsPerFlight)).String(fmt.Sprintf("FL%03d", i+1)).Bytes())
+	}); err != nil {
+		return err
+	}
+	if err := loadBatch(db, cfg.Flights*cfg.SeatsPerFlight, 200, func(tx *engine.Txn, i int) error {
+		f := i/cfg.SeatsPerFlight + 1
+		s := i%cfg.SeatsPerFlight + 1
+		var b storage.RowBuilder
+		return tx.Insert(seat, seatKey(f, s), b.Uint64(0).Bytes()) // 0 = free
+	}); err != nil {
+		return err
+	}
+	return loadBatch(db, cfg.Customers, 200, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(cust, uint64(i+1), b.Uint64(0).String(fmt.Sprintf("C%05d", i+1)).Bytes())
+	})
+}
+
+// NewClient returns a SEATS client.
+func (w *SEATS) NewClient(db *engine.DB, seed int64) (Client, error) {
+	flight, ok := db.Table("flight")
+	if !ok {
+		return nil, errors.New("seats: not loaded")
+	}
+	seat, _ := db.Table("seat")
+	cust, _ := db.Table("scustomer")
+	return &seatsClient{w: w, s: db.NewSession(), rng: xrand.New(seed),
+		flight: flight, seat: seat, cust: cust}, nil
+}
+
+type seatsClient struct {
+	w                  *SEATS
+	s                  *engine.Session
+	rng                *xrand.Source
+	flight, seat, cust *storage.Table
+}
+
+var seatsWeights = []int{35, 45, 10, 10}
+
+// Run executes one SEATS transaction.
+func (c *seatsClient) Run() (string, error) {
+	switch pick(c.rng, seatsWeights) {
+	case 0:
+		return TagFindOpenSeats, c.findOpenSeats()
+	case 1:
+		return TagNewReservation, c.newReservation()
+	case 2:
+		return TagDeleteReservation, c.deleteReservation()
+	default:
+		return TagUpdateCustomer, c.updateCustomer()
+	}
+}
+
+func (c *seatsClient) randFlight() int   { return c.rng.UniformInt(1, c.w.cfg.Flights) }
+func (c *seatsClient) randSeat() int     { return c.rng.UniformInt(1, c.w.cfg.SeatsPerFlight) }
+func (c *seatsClient) randCustomer() int { return c.rng.UniformInt(1, c.w.cfg.Customers) }
+
+func (c *seatsClient) findOpenSeats() error {
+	f := c.randFlight()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagFindOpenSeats)
+		if _, err := tx.Get(c.flight, uint64(f)); err != nil {
+			return err
+		}
+		open := 0
+		return tx.Scan(c.seat, seatKey(f, 1), seatKey(f, c.w.cfg.SeatsPerFlight),
+			func(_ uint64, row []byte) bool {
+				if storage.NewRowReader(row).Uint64() == 0 {
+					open++
+				}
+				return true
+			})
+	})
+}
+
+func (c *seatsClient) newReservation() error {
+	f := c.randFlight()
+	cust := c.randCustomer()
+	// Pick a target seat from a small window: concurrent bookers
+	// collide on the same seats, producing the benchmark's contention.
+	target := c.rng.UniformInt(1, c.w.cfg.SeatsPerFlight)
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagNewReservation)
+		skey := seatKey(f, target)
+		srow, err := tx.GetForUpdate(c.seat, skey)
+		if err != nil {
+			return err
+		}
+		if storage.NewRowReader(srow).Uint64() != 0 {
+			return nil // seat taken: booking fails, transaction still commits
+		}
+		var sb storage.RowBuilder
+		if err := tx.Update(c.seat, skey, sb.Uint64(uint64(cust)).Bytes()); err != nil {
+			return err
+		}
+		// Flight open-seat count: the per-flight hot row.
+		frow, err := tx.GetForUpdate(c.flight, uint64(f))
+		if err != nil {
+			return err
+		}
+		fr := storage.NewRowReader(frow)
+		openSeats := fr.Int64()
+		name := fr.String()
+		var fb storage.RowBuilder
+		if err := tx.Update(c.flight, uint64(f), fb.Int64(openSeats-1).String(name).Bytes()); err != nil {
+			return err
+		}
+		// Customer reservation count.
+		ckey := uint64(cust)
+		crow, err := tx.GetForUpdate(c.cust, ckey)
+		if err != nil {
+			return err
+		}
+		cr := storage.NewRowReader(crow)
+		n := cr.Uint64()
+		cname := cr.String()
+		var cb storage.RowBuilder
+		return tx.Update(c.cust, ckey, cb.Uint64(n+1).String(cname).Bytes())
+	})
+}
+
+func (c *seatsClient) deleteReservation() error {
+	f := c.randFlight()
+	s := c.randSeat()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagDeleteReservation)
+		skey := seatKey(f, s)
+		srow, err := tx.GetForUpdate(c.seat, skey)
+		if err != nil {
+			return err
+		}
+		owner := storage.NewRowReader(srow).Uint64()
+		if owner == 0 {
+			return nil // nothing to cancel
+		}
+		var sb storage.RowBuilder
+		if err := tx.Update(c.seat, skey, sb.Uint64(0).Bytes()); err != nil {
+			return err
+		}
+		frow, err := tx.GetForUpdate(c.flight, uint64(f))
+		if err != nil {
+			return err
+		}
+		fr := storage.NewRowReader(frow)
+		openSeats := fr.Int64()
+		name := fr.String()
+		var fb storage.RowBuilder
+		return tx.Update(c.flight, uint64(f), fb.Int64(openSeats+1).String(name).Bytes())
+	})
+}
+
+func (c *seatsClient) updateCustomer() error {
+	cust := c.randCustomer()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagUpdateCustomer)
+		ckey := uint64(cust)
+		crow, err := tx.GetForUpdate(c.cust, ckey)
+		if err != nil {
+			return err
+		}
+		cr := storage.NewRowReader(crow)
+		n := cr.Uint64()
+		var cb storage.RowBuilder
+		return tx.Update(c.cust, ckey, cb.Uint64(n).String(fmt.Sprintf("C%05d*", cust)).Bytes())
+	})
+}

@@ -1,0 +1,571 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"vats/internal/engine"
+	"vats/internal/storage"
+	"vats/internal/xrand"
+)
+
+// TPCCConfig scales the TPC-C substitute. Zero values select defaults
+// sized for single-machine experiments: the contention profile (hot
+// warehouse and district rows, NURand item skew) matches the real
+// benchmark even though row counts are scaled down.
+type TPCCConfig struct {
+	// Warehouses (default 4; the paper's contended runs behave like few
+	// warehouses relative to client count).
+	Warehouses int
+	// DistrictsPerWarehouse (default 10, as in TPC-C).
+	DistrictsPerWarehouse int
+	// CustomersPerDistrict (default 30; TPC-C uses 3000, scaled 100×).
+	CustomersPerDistrict int
+	// Items (default 200; TPC-C uses 100k).
+	Items int
+}
+
+func (c *TPCCConfig) defaults() {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 4
+	}
+	if c.DistrictsPerWarehouse <= 0 {
+		c.DistrictsPerWarehouse = 10
+	}
+	if c.CustomersPerDistrict <= 0 {
+		c.CustomersPerDistrict = 30
+	}
+	if c.Items <= 0 {
+		c.Items = 200
+	}
+}
+
+// TPCC is the TPC-C workload: five transaction types at the standard
+// 45/43/4/4/4 mix (NewOrder / Payment / OrderStatus / Delivery /
+// StockLevel).
+type TPCC struct {
+	cfg TPCCConfig
+}
+
+// TPC-C transaction tags, used by Figure 8 and per-type reporting.
+const (
+	TagNewOrder    = "NewOrder"
+	TagPayment     = "Payment"
+	TagOrderStatus = "OrderStatus"
+	TagDelivery    = "Delivery"
+	TagStockLevel  = "StockLevel"
+)
+
+// NewTPCC builds the workload.
+func NewTPCC(cfg TPCCConfig) *TPCC {
+	cfg.defaults()
+	return &TPCC{cfg: cfg}
+}
+
+// Name returns "tpcc".
+func (w *TPCC) Name() string { return "tpcc" }
+
+// Config returns the effective configuration.
+func (w *TPCC) Config() TPCCConfig { return w.cfg }
+
+// Key construction. Composite TPC-C keys are packed into uint64s; all
+// keys are >= 1.
+func tpccDistrictKey(wh, d int) uint64 { return uint64(wh)*100 + uint64(d) }
+func tpccCustomerKey(wh, d, c int) uint64 {
+	return (uint64(wh)*100+uint64(d))*1000 + uint64(c)
+}
+func tpccStockKey(wh, i int) uint64 { return uint64(wh)*100000 + uint64(i) }
+
+// tpccNameBucket hashes a customer name into one of 10 buckets — the
+// stand-in for TPC-C's last-name lookups. The secondary index key scopes
+// the bucket to the customer's district.
+func tpccNameBucket(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h % 10
+}
+
+func tpccNameIndexKey(districtKey, bucket uint64) uint64 {
+	return districtKey*16 + bucket
+}
+func tpccOrderKey(wh, d int, o uint64) uint64 {
+	return (uint64(wh)*100+uint64(d))*1_000_000 + o
+}
+func tpccOrderLineKey(orderKey uint64, idx int) uint64 {
+	return orderKey*16 + uint64(idx) + 1
+}
+
+// Load creates and populates the nine TPC-C tables.
+func (w *TPCC) Load(db *engine.DB) error {
+	names := []string{"warehouse", "district", "customer", "item", "stock",
+		"orders", "orderline", "neworder", "history"}
+	for _, n := range names {
+		if _, err := db.CreateTable(n); err != nil {
+			return err
+		}
+	}
+	warehouse, _ := db.Table("warehouse")
+	district, _ := db.Table("district")
+	customer, _ := db.Table("customer")
+	item, _ := db.Table("item")
+	stock, _ := db.Table("stock")
+
+	cfg := w.cfg
+	if err := loadBatch(db, cfg.Warehouses, 50, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(warehouse, uint64(i+1), b.Float64(0).String(fmt.Sprintf("WH%03d", i+1)).Bytes())
+	}); err != nil {
+		return err
+	}
+	nd := cfg.Warehouses * cfg.DistrictsPerWarehouse
+	if err := loadBatch(db, nd, 100, func(tx *engine.Txn, i int) error {
+		wh := i/cfg.DistrictsPerWarehouse + 1
+		d := i%cfg.DistrictsPerWarehouse + 1
+		var b storage.RowBuilder
+		// next_o_id starts at 1; ytd 0.
+		return tx.Insert(district, tpccDistrictKey(wh, d), b.Uint64(1).Float64(0).Bytes())
+	}); err != nil {
+		return err
+	}
+	// Secondary index: customers by (district, name bucket) — the
+	// Payment-by-last-name access path (60% of Payments in the spec).
+	if err := customer.CreateIndex(db.NewSession().Handle(), "byName", func(pk uint64, img []byte) (uint64, bool) {
+		r := storage.NewRowReader(img)
+		r.Float64()
+		r.Uint64()
+		r.Uint64()
+		name := r.String()
+		if !r.Ok() {
+			return 0, false
+		}
+		return tpccNameIndexKey(pk/1000, tpccNameBucket(name)), true
+	}); err != nil {
+		return err
+	}
+	nc := nd * cfg.CustomersPerDistrict
+	if err := loadBatch(db, nc, 200, func(tx *engine.Txn, i int) error {
+		per := cfg.CustomersPerDistrict
+		di := i / per
+		c := i%per + 1
+		wh := di/cfg.DistrictsPerWarehouse + 1
+		d := di%cfg.DistrictsPerWarehouse + 1
+		var b storage.RowBuilder
+		// balance, payment count, delivery count, name.
+		return tx.Insert(customer, tpccCustomerKey(wh, d, c),
+			b.Float64(-10).Uint64(0).Uint64(0).String(fmt.Sprintf("Cust%05d", i)).Bytes())
+	}); err != nil {
+		return err
+	}
+	if err := loadBatch(db, cfg.Items, 200, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(item, uint64(i+1), b.Float64(float64(1+i%100)).String(fmt.Sprintf("Item%04d", i+1)).Bytes())
+	}); err != nil {
+		return err
+	}
+	ns := cfg.Warehouses * cfg.Items
+	if err := loadBatch(db, ns, 200, func(tx *engine.Txn, i int) error {
+		wh := i/cfg.Items + 1
+		it := i%cfg.Items + 1
+		var b storage.RowBuilder
+		// quantity, ytd, order count.
+		return tx.Insert(stock, tpccStockKey(wh, it), b.Int64(50).Float64(0).Uint64(0).Bytes())
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NewClient returns a TPC-C terminal.
+func (w *TPCC) NewClient(db *engine.DB, seed int64) (Client, error) {
+	for _, n := range []string{"warehouse", "district", "customer", "item", "stock", "orders", "orderline", "neworder", "history"} {
+		if _, ok := db.Table(n); !ok {
+			return nil, fmt.Errorf("tpcc: table %q not loaded", n)
+		}
+	}
+	c := &tpccClient{w: w, db: db, s: db.NewSession(), rng: xrand.New(seed)}
+	c.warehouse, _ = db.Table("warehouse")
+	c.district, _ = db.Table("district")
+	c.customer, _ = db.Table("customer")
+	c.item, _ = db.Table("item")
+	c.stock, _ = db.Table("stock")
+	c.orders, _ = db.Table("orders")
+	c.orderline, _ = db.Table("orderline")
+	c.neworder, _ = db.Table("neworder")
+	c.history, _ = db.Table("history")
+	c.historyKey = uint64(seed)*1_000_000_000 + 1
+	return c, nil
+}
+
+type tpccClient struct {
+	w   *TPCC
+	db  *engine.DB
+	s   *engine.Session
+	rng *xrand.Source
+
+	warehouse, district, customer, item, stock *storage.Table
+	orders, orderline, neworder, history       *storage.Table
+	historyKey                                 uint64
+
+	// fixedItems > 0 pins every New Order to that many lines, and
+	// newOrderOnly drops the other four transaction types — the
+	// uniform-workload control of Appendix C.1.
+	fixedItems   int
+	newOrderOnly bool
+}
+
+// Standard TPC-C mix.
+var tpccWeights = []int{45, 43, 4, 4, 4}
+
+// Run executes one randomly-chosen TPC-C transaction.
+func (c *tpccClient) Run() (string, error) {
+	if c.newOrderOnly {
+		return TagNewOrder, c.newOrder()
+	}
+	switch pick(c.rng, tpccWeights) {
+	case 0:
+		return TagNewOrder, c.newOrder()
+	case 1:
+		return TagPayment, c.payment()
+	case 2:
+		return TagOrderStatus, c.orderStatus()
+	case 3:
+		return TagDelivery, c.delivery()
+	default:
+		return TagStockLevel, c.stockLevel()
+	}
+}
+
+func (c *tpccClient) randWarehouse() int { return c.rng.UniformInt(1, c.w.cfg.Warehouses) }
+func (c *tpccClient) randDistrict() int {
+	return c.rng.UniformInt(1, c.w.cfg.DistrictsPerWarehouse)
+}
+func (c *tpccClient) randCustomer() int {
+	return c.rng.NURand(255, 1, c.w.cfg.CustomersPerDistrict)
+}
+func (c *tpccClient) randItem() int { return c.rng.NURand(1023, 1, c.w.cfg.Items) }
+
+// UniformTPCC is the Appendix C.1 control workload: only New-Order
+// transactions, each with exactly FixedItems order lines, so every
+// transaction requests the same amount of work.
+type UniformTPCC struct {
+	*TPCC
+	// FixedItems is the order-line count per transaction (default 10).
+	FixedItems int
+}
+
+// NewUniformTPCC builds the uniform workload.
+func NewUniformTPCC(cfg TPCCConfig, fixedItems int) *UniformTPCC {
+	if fixedItems <= 0 {
+		fixedItems = 10
+	}
+	return &UniformTPCC{TPCC: NewTPCC(cfg), FixedItems: fixedItems}
+}
+
+// Name returns "tpcc-uniform".
+func (w *UniformTPCC) Name() string { return "tpcc-uniform" }
+
+// NewClient returns a New-Order-only terminal with a fixed line count.
+func (w *UniformTPCC) NewClient(db *engine.DB, seed int64) (Client, error) {
+	c, err := w.TPCC.NewClient(db, seed)
+	if err != nil {
+		return nil, err
+	}
+	tc := c.(*tpccClient)
+	tc.newOrderOnly = true
+	tc.fixedItems = w.FixedItems
+	return tc, nil
+}
+
+func (c *tpccClient) newOrder() error {
+	wh := c.randWarehouse()
+	d := c.randDistrict()
+	cust := c.randCustomer()
+	nItems := c.fixedItems
+	if nItems <= 0 {
+		nItems = c.rng.UniformInt(5, 15)
+	}
+	type line struct {
+		item, supplyWH, qty int
+	}
+	lines := make([]line, nItems)
+	for i := range lines {
+		supply := wh
+		if c.w.cfg.Warehouses > 1 && c.rng.Intn(100) == 0 {
+			for supply == wh {
+				supply = c.randWarehouse()
+			}
+		}
+		lines[i] = line{item: c.randItem(), supplyWH: supply, qty: c.rng.UniformInt(1, 10)}
+	}
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagNewOrder)
+		// The district row is TPC-C's hot spot: its next_o_id is
+		// incremented under an exclusive lock. (The w_tax read is a
+		// non-locking consistent read in InnoDB, so it takes no lock
+		// here either.)
+		dkey := tpccDistrictKey(wh, d)
+		drow, err := tx.GetForUpdate(c.district, dkey)
+		if err != nil {
+			return err
+		}
+		dr := storage.NewRowReader(drow)
+		nextO := dr.Uint64()
+		ytd := dr.Float64()
+		var db2 storage.RowBuilder
+		if err := tx.Update(c.district, dkey, db2.Uint64(nextO+1).Float64(ytd).Bytes()); err != nil {
+			return err
+		}
+		if _, err := tx.Get(c.customer, tpccCustomerKey(wh, d, cust)); err != nil {
+			return err
+		}
+		total := 0.0
+		for i, ln := range lines {
+			irow, err := tx.Get(c.item, uint64(ln.item))
+			if err != nil {
+				return err
+			}
+			price := storage.NewRowReader(irow).Float64()
+			skey := tpccStockKey(ln.supplyWH, ln.item)
+			srow, err := tx.GetForUpdate(c.stock, skey)
+			if err != nil {
+				return err
+			}
+			sr := storage.NewRowReader(srow)
+			qty := sr.Int64()
+			sytd := sr.Float64()
+			scnt := sr.Uint64()
+			newQty := qty - int64(ln.qty)
+			if newQty < 10 {
+				newQty += 91
+			}
+			var sb storage.RowBuilder
+			if err := tx.Update(c.stock, skey, sb.Int64(newQty).Float64(sytd+float64(ln.qty)).Uint64(scnt+1).Bytes()); err != nil {
+				return err
+			}
+			total += price * float64(ln.qty)
+			okey := tpccOrderKey(wh, d, nextO)
+			var ob storage.RowBuilder
+			if err := tx.Insert(c.orderline, tpccOrderLineKey(okey, i),
+				ob.Uint64(uint64(ln.item)).Int64(int64(ln.qty)).Float64(price).Bytes()); err != nil {
+				return err
+			}
+		}
+		okey := tpccOrderKey(wh, d, nextO)
+		var ob storage.RowBuilder
+		if err := tx.Insert(c.orders, okey,
+			ob.Uint64(uint64(cust)).Uint64(uint64(nItems)).Uint64(0).Float64(total).Bytes()); err != nil {
+			return err
+		}
+		var nb storage.RowBuilder
+		return tx.Insert(c.neworder, okey, nb.Uint64(1).Bytes())
+	})
+}
+
+func (c *tpccClient) payment() error {
+	wh := c.randWarehouse()
+	d := c.randDistrict()
+	cust := c.randCustomer()
+	// 60% of Payments select the customer by last name through the
+	// secondary index, 40% by id (the spec's split).
+	byName := c.rng.Intn(100) < 60
+	bucket := uint64(c.rng.Intn(10))
+	amount := float64(c.rng.UniformInt(1, 5000))
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagPayment)
+		if byName {
+			// Collect the bucket's customers and take the middle one,
+			// as the spec prescribes for name lookups.
+			ikey := tpccNameIndexKey(tpccDistrictKey(wh, d), bucket)
+			var pks []uint64
+			if err := tx.IndexScan(c.customer, "byName", ikey, ikey,
+				func(pk uint64, _ []byte) bool {
+					pks = append(pks, pk)
+					return true
+				}); err != nil {
+				return err
+			}
+			if len(pks) > 0 {
+				cust = int(pks[len(pks)/2] % 1000)
+			}
+		}
+		// Warehouse YTD: the single hottest row in TPC-C.
+		wrow, err := tx.GetForUpdate(c.warehouse, uint64(wh))
+		if err != nil {
+			return err
+		}
+		wr := storage.NewRowReader(wrow)
+		wytd := wr.Float64()
+		wname := wr.String()
+		var wb storage.RowBuilder
+		if err := tx.Update(c.warehouse, uint64(wh), wb.Float64(wytd+amount).String(wname).Bytes()); err != nil {
+			return err
+		}
+		dkey := tpccDistrictKey(wh, d)
+		drow, err := tx.GetForUpdate(c.district, dkey)
+		if err != nil {
+			return err
+		}
+		dr := storage.NewRowReader(drow)
+		nextO := dr.Uint64()
+		dytd := dr.Float64()
+		var dbld storage.RowBuilder
+		if err := tx.Update(c.district, dkey, dbld.Uint64(nextO).Float64(dytd+amount).Bytes()); err != nil {
+			return err
+		}
+		ckey := tpccCustomerKey(wh, d, cust)
+		crow, err := tx.GetForUpdate(c.customer, ckey)
+		if err != nil {
+			return err
+		}
+		cr := storage.NewRowReader(crow)
+		bal := cr.Float64()
+		pays := cr.Uint64()
+		dels := cr.Uint64()
+		cname := cr.String()
+		var cb storage.RowBuilder
+		if err := tx.Update(c.customer, ckey,
+			cb.Float64(bal-amount).Uint64(pays+1).Uint64(dels).String(cname).Bytes()); err != nil {
+			return err
+		}
+		c.historyKey++
+		var hb storage.RowBuilder
+		return tx.Insert(c.history, c.historyKey, hb.Uint64(ckey).Float64(amount).Bytes())
+	})
+}
+
+func (c *tpccClient) orderStatus() error {
+	wh := c.randWarehouse()
+	d := c.randDistrict()
+	cust := c.randCustomer()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagOrderStatus)
+		if _, err := tx.Get(c.customer, tpccCustomerKey(wh, d, cust)); err != nil {
+			return err
+		}
+		drow, err := tx.Get(c.district, tpccDistrictKey(wh, d))
+		if err != nil {
+			return err
+		}
+		nextO := storage.NewRowReader(drow).Uint64()
+		if nextO <= 1 {
+			return nil // no orders yet
+		}
+		lo := uint64(1)
+		if nextO > 5 {
+			lo = nextO - 5
+		}
+		// Read the most recent orders and their lines.
+		return tx.Scan(c.orders, tpccOrderKey(wh, d, lo), tpccOrderKey(wh, d, nextO-1),
+			func(okey uint64, row []byte) bool {
+				tx.Scan(c.orderline, tpccOrderLineKey(okey, 0), tpccOrderLineKey(okey, 15),
+					func(uint64, []byte) bool { return true })
+				return true
+			})
+	})
+}
+
+func (c *tpccClient) delivery() error {
+	wh := c.randWarehouse()
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagDelivery)
+		for d := 1; d <= c.w.cfg.DistrictsPerWarehouse; d++ {
+			// Oldest undelivered order in this district.
+			var oldest uint64
+			base := tpccOrderKey(wh, d, 0)
+			err := tx.Scan(c.neworder, base+1, base+999_999, func(okey uint64, _ []byte) bool {
+				oldest = okey
+				return false // first = oldest (ascending scan)
+			})
+			if err != nil {
+				return err
+			}
+			if oldest == 0 {
+				continue
+			}
+			if err := tx.Delete(c.neworder, oldest); err != nil {
+				if errors.Is(err, storage.ErrKeyNotFound) {
+					continue // another delivery got it first
+				}
+				return err
+			}
+			orow, err := tx.GetForUpdate(c.orders, oldest)
+			if err != nil {
+				return err
+			}
+			or := storage.NewRowReader(orow)
+			custID := or.Uint64()
+			olCount := or.Uint64()
+			or.Uint64() // carrier
+			total := or.Float64()
+			var ob storage.RowBuilder
+			if err := tx.Update(c.orders, oldest,
+				ob.Uint64(custID).Uint64(olCount).Uint64(uint64(c.rng.UniformInt(1, 10))).Float64(total).Bytes()); err != nil {
+				return err
+			}
+			ckey := tpccCustomerKey(wh, d, int(custID))
+			crow, err := tx.GetForUpdate(c.customer, ckey)
+			if err != nil {
+				return err
+			}
+			cr := storage.NewRowReader(crow)
+			bal := cr.Float64()
+			pays := cr.Uint64()
+			dels := cr.Uint64()
+			cname := cr.String()
+			var cb storage.RowBuilder
+			if err := tx.Update(c.customer, ckey,
+				cb.Float64(bal+total).Uint64(pays).Uint64(dels+1).String(cname).Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (c *tpccClient) stockLevel() error {
+	wh := c.randWarehouse()
+	d := c.randDistrict()
+	threshold := int64(c.rng.UniformInt(10, 20))
+	return c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagStockLevel)
+		drow, err := tx.Get(c.district, tpccDistrictKey(wh, d))
+		if err != nil {
+			return err
+		}
+		nextO := storage.NewRowReader(drow).Uint64()
+		if nextO <= 1 {
+			return nil
+		}
+		lo := uint64(1)
+		if nextO > 10 {
+			lo = nextO - 10
+		}
+		seen := map[uint64]bool{}
+		err = tx.Scan(c.orders, tpccOrderKey(wh, d, lo), tpccOrderKey(wh, d, nextO-1),
+			func(okey uint64, _ []byte) bool {
+				tx.Scan(c.orderline, tpccOrderLineKey(okey, 0), tpccOrderLineKey(okey, 15),
+					func(_ uint64, row []byte) bool {
+						seen[storage.NewRowReader(row).Uint64()] = true
+						return true
+					})
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		low := 0
+		for it := range seen {
+			srow, err := tx.Get(c.stock, tpccStockKey(wh, int(it)))
+			if err != nil {
+				return err
+			}
+			if storage.NewRowReader(srow).Int64() < threshold {
+				low++
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,100 @@
+// Package workload implements the five OLTP benchmarks from the paper's
+// evaluation (§7.1): TPC-C, SEATS, TATP, Epinions and YCSB, scaled down
+// so each experiment completes in seconds on one machine while keeping
+// each benchmark's characteristic contention profile:
+//
+//	TPC-C    — hot warehouse/district rows        (highly contended)
+//	SEATS    — seat-allocation conflicts           (highly contended)
+//	TATP     — skewed single-row subscriber ops    (moderately contended)
+//	Epinions — large user/item space               (very low contention)
+//	YCSB     — zipfian point ops over a large set  (little/no contention)
+package workload
+
+import (
+	"fmt"
+
+	"vats/internal/engine"
+	"vats/internal/xrand"
+)
+
+// Workload is a benchmark: a loader plus a client factory.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Load creates the schema and seed data in db.
+	Load(db *engine.DB) error
+	// NewClient returns a single-goroutine transaction generator.
+	NewClient(db *engine.DB, seed int64) (Client, error)
+}
+
+// Client issues one logical transaction per Run call. Run retries
+// deadlock/timeout victims internally (retries are part of the
+// transaction's latency, as in OLTP-Bench) and returns the transaction
+// type tag executed.
+type Client interface {
+	Run() (tag string, err error)
+}
+
+// maxRetries bounds internal retry loops for all workloads.
+const maxRetries = 25
+
+// loadBatch inserts rows in chunks of batch rows per transaction so the
+// loader neither holds thousands of locks nor commits per row.
+func loadBatch(db *engine.DB, n int, batch int, insert func(tx *engine.Txn, i int) error) error {
+	s := db.NewSession()
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		err := s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+			for i := start; i < end; i++ {
+				if err := insert(tx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("workload load rows %d..%d: %w", start, end, err)
+		}
+	}
+	return nil
+}
+
+// pick returns an index into weights proportional to their values.
+func pick(rng *xrand.Source, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	v := rng.Intn(total)
+	for i, w := range weights {
+		if v < w {
+			return i
+		}
+		v -= w
+	}
+	return len(weights) - 1
+}
+
+// ByName constructs a workload with its default scaled configuration.
+func ByName(name string) (Workload, error) {
+	switch name {
+	case "tpcc":
+		return NewTPCC(TPCCConfig{}), nil
+	case "tpcc-small":
+		cfg := TPCCConfig{Warehouses: 1}
+		return NewTPCC(cfg), nil
+	case "seats":
+		return NewSEATS(SEATSConfig{}), nil
+	case "tatp":
+		return NewTATP(TATPConfig{}), nil
+	case "epinions":
+		return NewEpinions(EpinionsConfig{}), nil
+	case "ycsb":
+		return NewYCSB(YCSBConfig{}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown %q (want tpcc|seats|tatp|epinions|ycsb)", name)
+	}
+}

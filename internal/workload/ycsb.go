@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+
+	"vats/internal/engine"
+	"vats/internal/storage"
+	"vats/internal/xrand"
+)
+
+// YCSBConfig scales the YCSB substitute. The paper runs YCSB at scale
+// factor 1200 — "little or no contention": zipfian point reads and
+// updates over a record space much larger than the client count.
+type YCSBConfig struct {
+	// Records (default 8000).
+	Records int
+	// ReadPct is the read percentage (default 50, YCSB workload A).
+	ReadPct int
+	// Theta is the zipfian skew (default 0.99, the YCSB default).
+	Theta float64
+	// FieldSize is the payload size per record in bytes (default 100).
+	FieldSize int
+}
+
+func (c *YCSBConfig) defaults() {
+	if c.Records <= 0 {
+		c.Records = 8000
+	}
+	if c.ReadPct <= 0 {
+		c.ReadPct = 50
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		c.Theta = 0.99
+	}
+	if c.FieldSize <= 0 {
+		c.FieldSize = 100
+	}
+}
+
+// YCSB transaction tags.
+const (
+	TagYCSBRead   = "YCSBRead"
+	TagYCSBUpdate = "YCSBUpdate"
+)
+
+// YCSB is the cloud-serving microbenchmark (workload-A style mix).
+type YCSB struct {
+	cfg YCSBConfig
+}
+
+// NewYCSB builds the workload.
+func NewYCSB(cfg YCSBConfig) *YCSB {
+	cfg.defaults()
+	return &YCSB{cfg: cfg}
+}
+
+// Name returns "ycsb".
+func (w *YCSB) Name() string { return "ycsb" }
+
+// Load creates and fills usertable.
+func (w *YCSB) Load(db *engine.DB) error {
+	if _, err := db.CreateTable("usertable"); err != nil {
+		return err
+	}
+	tab, _ := db.Table("usertable")
+	payload := strings.Repeat("x", w.cfg.FieldSize)
+	return loadBatch(db, w.cfg.Records, 500, func(tx *engine.Txn, i int) error {
+		var b storage.RowBuilder
+		return tx.Insert(tab, uint64(i+1), b.String(payload).Bytes())
+	})
+}
+
+// NewClient returns a YCSB client.
+func (w *YCSB) NewClient(db *engine.DB, seed int64) (Client, error) {
+	tab, ok := db.Table("usertable")
+	if !ok {
+		return nil, errors.New("ycsb: not loaded")
+	}
+	rng := xrand.New(seed)
+	return &ycsbClient{
+		w:   w,
+		s:   db.NewSession(),
+		rng: rng,
+		z:   xrand.NewZipf(rng, uint64(w.cfg.Records), w.cfg.Theta),
+		tab: tab,
+	}, nil
+}
+
+type ycsbClient struct {
+	w   *YCSB
+	s   *engine.Session
+	rng *xrand.Source
+	z   *xrand.Zipf
+	tab *storage.Table
+}
+
+// Run executes one YCSB operation.
+func (c *ycsbClient) Run() (string, error) {
+	key := c.z.Next() + 1
+	if c.rng.Intn(100) < c.w.cfg.ReadPct {
+		return TagYCSBRead, c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+			tx.SetTag(TagYCSBRead)
+			_, err := tx.Get(c.tab, key)
+			return err
+		})
+	}
+	payload := strings.Repeat("y", c.w.cfg.FieldSize)
+	return TagYCSBUpdate, c.s.RunTxn(maxRetries, func(tx *engine.Txn) error {
+		tx.SetTag(TagYCSBUpdate)
+		var b storage.RowBuilder
+		return tx.Update(c.tab, key, b.String(payload).Bytes())
+	})
+}

@@ -1,0 +1,197 @@
+// Package xrand provides the deterministic randomness used by the workload
+// generators and the simulated disk: a Zipfian generator (YCSB-style skewed
+// access), TPC-C's NURand non-uniform distribution, and a log-normal latency
+// sampler used to model device I/O times.
+//
+// All generators are seeded explicitly so experiments are reproducible.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Source is a concurrency-safe wrapper around math/rand with the helper
+// distributions the workloads need. math/rand's global functions are not
+// used so parallel experiments cannot perturb each other.
+type Source struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a Source seeded deterministically.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new independent Source from this one. Each worker
+// goroutine in a workload gets its own split so there is no lock
+// contention on the generator itself.
+func (s *Source) Split() *Source {
+	s.mu.Lock()
+	seed := s.rng.Int63()
+	s.mu.Unlock()
+	return New(seed ^ 0x1e3779b97f4a7c15)
+}
+
+// Intn returns a uniform int in [0, n).
+func (s *Source) Intn(n int) int {
+	s.mu.Lock()
+	v := s.rng.Intn(n)
+	s.mu.Unlock()
+	return v
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	s.mu.Lock()
+	v := s.rng.Int63()
+	s.mu.Unlock()
+	return v
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	s.mu.Lock()
+	v := s.rng.Float64()
+	s.mu.Unlock()
+	return v
+}
+
+// UniformInt returns a uniform int in [lo, hi] inclusive, as in the TPC-C
+// specification's rand(x..y).
+func (s *Source) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: UniformInt with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// NormFloat64 returns a standard normal variate.
+func (s *Source) NormFloat64() float64 {
+	s.mu.Lock()
+	v := s.rng.NormFloat64()
+	s.mu.Unlock()
+	return v
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	s.mu.Lock()
+	v := s.rng.ExpFloat64()
+	s.mu.Unlock()
+	return v
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	s.mu.Lock()
+	p := s.rng.Perm(n)
+	s.mu.Unlock()
+	return p
+}
+
+// NURand implements TPC-C's non-uniform random function
+// NURand(A, x, y) = (((rand(0..A) | rand(x..y)) + C) % (y - x + 1)) + x.
+// The constant C is fixed per Source for run-level determinism.
+func (s *Source) NURand(a, x, y int) int {
+	c := 123 % (a + 1)
+	return (((s.UniformInt(0, a) | s.UniformInt(x, y)) + c) % (y - x + 1)) + x
+}
+
+// Zipf generates Zipfian-distributed values over [0, n) with skew theta,
+// following the Gray et al. algorithm YCSB uses. Higher theta means more
+// skew; YCSB's default is 0.99. The zero value is not usable; construct
+// with NewZipf.
+type Zipf struct {
+	src   *Source
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	z2    float64
+}
+
+// NewZipf builds a Zipfian generator over [0, n) with the given skew.
+// theta must be in (0, 1). n must be >= 1.
+func NewZipf(src *Source, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("xrand: Zipf over empty range")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("xrand: Zipf theta must be in (0,1)")
+	}
+	z := &Zipf{src: src, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.z2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.z2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	s := 0.0
+	for i := uint64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Next returns the next Zipfian value in [0, n). Rank 0 is the most
+// popular item.
+func (z *Zipf) Next() uint64 {
+	u := z.src.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// LogNormal samples log-normally distributed positive values with the
+// given median and sigma (shape). Used by the simulated disk: disk service
+// times are well modelled as log-normal with occasional heavy-tail
+// outliers.
+type LogNormal struct {
+	src    *Source
+	mu     float64
+	sigma  float64
+	tailP  float64 // probability of an outlier
+	tailX  float64 // outlier multiplier
+	maxVal float64 // clamp, 0 = none
+}
+
+// NewLogNormal builds a sampler whose median is `median` and whose spread
+// is controlled by sigma (sigma = 0 gives a constant). tailP is the
+// probability of multiplying a sample by tailX, modelling rare device
+// stalls (e.g., a write hitting a full disk cache).
+func NewLogNormal(src *Source, median, sigma, tailP, tailX float64) *LogNormal {
+	if median <= 0 {
+		panic("xrand: LogNormal median must be positive")
+	}
+	return &LogNormal{src: src, mu: math.Log(median), sigma: sigma, tailP: tailP, tailX: tailX}
+}
+
+// SetMax clamps samples to at most max (0 disables clamping).
+func (l *LogNormal) SetMax(max float64) { l.maxVal = max }
+
+// Sample draws one value.
+func (l *LogNormal) Sample() float64 {
+	v := math.Exp(l.mu + l.sigma*l.src.NormFloat64())
+	if l.tailP > 0 && l.src.Float64() < l.tailP {
+		v *= l.tailX
+	}
+	if l.maxVal > 0 && v > l.maxVal {
+		v = l.maxVal
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+package xrand
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestUniformIntRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.UniformInt(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+	}
+	if got := s.UniformInt(5, 5); got != 5 {
+		t.Errorf("degenerate range = %d", got)
+	}
+}
+
+func TestUniformIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).UniformInt(7, 3)
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(7)
+	c1 := s.Split()
+	c2 := s.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Intn(1000) == c2.Intn(1000) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("split children look correlated: %d/100 equal", same)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Intn(10)
+				s.Float64()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNURandRangeAndSkew(t *testing.T) {
+	s := New(11)
+	counts := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		v := s.NURand(255, 0, 999)
+		if v < 0 || v > 999 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// NURand should cover a broad range but be non-uniform: the max count
+	// should exceed 2x the uniform expectation (20).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 40 {
+		t.Errorf("NURand looks uniform: max bucket %d", max)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	s := New(5)
+	z := NewZipf(s, 1000, 0.99)
+	counts := make([]int, 1000)
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 should be far more popular than rank 500.
+	if counts[0] < 10*counts[500]+1 {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	// Rank 0 frequency for theta=.99, n=1000 is roughly 1/zeta ≈ 13%.
+	frac := float64(counts[0]) / float64(n)
+	if frac < 0.05 || frac > 0.35 {
+		t.Errorf("rank-0 fraction %v outside plausible band", frac)
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	z := NewZipf(New(1), 1, 0.5)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("zipf over [0,1) must return 0")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n     uint64
+		theta float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {10, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for n=%d theta=%v", tc.n, tc.theta)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.theta)
+		}()
+	}
+}
+
+func TestLogNormalMedianAndPositivity(t *testing.T) {
+	s := New(9)
+	l := NewLogNormal(s, 2.0, 0.5, 0, 0)
+	var below, total int
+	for i := 0; i < 20000; i++ {
+		v := l.Sample()
+		if v <= 0 {
+			t.Fatalf("non-positive sample %v", v)
+		}
+		if v < 2.0 {
+			below++
+		}
+		total++
+	}
+	frac := float64(below) / float64(total)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("median check: %.3f of samples below 2.0, want ~0.5", frac)
+	}
+}
+
+func TestLogNormalConstantWhenSigmaZero(t *testing.T) {
+	l := NewLogNormal(New(1), 3.0, 0, 0, 0)
+	for i := 0; i < 10; i++ {
+		if v := l.Sample(); math.Abs(v-3.0) > 1e-9 {
+			t.Fatalf("sigma=0 sample = %v, want 3.0", v)
+		}
+	}
+}
+
+func TestLogNormalTailAndClamp(t *testing.T) {
+	l := NewLogNormal(New(2), 1.0, 0, 1.0, 100) // every sample is an outlier x100
+	v := l.Sample()
+	if math.Abs(v-100) > 1e-9 {
+		t.Fatalf("tail multiplier not applied: %v", v)
+	}
+	l.SetMax(5)
+	if v := l.Sample(); v > 5 {
+		t.Fatalf("clamp not applied: %v", v)
+	}
+}
+
+func TestLogNormalPanicsOnBadMedian(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLogNormal(New(1), 0, 1, 0, 0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(4).Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 100; i++ {
+		if s.ExpFloat64() < 0 {
+			t.Fatal("negative exponential sample")
+		}
+	}
+}

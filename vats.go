@@ -1,0 +1,294 @@
+// Package vats is a from-scratch Go reproduction of "A Top-Down
+// Approach to Achieving Performance Predictability in Database Systems"
+// (Huang, Mozafari, Schoenebeck, Wenisch — SIGMOD 2017), the paper whose
+// VATS lock scheduler shipped in MySQL 5.7.17 and became MariaDB's
+// default.
+//
+// The package exposes a complete transactional storage engine — record
+// 2PL with pluggable lock scheduling (FCFS / VATS / RS), an InnoDB-style
+// young/old buffer pool with the paper's Lazy LRU Update policy, a redo
+// WAL with group commit, three durability policies and parallel logging
+// — plus the TProfiler variance profiler, the five OLTP benchmarks of
+// the paper's evaluation, and an experiment harness that regenerates
+// every table and figure.
+//
+// Quick start:
+//
+//	db, err := vats.Open(vats.Options{Scheduler: vats.VATS})
+//	if err != nil { ... }
+//	defer db.Close()
+//	accounts, _ := db.CreateTable("accounts")
+//	sess := db.NewSession()
+//	err = sess.RunTxn(3, func(tx *vats.Txn) error {
+//		var row vats.RowBuilder
+//		return tx.Insert(accounts, 1, row.Int64(100).Bytes())
+//	})
+//
+// The experiment harness is exposed through Experiments / RunExperiment;
+// see cmd/repro for the tool that regenerates the paper's results.
+package vats
+
+import (
+	"fmt"
+	"time"
+
+	"vats/internal/buffer"
+	"vats/internal/disk"
+	"vats/internal/engine"
+	"vats/internal/harness"
+	"vats/internal/lock"
+	"vats/internal/stats"
+	"vats/internal/storage"
+	"vats/internal/tprofiler"
+	"vats/internal/wal"
+	"vats/internal/workload"
+)
+
+// Core engine types. These are aliases so the full engine API —
+// documented in the respective internal packages — is available on the
+// public surface.
+type (
+	// DB is a database engine instance.
+	DB = engine.DB
+	// Session is a worker-local connection; create one per goroutine.
+	Session = engine.Session
+	// Txn is a strict-2PL transaction.
+	Txn = engine.Txn
+	// Table is a heap table with a clustered B+-tree primary index.
+	Table = storage.Table
+	// RowBuilder encodes typed fields into a row image.
+	RowBuilder = storage.RowBuilder
+	// RowReader decodes a row image.
+	RowReader = storage.RowReader
+	// Summary is a latency summary (mean/variance/p99...).
+	Summary = stats.Summary
+	// Profiler is the TProfiler variance profiler.
+	Profiler = tprofiler.Profiler
+	// Workload is an OLTP benchmark (loader + client factory).
+	Workload = workload.Workload
+	// BenchResult is a measurement run's result.
+	BenchResult = harness.Result
+	// Experiment is a regenerated paper table/figure.
+	Experiment = harness.Experiment
+	// AgeSample is one (age, remaining-time) lock-wait observation.
+	AgeSample = engine.AgeSample
+)
+
+// NewRowReader wraps a row image for decoding.
+func NewRowReader(row []byte) *RowReader { return storage.NewRowReader(row) }
+
+// Summarize condenses raw latency observations (in ms) into a Summary.
+func Summarize(latencies []float64) Summary { return stats.Summarize(latencies) }
+
+// NewProfiler returns an empty TProfiler instance; pass it in Options to
+// collect a variance tree while the engine runs.
+func NewProfiler() *Profiler { return tprofiler.New() }
+
+// SchedulerPolicy selects the lock scheduler (§5 of the paper).
+type SchedulerPolicy int
+
+const (
+	// FCFS is first-come-first-served — the MySQL/Postgres default and
+	// the paper's baseline.
+	FCFS SchedulerPolicy = iota
+	// VATS is the paper's Variance-Aware Transaction Scheduling:
+	// eldest-transaction-first, Lp-optimal under i.i.d. remaining times.
+	VATS
+	// RS is randomized scheduling (the paper's control).
+	RS
+)
+
+// String names the policy.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case VATS:
+		return "VATS"
+	case RS:
+		return "RS"
+	default:
+		return "FCFS"
+	}
+}
+
+func (p SchedulerPolicy) scheduler() lock.Scheduler {
+	switch p {
+	case VATS:
+		return lock.VATS{}
+	case RS:
+		return lock.RS{}
+	default:
+		return lock.FCFS{}
+	}
+}
+
+// FlushPolicy selects redo-log durability (the paper's Appendix B /
+// innodb_flush_log_at_trx_commit).
+type FlushPolicy int
+
+const (
+	// EagerFlush fsyncs on the commit path (fully durable).
+	EagerFlush FlushPolicy = iota
+	// LazyFlush writes on commit, fsyncs in the background.
+	LazyFlush
+	// LazyWrite defers both write and fsync to the background.
+	LazyWrite
+)
+
+func (p FlushPolicy) wal() wal.FlushPolicy {
+	switch p {
+	case LazyFlush:
+		return wal.LazyFlush
+	case LazyWrite:
+		return wal.LazyWrite
+	default:
+		return wal.EagerFlush
+	}
+}
+
+// LRUPolicy selects the buffer pool's promotion synchronization (§6.1).
+type LRUPolicy int
+
+const (
+	// EagerLRU blocks on the pool mutex (original MySQL).
+	EagerLRU LRUPolicy = iota
+	// LazyLRU is the paper's Lazy LRU Update: bounded spin + backlog.
+	LazyLRU
+)
+
+func (p LRUPolicy) buffer() buffer.UpdatePolicy {
+	if p == LazyLRU {
+		return buffer.LazyLRU
+	}
+	return buffer.EagerLRU
+}
+
+// Options configures Open. The zero value is a usable small engine.
+type Options struct {
+	// Scheduler is the lock scheduling policy (default FCFS).
+	Scheduler SchedulerPolicy
+	// Flush is the redo durability policy (default EagerFlush).
+	Flush FlushPolicy
+	// LRU is the buffer-pool promotion policy (default EagerLRU).
+	LRU LRUPolicy
+	// BufferPages is the buffer pool capacity in pages (default 1024).
+	BufferPages int
+	// PageSize in bytes (default 4096).
+	PageSize int
+	// LockTimeout bounds lock waits (default 2s).
+	LockTimeout time.Duration
+	// ParallelLog enables two-stream parallel logging (§6.2).
+	ParallelLog bool
+	// Profiler, when non-nil, receives TProfiler spans.
+	Profiler *Profiler
+	// SampleAgeRemaining collects (age, remaining-time) pairs at lock
+	// waits (Figure 8 data), retrievable via DB.AgeSamples.
+	SampleAgeRemaining bool
+	// Seed makes the simulated devices deterministic.
+	Seed int64
+}
+
+// Open starts an engine with simulated storage devices.
+func Open(o Options) (*DB, error) {
+	if o.BufferPages == 0 {
+		o.BufferPages = 1024
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	logDevices := []*disk.Device{disk.New(disk.DefaultConfig("log0", o.Seed+2))}
+	if o.ParallelLog {
+		logDevices = append(logDevices, disk.New(disk.DefaultConfig("log1", o.Seed+3)))
+	}
+	dataCfg := disk.DefaultConfig("data", o.Seed+1)
+	dataCfg.MedianLatency = 120 * time.Microsecond
+	db := engine.Open(engine.Config{
+		Scheduler:          o.Scheduler.scheduler(),
+		LockTimeout:        o.LockTimeout,
+		BufferCapacity:     o.BufferPages,
+		PageSize:           o.PageSize,
+		LRUPolicy:          o.LRU.buffer(),
+		DataDevice:         disk.New(dataCfg),
+		LogDevices:         logDevices,
+		ParallelLog:        o.ParallelLog,
+		FlushPolicy:        o.Flush.wal(),
+		Profiler:           o.Profiler,
+		SampleAgeRemaining: o.SampleAgeRemaining,
+		Seed:               o.Seed,
+	})
+	return db, nil
+}
+
+// Row-operation errors, re-exported for errors.Is checks.
+var (
+	// ErrKeyNotFound: the primary key does not exist.
+	ErrKeyNotFound = storage.ErrKeyNotFound
+	// ErrDuplicateKey: an Insert hit an existing key.
+	ErrDuplicateKey = storage.ErrDuplicateKey
+	// ErrDeadlock: the transaction was a deadlock victim; retry.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout: a lock wait timed out; retry.
+	ErrLockTimeout = lock.ErrTimeout
+)
+
+// IsRetryable reports whether err is a transient concurrency failure
+// worth retrying in a fresh transaction.
+func IsRetryable(err error) bool { return engine.IsRetryable(err) }
+
+// NewWorkload builds one of the paper's five benchmarks by name:
+// "tpcc", "seats", "tatp", "epinions" or "ycsb".
+func NewWorkload(name string) (Workload, error) { return workload.ByName(name) }
+
+// BenchConfig configures RunBenchmark.
+type BenchConfig struct {
+	// Clients is the number of concurrent terminals (default 8).
+	Clients int
+	// Rate is the offered load in txn/s; <= 0 runs closed-loop.
+	Rate float64
+	// Count is the number of transactions to measure (default 500).
+	Count int
+	// Warmup transactions are excluded from statistics.
+	Warmup int
+	// Seed seeds the clients.
+	Seed int64
+}
+
+// RunBenchmark loads wl into db and drives it, returning latency
+// statistics. This is the OLTP-Bench-style driver of §7.1.
+func RunBenchmark(db *DB, wl Workload, cfg BenchConfig) (BenchResult, error) {
+	if err := wl.Load(db); err != nil {
+		return BenchResult{}, fmt.Errorf("vats: load %s: %w", wl.Name(), err)
+	}
+	return harness.Run(db, wl, harness.RunConfig{
+		Clients: cfg.Clients,
+		Rate:    cfg.Rate,
+		Count:   cfg.Count,
+		Warmup:  cfg.Warmup,
+		Seed:    cfg.Seed,
+	})
+}
+
+// ExperimentIDs lists the reproducible paper artifacts (table1..table4,
+// fig2..fig8, appC1, thm1) in presentation order.
+func ExperimentIDs() []string { return harness.IDs() }
+
+// ExperimentOpts scales an experiment; the zero value uses each
+// experiment's full-size defaults.
+type ExperimentOpts struct {
+	// Count is transactions per measurement run (0 = default).
+	Count int
+	// Clients is the worker count (0 = default).
+	Clients int
+	// Rate is the offered load; 0 = default, negative = closed loop.
+	Rate float64
+	// Seed controls all randomness.
+	Seed int64
+}
+
+// RunExperiment regenerates one table or figure by id.
+func RunExperiment(id string, o ExperimentOpts) (Experiment, error) {
+	r, ok := harness.All()[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("vats: unknown experiment %q (want one of %v)", id, harness.IDs())
+	}
+	return r(harness.Opts{Count: o.Count, Clients: o.Clients, Rate: o.Rate, Seed: o.Seed})
+}

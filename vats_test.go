@@ -1,0 +1,123 @@
+package vats_test
+
+import (
+	"errors"
+	"testing"
+
+	"vats"
+)
+
+func TestPublicAPIBasics(t *testing.T) {
+	db, err := vats.Open(vats.Options{Scheduler: vats.VATS, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := db.NewSession()
+	err = sess.RunTxn(3, func(tx *vats.Txn) error {
+		var b vats.RowBuilder
+		return tx.Insert(tab, 1, b.String("hello").Int64(7).Bytes())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.RunTxn(3, func(tx *vats.Txn) error {
+		img, err := tx.Get(tab, 1)
+		if err != nil {
+			return err
+		}
+		r := vats.NewRowReader(img)
+		if r.String() != "hello" || r.Int64() != 7 {
+			t.Error("row mismatch")
+		}
+		_, err = tx.Get(tab, 2)
+		if !errors.Is(err, vats.ErrKeyNotFound) {
+			t.Errorf("missing-key err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicPolicyStrings(t *testing.T) {
+	if vats.FCFS.String() != "FCFS" || vats.VATS.String() != "VATS" || vats.RS.String() != "RS" {
+		t.Fatal("policy strings")
+	}
+}
+
+func TestPublicWorkloadsAndBenchmark(t *testing.T) {
+	if _, err := vats.NewWorkload("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	db, err := vats.Open(vats.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wl, err := vats.NewWorkload("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vats.RunBenchmark(db, wl, vats.BenchConfig{Clients: 4, Count: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.N != 100 || res.Errors != 0 {
+		t.Fatalf("n=%d errs=%d", res.Overall.N, res.Errors)
+	}
+	if vats.Summarize(res.Latencies).N != 100 {
+		t.Fatal("summarize mismatch")
+	}
+}
+
+func TestPublicProfilerIntegration(t *testing.T) {
+	prof := vats.NewProfiler()
+	db, err := vats.Open(vats.Options{Profiler: prof, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wl, _ := vats.NewWorkload("ycsb")
+	if _, err := vats.RunBenchmark(db, wl, vats.BenchConfig{Clients: 2, Count: 50, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if prof.TxnCount() == 0 {
+		t.Fatal("profiler saw no transactions")
+	}
+	if len(prof.TopFactors(3)) == 0 {
+		t.Fatal("no factors")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := vats.ExperimentIDs()
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments, want 18", len(ids))
+	}
+	if _, err := vats.RunExperiment("bogus", vats.ExperimentOpts{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// The cheapest experiment end-to-end through the public API.
+	exp, err := vats.RunExperiment("fig5R", vats.ExperimentOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Text == "" || len(exp.Data) == 0 {
+		t.Fatal("empty experiment result")
+	}
+}
+
+func TestPublicRetryClassification(t *testing.T) {
+	if !vats.IsRetryable(vats.ErrDeadlock) || !vats.IsRetryable(vats.ErrLockTimeout) {
+		t.Fatal("retryable errors misclassified")
+	}
+	if vats.IsRetryable(vats.ErrKeyNotFound) || vats.IsRetryable(vats.ErrDuplicateKey) {
+		t.Fatal("permanent errors misclassified")
+	}
+}
