@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test short vet race bench repro
+
+all: build vet short
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the minutes-long shape experiments; this is the
+# fast tier CI should gate on.
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrent-by-design packages (the sharded metrics
+# registry and the stats accumulators it merges).
+race:
+	$(GO) test -race -short ./internal/obs/... ./internal/stats/...
+
+# Observability overhead guardrail (see docs/OBSERVABILITY.md).
+bench:
+	$(GO) test -run xxx -bench BenchmarkObsOverhead ./internal/obs/
+
+repro:
+	$(GO) run ./cmd/repro -quick

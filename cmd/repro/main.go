@@ -28,8 +28,19 @@ func main() {
 		quick   = flag.Bool("quick", false, "scaled-down counts for a fast pass")
 		seed    = flag.Int64("seed", 11, "random seed")
 		out     = flag.String("out", "", "also write the report to this file")
+		obsAddr = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv, err := vats.ServeObservability(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: %s/metrics\n", srv.URL())
+	}
 
 	ids := vats.ExperimentIDs()
 	if *expFlag != "" {

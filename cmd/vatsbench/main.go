@@ -30,8 +30,19 @@ func main() {
 		count   = flag.Int("count", 1000, "transactions to measure")
 		pages   = flag.Int("buffer", 4096, "buffer pool pages")
 		seed    = flag.Int64("seed", 1, "random seed")
+		obsAddr = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv, err := vats.ServeObservability(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: %s/metrics\n", srv.URL())
+	}
 
 	opts := vats.Options{
 		BufferPages: *pages,

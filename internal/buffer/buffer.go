@@ -26,6 +26,7 @@ import (
 
 	"vats/internal/disk"
 	"vats/internal/latch"
+	"vats/internal/obs"
 )
 
 // PageID names a page.
@@ -93,6 +94,10 @@ type Config struct {
 	// host the raw list splice is nanoseconds, which would hide the
 	// pathology entirely. Zero disables it.
 	CriticalCost time.Duration
+	// Obs receives live metrics (hit/miss/eviction counters, LRU-lock
+	// hold-time histogram, labelled by LRU policy); nil collects
+	// nothing.
+	Obs *obs.Obs
 }
 
 // Stats reports pool activity.
@@ -194,6 +199,8 @@ type Pool struct {
 	deferred   atomic.Int64
 	drained    atomic.Int64
 	dropped    atomic.Int64
+
+	met *obs.BufferMetrics
 }
 
 // NewPool builds a pool from cfg.
@@ -218,6 +225,7 @@ func NewPool(cfg Config) *Pool {
 		dev:   cfg.Device,
 		table: make(map[PageID]*frame, cfg.Capacity),
 		store: make(map[PageID][]byte),
+		met:   obs.NewBufferMetrics(cfg.Obs, cfg.Policy.String()),
 	}
 	p.ioCond = sync.NewCond(&p.tableMu)
 	return p
@@ -319,6 +327,7 @@ func (h *Handle) Fetch(id PageID) (*Frame, error) {
 		// prevents eviction, and we pinned before waiting.
 		p.tableMu.Unlock()
 		p.hits.Add(1)
+		p.met.Hit()
 		h.touch(f)
 		return &Frame{f: f, pool: p}, nil
 	}
@@ -340,6 +349,7 @@ func (h *Handle) Fetch(id PageID) (*Frame, error) {
 	h.lruWait += time.Since(lruStart)
 	p.tableMu.Unlock()
 	p.misses.Add(1)
+	p.met.Miss()
 
 	ioStart := time.Now()
 	p.writeBackVictim(victim)
@@ -363,6 +373,10 @@ func (h *Handle) Fetch(id PageID) (*Frame, error) {
 func (p *Pool) installLocked(id PageID) (*frame, *frame, error) {
 	var victim *frame
 	p.lruLock()
+	var holdStart time.Time
+	if p.met.HoldEnabled() {
+		holdStart = time.Now()
+	}
 	if p.total >= p.cfg.Capacity {
 		victim = p.pickVictimLocked()
 		if victim == nil {
@@ -373,6 +387,7 @@ func (p *Pool) installLocked(id PageID) (*frame, *frame, error) {
 		p.unlinkLocked(victim)
 		delete(p.table, victim.id)
 		p.evictions.Add(1)
+		p.met.Evicted()
 		if victim.dirty.Load() {
 			// Publish the image to the backing store *before* the page
 			// leaves the table, so a concurrent re-fetch cannot read a
@@ -390,6 +405,9 @@ func (p *Pool) installLocked(id PageID) (*frame, *frame, error) {
 	f := &frame{id: id, data: make([]byte, p.cfg.PageSize), ioPending: true}
 	f.pins.Store(1)
 	p.insertAtMidpointLocked(f)
+	if !holdStart.IsZero() {
+		p.met.Held(time.Since(holdStart))
+	}
 	p.lruUnlock()
 	p.table[id] = f
 	return f, victim, nil
@@ -406,6 +424,7 @@ func (p *Pool) writeBackVictim(victim *frame) {
 		p.dev.WriteBlock()
 	}
 	p.writeBacks.Add(1)
+	p.met.WroteBack()
 }
 
 // touch applies the LRU promotion policy to a hit frame.
@@ -423,8 +442,12 @@ func (h *Handle) touch(f *frame) {
 	if p.cfg.Policy == EagerLRU {
 		start := time.Now()
 		p.lruEager.Lock()
-		h.lruWait += time.Since(start)
+		acq := time.Now()
+		h.lruWait += acq.Sub(start)
 		p.makeYoungLocked(f)
+		if p.met.HoldEnabled() {
+			p.met.Held(time.Since(acq))
+		}
 		p.lruEager.Unlock()
 		return
 	}
@@ -433,12 +456,17 @@ func (h *Handle) touch(f *frame) {
 	acquired := p.lruLazy.TryLockFor(p.cfg.SpinWait)
 	h.lruWait += time.Since(start)
 	if acquired {
+		acq := time.Now()
 		h.drainBacklogLocked()
 		p.makeYoungLocked(f)
+		if p.met.HoldEnabled() {
+			p.met.Held(time.Since(acq))
+		}
 		p.lruLazy.Unlock()
 		return
 	}
 	p.deferred.Add(1)
+	p.met.Deferred()
 	if len(h.backlog) >= p.cfg.BacklogLimit {
 		p.dropped.Add(1)
 		copy(h.backlog, h.backlog[1:])

@@ -25,6 +25,7 @@ import (
 	"vats/internal/buffer"
 	"vats/internal/disk"
 	"vats/internal/lock"
+	"vats/internal/obs"
 	"vats/internal/storage"
 	"vats/internal/tprofiler"
 	"vats/internal/wal"
@@ -67,6 +68,13 @@ type Config struct {
 	// Profiler receives transaction spans; nil disables profiling.
 	Profiler *tprofiler.Profiler
 
+	// Obs is the live observability bundle (metrics registry + slow-
+	// transaction tracer) wired through every layer. Nil falls back to
+	// obs.Default, which is disabled until something (the -obs flag,
+	// obs.Serve) enables it — so the zero config pays only the disabled
+	// fast path.
+	Obs *obs.Obs
+
 	// SampleAgeRemaining makes every transaction record, at each lock
 	// wait, its age when it entered the queue and (at commit) the time
 	// that remained after the grant — the paper's Figure 8 / Appendix
@@ -90,6 +98,8 @@ type DB struct {
 	locks *lock.Manager
 	pool  *buffer.Pool
 	log   *wal.Manager
+	obs   *obs.Obs
+	met   *obs.EngineMetrics
 
 	mu        sync.Mutex
 	tables    map[string]*storage.Table
@@ -143,8 +153,11 @@ func Open(cfg Config) *DB {
 	if len(cfg.LogDevices) == 0 {
 		cfg.LogDevices = []*disk.Device{disk.New(disk.DefaultConfig("log0", cfg.Seed+2))}
 	}
+	ob := obs.OrDefault(cfg.Obs)
 	db := &DB{
 		cfg:     cfg,
+		obs:     ob,
+		met:     obs.NewEngineMetrics(ob),
 		tables:  make(map[string]*storage.Table),
 		bySpace: make(map[uint32]*storage.Table),
 	}
@@ -152,6 +165,7 @@ func Open(cfg Config) *DB {
 		Scheduler:      cfg.Scheduler,
 		WaitTimeout:    cfg.LockTimeout,
 		DetectInterval: cfg.DeadlockInterval,
+		Obs:            ob,
 	})
 	db.pool = buffer.NewPool(buffer.Config{
 		Capacity:     cfg.BufferCapacity,
@@ -160,12 +174,14 @@ func Open(cfg Config) *DB {
 		Policy:       cfg.LRUPolicy,
 		SpinWait:     cfg.SpinWait,
 		CriticalCost: cfg.LRUCriticalCost,
+		Obs:          ob,
 	})
 	db.log = wal.New(wal.Config{
 		Devices:       cfg.LogDevices,
 		Parallel:      cfg.ParallelLog,
 		Policy:        cfg.FlushPolicy,
 		FlushInterval: cfg.LogFlushInterval,
+		Obs:           ob,
 	})
 	return db
 }
@@ -231,6 +247,10 @@ func (db *DB) Log() *wal.Manager { return db.log }
 // Profiler returns the configured profiler (possibly nil).
 func (db *DB) Profiler() *tprofiler.Profiler { return db.cfg.Profiler }
 
+// Obs returns the engine's observability bundle (never nil; disabled
+// unless enabled via Config.Obs or the global default).
+func (db *DB) Obs() *obs.Obs { return db.obs }
+
 // Session is a worker-local connection: it owns a buffer handle (and
 // with it the LLU backlog). Sessions are not safe for concurrent use;
 // create one per goroutine, like a connection.
@@ -267,11 +287,13 @@ func (s *Session) Begin() *Txn {
 // waiter and could starve.
 func (s *Session) BeginAt(birth time.Time) *Txn {
 	id := lock.TxnID(s.db.nextTxn.Add(1))
+	s.db.met.Begin()
 	return &Txn{
 		s:     s,
 		id:    id,
 		birth: birth,
 		tc:    s.db.cfg.Profiler.StartTxn(),
+		tr:    s.db.obs.Tracer.BeginTxn(uint64(id)),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vats/internal/lock"
+	"vats/internal/obs"
 	"vats/internal/storage"
 	"vats/internal/tprofiler"
 )
@@ -26,6 +27,7 @@ type Txn struct {
 	id    lock.TxnID
 	birth time.Time
 	tc    *tprofiler.TxnCtx
+	tr    *obs.TxnTrace
 	undo  []undoEntry
 	done  bool
 	wrote bool
@@ -41,7 +43,10 @@ type waitEvent struct {
 
 // SetTag labels the transaction for age/remaining sampling (e.g. the
 // TPC-C transaction type). Figure 8 groups correlations by this tag.
-func (tx *Txn) SetTag(tag string) { tx.tag = tag }
+func (tx *Txn) SetTag(tag string) {
+	tx.tag = tag
+	tx.tr.SetTag(tag)
+}
 
 type undoEntry struct {
 	t   *storage.Table
@@ -97,6 +102,11 @@ func (tx *Txn) lockRecord(t *storage.Table, key uint64, mode lock.Mode) error {
 	if tx.s.db.cfg.SampleAgeRemaining && granted.Sub(enq) > 50*time.Microsecond {
 		tx.waitEvents = append(tx.waitEvents, waitEvent{enqueued: enq, granted: granted})
 	}
+	// Trace real waits only; uncontended grants would drown the ring.
+	if wait := granted.Sub(enq); tx.tr != nil && wait > 50*time.Microsecond {
+		tx.tr.AddAt(obs.EvLockWait, enq.Sub(tx.tr.Begin), 0, key)
+		tx.tr.AddAt(obs.EvLockGrant, granted.Sub(tx.tr.Begin), wait, key)
+	}
 	return nil
 }
 
@@ -126,6 +136,9 @@ func (tx *Txn) recordBufWaits() {
 	lru, io := tx.s.h.TakeWaits()
 	tx.tc.Record("buf.pool_mutex", lru)
 	tx.tc.Record("buf.io", io)
+	if io > 0 {
+		tx.tr.Add(obs.EvPageMiss, io, 0)
+	}
 }
 
 // Get reads the row under key with a shared lock, returning
@@ -287,7 +300,11 @@ func (tx *Txn) Commit() error {
 		} else {
 			tok := tx.tc.Enter("commit")
 			ftok := tx.tc.Enter("log.flush")
+			fstart := time.Now()
 			err = tx.s.db.log.Commit(uint64(tx.id))
+			if tx.tr != nil {
+				tx.tr.Add(obs.EvLogFlush, time.Since(fstart), 0)
+			}
 			tx.tc.Exit(ftok)
 			tx.tc.Exit(tok)
 		}
@@ -296,8 +313,12 @@ func (tx *Txn) Commit() error {
 	tx.flushWaitSamples()
 	tx.tc.End()
 	if err != nil {
+		tx.s.db.met.Abort(time.Since(tx.birth))
+		tx.s.db.obs.Tracer.End(tx.tr, true)
 		return fmt.Errorf("engine: commit: %w", err)
 	}
+	tx.s.db.met.Commit(time.Since(tx.birth))
+	tx.s.db.obs.Tracer.End(tx.tr, false)
 	return nil
 }
 
@@ -323,6 +344,8 @@ func (tx *Txn) Rollback() {
 	}
 	tx.s.db.locks.ReleaseAll(tx.id)
 	tx.tc.End()
+	tx.s.db.met.Abort(time.Since(tx.birth))
+	tx.s.db.obs.Tracer.End(tx.tr, true)
 }
 
 // encodeRedo serializes a redo record:

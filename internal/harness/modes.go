@@ -7,6 +7,7 @@ import (
 	"vats/internal/disk"
 	"vats/internal/engine"
 	"vats/internal/lock"
+	"vats/internal/obs"
 	"vats/internal/tprofiler"
 	"vats/internal/wal"
 )
@@ -44,6 +45,9 @@ type ModeOpts struct {
 	Profiler  *tprofiler.Profiler
 	SampleAge bool
 	Seed      int64
+	// Obs wires live observability through the engine (nil = the
+	// disabled-by-default obs.Default).
+	Obs *obs.Obs
 }
 
 // MySQLMode builds a MySQL-like engine: moderately fast data and log
@@ -111,6 +115,7 @@ func MySQLMode(o ModeOpts) *engine.DB {
 		Profiler:           o.Profiler,
 		SampleAgeRemaining: o.SampleAge,
 		Seed:               o.Seed,
+		Obs:                o.Obs,
 	})
 }
 
@@ -163,5 +168,6 @@ func PostgresMode(o ModeOpts) *engine.DB {
 		Profiler:           o.Profiler,
 		SampleAgeRemaining: o.SampleAge,
 		Seed:               o.Seed,
+		Obs:                o.Obs,
 	})
 }

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vats/internal/obs"
 )
 
 // TxnID identifies a transaction to the lock manager.
@@ -112,6 +114,10 @@ type Options struct {
 	// DetectInterval is how often the deadlock detector scans when
 	// waiters exist (default 1ms). Negative disables detection.
 	DetectInterval time.Duration
+	// Obs receives live metrics (wait latency, queue depth, grant and
+	// failure counts, labelled by scheduler policy); nil collects
+	// nothing.
+	Obs *obs.Obs
 }
 
 // Manager is a sharded record lock manager implementing strict 2PL lock
@@ -120,6 +126,7 @@ type Manager struct {
 	sched   Scheduler
 	shards  []*shard
 	timeout time.Duration
+	met     *obs.LockMetrics
 
 	acquires  atomic.Int64
 	waits     atomic.Int64
@@ -166,6 +173,7 @@ func NewManager(opts Options) *Manager {
 		timeout:     opts.WaitTimeout,
 		detectEvery: opts.DetectInterval,
 		stopDetect:  make(chan struct{}),
+		met:         obs.NewLockMetrics(opts.Obs, opts.Scheduler.Name()),
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{
@@ -226,21 +234,25 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 	if mine != nil {
 		if mine.Mode == Exclusive || mode == Shared {
 			s.mu.Unlock()
+			m.met.Granted()
 			return nil // already strong enough
 		}
 		// Upgrade S -> X.
 		if !othersHold && !m.waitingConflict(ls, owner) {
 			mine.Mode = Exclusive
 			s.mu.Unlock()
+			m.met.Granted()
 			return nil
 		}
 		req := m.newRequest(s, owner, birth, key, Exclusive)
 		req.upgrade = true
 		m.upWaits.Add(1)
+		m.met.UpgradeWait()
 		// Upgrades wait at the front conceptually: they are grantable
 		// as soon as the owner is the sole holder.
 		ls.waiters = append(ls.waiters, req)
 		m.waiterCount.Add(1)
+		m.met.Enqueued()
 		m.ensureDetector()
 		s.mu.Unlock()
 		return m.wait(s, req)
@@ -252,10 +264,12 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 		ls.holders = append(ls.holders, req)
 		m.trackHeld(s, owner, key)
 		s.mu.Unlock()
+		m.met.Granted()
 		return nil
 	}
 	ls.waiters = append(ls.waiters, req)
 	m.waiterCount.Add(1)
+	m.met.Enqueued()
 	m.ensureDetector()
 	if m.sched.GrantOnArrival() {
 		m.grantPassLocked(s, key, ls)
@@ -263,11 +277,32 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 			s.mu.Unlock()
 			m.waiterCount.Add(-1)
 			// done can only be set with a grant or error already queued.
-			return <-req.granted
+			err := <-req.granted
+			m.obsResolve(err, 0)
+			return err
 		}
 	}
 	s.mu.Unlock()
 	return m.wait(s, req)
+}
+
+// obsResolve reports a resolved wait to the metrics layer: the queue
+// departure with its wait time, and the grant or failure cause.
+func (m *Manager) obsResolve(err error, waited time.Duration) {
+	if m.met == nil {
+		return
+	}
+	m.met.WaitDone(waited)
+	switch {
+	case err == nil:
+		m.met.Granted()
+	case errors.Is(err, ErrDeadlock):
+		m.met.Deadlock()
+	case errors.Is(err, ErrTimeout):
+		m.met.Timeout()
+	case errors.Is(err, ErrAborted):
+		m.met.WaitAborted()
+	}
 }
 
 func (m *Manager) newRequest(s *shard, owner TxnID, birth time.Time, key Key, mode Mode) *Request {
@@ -337,6 +372,7 @@ func (m *Manager) wait(s *shard, req *Request) error {
 		if err != nil {
 			m.deadlocksOrAborts(err)
 		}
+		m.obsResolve(err, time.Since(start))
 		return err
 	case <-timeoutC:
 		// Race: the grant may have happened concurrently. Resolve under
@@ -350,6 +386,7 @@ func (m *Manager) wait(s *shard, req *Request) error {
 			if err != nil {
 				m.deadlocksOrAborts(err)
 			}
+			m.obsResolve(err, time.Since(start))
 			return err
 		}
 		m.removeWaiterLocked(s, req)
@@ -357,6 +394,7 @@ func (m *Manager) wait(s *shard, req *Request) error {
 		m.waitNs.Add(time.Since(start).Nanoseconds())
 		m.waiterCount.Add(-1)
 		m.timeouts.Add(1)
+		m.obsResolve(ErrTimeout, time.Since(start))
 		return ErrTimeout
 	}
 }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vats/internal/stats"
+	"vats/internal/tprofiler"
+)
+
+// Handler returns the observability mux for o:
+//
+//	/metrics      — Prometheus text exposition of every series
+//	/debug/txns   — JSON dump of the slow-transaction ring (slowest
+//	                first), each trace with its events and aggregated
+//	                spans; ?factors=k additionally replays the ring
+//	                into a fresh TProfiler and returns the top-k
+//	                ranked variance factors
+//	/debug/stats  — JSON map of live stats.Summary per histogram
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/txns", func(w http.ResponseWriter, r *http.Request) {
+		k := 0
+		if v := r.URL.Query().Get("factors"); v != "" {
+			k = defaultTopFactors
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				k = n
+			}
+		}
+		writeJSON(w, txnsPayload(o, k))
+	})
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, _ *http.Request) {
+		var payload map[string]stats.Summary
+		if o != nil {
+			payload = o.Registry.Summaries()
+		}
+		writeJSON(w, payload)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "vats observability\n\n/metrics\n/debug/txns\n/debug/stats\n")
+	})
+	return mux
+}
+
+// jsonEvent is the wire form of one trace event.
+type jsonEvent struct {
+	Type  string  `json:"type"`
+	AtMs  float64 `json:"at_ms"`
+	DurMs float64 `json:"dur_ms,omitempty"`
+	Arg   uint64  `json:"arg,omitempty"`
+}
+
+// jsonTrace is the wire form of one retained transaction trace.
+type jsonTrace struct {
+	ID        uint64             `json:"id"`
+	Tag       string             `json:"tag,omitempty"`
+	Begin     time.Time          `json:"begin"`
+	LatencyMs float64            `json:"latency_ms"`
+	Aborted   bool               `json:"aborted"`
+	Dropped   int                `json:"dropped_events,omitempty"`
+	Events    []jsonEvent        `json:"events"`
+	Spans     map[string]float64 `json:"spans_ms"`
+}
+
+// jsonFactor is one ranked variance factor from replaying the ring.
+type jsonFactor struct {
+	Functions   []string `json:"functions"`
+	Value       float64  `json:"value"`
+	Score       float64  `json:"score"`
+	FracOfTotal float64  `json:"frac_of_total"`
+}
+
+type txnsResponse struct {
+	Count   int          `json:"count"`
+	Traces  []jsonTrace  `json:"traces"`
+	Factors []jsonFactor `json:"factors,omitempty"`
+}
+
+// defaultTopFactors is how many ranked factors /debug/txns returns
+// when ?factors is present but not a positive integer.
+const defaultTopFactors = 10
+
+func txnsPayload(o *Obs, topK int) txnsResponse {
+	resp := txnsResponse{Traces: []jsonTrace{}}
+	if o == nil {
+		return resp
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, tr := range o.Tracer.Slow() {
+		jt := jsonTrace{
+			ID:        tr.ID,
+			Tag:       tr.Tag,
+			Begin:     tr.Begin,
+			LatencyMs: ms(tr.Latency),
+			Aborted:   tr.Aborted,
+			Dropped:   tr.Dropped(),
+			Spans:     tr.Spans(),
+		}
+		for _, ev := range tr.Events() {
+			jt.Events = append(jt.Events, jsonEvent{
+				Type:  ev.Type.String(),
+				AtMs:  ms(ev.At),
+				DurMs: ms(ev.Dur),
+				Arg:   ev.Arg,
+			})
+		}
+		resp.Traces = append(resp.Traces, jt)
+	}
+	resp.Count = len(resp.Traces)
+	if topK > 0 && resp.Count > 0 {
+		p := tprofiler.New()
+		o.Tracer.ReplayAll(p)
+		for _, f := range p.TopFactors(topK) {
+			resp.Factors = append(resp.Factors, jsonFactor{
+				Functions:   f.Functions,
+				Value:       f.Value,
+				Score:       f.Score,
+				FracOfTotal: f.FracOfTotal,
+			})
+		}
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") serving o, enabling o's collection as a side effect —
+// serving metrics nobody collects would render an empty page. It
+// returns once the listener is bound.
+func Serve(addr string, o *Obs) (*Server, error) {
+	o.SetEnabled(true)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(o)},
+		ln:   ln,
+		addr: ln.Addr().String(),
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Serve starts the observability endpoint for this bundle; see the
+// package-level Serve.
+func (o *Obs) Serve(addr string) (*Server, error) { return Serve(addr, o) }
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// URL returns the base URL of the endpoint.
+func (s *Server) URL() string { return "http://" + s.addr }
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

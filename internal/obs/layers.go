@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// This file defines the per-layer metric bundles the engine wires into
+// its substrates — the four layers the paper identifies as variance
+// sources (§4): the lock manager, the buffer pool, the WAL, and the
+// engine/transaction layer itself. Each bundle is a set of handles
+// registered once at construction; every recording method is nil-safe
+// so the layers can call them unconditionally, and a disabled registry
+// reduces each call to one atomic load.
+
+// LockMetrics instruments the lock manager: wait-queue depth, wait
+// latency, and grant/deadlock/timeout/abort counts labelled by the
+// scheduler policy so FCFS vs VATS is visible live.
+type LockMetrics struct {
+	waitHist  *Histogram
+	depth     *Gauge
+	grants    *Counter
+	deadlocks *Counter
+	timeouts  *Counter
+	aborts    *Counter
+	upgrades  *Counter
+}
+
+// NewLockMetrics registers the lock series under the given scheduler
+// policy label. A nil bundle (nil o) collects nothing.
+func NewLockMetrics(o *Obs, policy string) *LockMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	lbl := Label{"policy", policy}
+	return &LockMetrics{
+		waitHist:  r.Histogram("lock_wait_ms", lbl),
+		depth:     r.Gauge("lock_wait_queue_depth", lbl),
+		grants:    r.Counter("lock_grants_total", lbl),
+		deadlocks: r.Counter("lock_deadlocks_total", lbl),
+		timeouts:  r.Counter("lock_timeouts_total", lbl),
+		aborts:    r.Counter("lock_wait_aborts_total", lbl),
+		upgrades:  r.Counter("lock_upgrade_waits_total", lbl),
+	}
+}
+
+// Enqueued records a request entering a wait queue.
+func (m *LockMetrics) Enqueued() {
+	if m == nil {
+		return
+	}
+	m.depth.Add(1)
+}
+
+// WaitDone records a wait leaving its queue (granted or not) after d.
+func (m *LockMetrics) WaitDone(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.depth.Add(-1)
+	m.waitHist.ObserveDuration(d)
+}
+
+// Granted counts a successful acquisition (immediate or after a wait).
+func (m *LockMetrics) Granted() {
+	if m == nil {
+		return
+	}
+	m.grants.Inc()
+}
+
+// Deadlock counts a deadlock-victim abort.
+func (m *LockMetrics) Deadlock() {
+	if m == nil {
+		return
+	}
+	m.deadlocks.Inc()
+}
+
+// Timeout counts a lock-wait timeout.
+func (m *LockMetrics) Timeout() {
+	if m == nil {
+		return
+	}
+	m.timeouts.Inc()
+}
+
+// WaitAborted counts a wait cancelled by transaction abort.
+func (m *LockMetrics) WaitAborted() {
+	if m == nil {
+		return
+	}
+	m.aborts.Inc()
+}
+
+// UpgradeWait counts an S→X upgrade that had to wait.
+func (m *LockMetrics) UpgradeWait() {
+	if m == nil {
+		return
+	}
+	m.upgrades.Inc()
+}
+
+// BufferMetrics instruments the buffer pool: hit/miss/eviction
+// counters and the LRU-lock hold-time histogram, labelled by the LRU
+// policy so Lazy-LRU vs eager is a live comparison.
+type BufferMetrics struct {
+	hits       *Counter
+	misses     *Counter
+	evictions  *Counter
+	writeBacks *Counter
+	deferred   *Counter
+	holdHist   *Histogram
+}
+
+// NewBufferMetrics registers the buffer series under the LRU policy
+// label.
+func NewBufferMetrics(o *Obs, policy string) *BufferMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	lbl := Label{"policy", policy}
+	return &BufferMetrics{
+		hits:       r.Counter("buf_hits_total", lbl),
+		misses:     r.Counter("buf_misses_total", lbl),
+		evictions:  r.Counter("buf_evictions_total", lbl),
+		writeBacks: r.Counter("buf_writebacks_total", lbl),
+		deferred:   r.Counter("buf_deferred_promotions_total", lbl),
+		holdHist:   r.Histogram("buf_lru_hold_ms", lbl),
+	}
+}
+
+// Hit counts a page served from the pool.
+func (m *BufferMetrics) Hit() {
+	if m == nil {
+		return
+	}
+	m.hits.Inc()
+}
+
+// Miss counts a page read from the backing store.
+func (m *BufferMetrics) Miss() {
+	if m == nil {
+		return
+	}
+	m.misses.Inc()
+}
+
+// Evicted counts a frame eviction.
+func (m *BufferMetrics) Evicted() {
+	if m == nil {
+		return
+	}
+	m.evictions.Inc()
+}
+
+// WroteBack counts a dirty-victim write-back.
+func (m *BufferMetrics) WroteBack() {
+	if m == nil {
+		return
+	}
+	m.writeBacks.Inc()
+}
+
+// Deferred counts an LLU promotion pushed to a backlog.
+func (m *BufferMetrics) Deferred() {
+	if m == nil {
+		return
+	}
+	m.deferred.Inc()
+}
+
+// HoldEnabled reports whether LRU hold times are being collected, so
+// callers can skip the time.Now pair when they are not.
+func (m *BufferMetrics) HoldEnabled() bool {
+	return m != nil && m.holdHist.Enabled()
+}
+
+// Held records one LRU critical section lasting d.
+func (m *BufferMetrics) Held(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.holdHist.ObserveDuration(d)
+}
+
+// WALMetrics instruments the redo log: flush latency, group-commit
+// batch size, bytes written, and per-stream flush counters so parallel
+// logging's balance is visible.
+type WALMetrics struct {
+	appends   *Counter
+	grouped   *Counter
+	bytes     *Counter
+	flushHist *Histogram
+	batchHist *Histogram
+	streams   []*Counter
+}
+
+// NewWALMetrics registers the WAL series for nstreams log streams.
+func NewWALMetrics(o *Obs, nstreams int) *WALMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	m := &WALMetrics{
+		appends:   r.Counter("wal_appends_total"),
+		grouped:   r.Counter("wal_grouped_commits_total"),
+		bytes:     r.Counter("wal_bytes_total"),
+		flushHist: r.Histogram("wal_flush_ms"),
+		batchHist: r.HistogramScaled("wal_group_batch_records", 1, 16),
+	}
+	for i := 0; i < nstreams; i++ {
+		m.streams = append(m.streams,
+			r.Counter("wal_stream_flushes_total", Label{"stream", strconv.Itoa(i)}))
+	}
+	return m
+}
+
+// Append counts one buffered redo record.
+func (m *WALMetrics) Append() {
+	if m == nil {
+		return
+	}
+	m.appends.Inc()
+}
+
+// Grouped counts a commit satisfied by another transaction's flush.
+func (m *WALMetrics) Grouped() {
+	if m == nil {
+		return
+	}
+	m.grouped.Inc()
+}
+
+// FlushEnabled reports whether flush latency is being collected.
+func (m *WALMetrics) FlushEnabled() bool {
+	return m != nil && m.flushHist.Enabled()
+}
+
+// FlushDone records one device flush: its latency, the batch size it
+// made durable, the bytes written, and which stream performed it.
+func (m *WALMetrics) FlushDone(d time.Duration, records, bytes, stream int) {
+	if m == nil {
+		return
+	}
+	m.flushHist.ObserveDuration(d)
+	if records > 0 {
+		m.batchHist.Observe(float64(records))
+	}
+	m.bytes.Add(int64(bytes))
+	if stream >= 0 && stream < len(m.streams) {
+		m.streams[stream].Inc()
+	}
+}
+
+// EngineMetrics instruments the transaction layer: begin/commit/abort
+// counts, the end-to-end latency histogram, and the active-transaction
+// gauge.
+type EngineMetrics struct {
+	begins  *Counter
+	commits *Counter
+	aborts  *Counter
+	latency *Histogram
+	active  *Gauge
+}
+
+// NewEngineMetrics registers the engine series.
+func NewEngineMetrics(o *Obs) *EngineMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	return &EngineMetrics{
+		begins:  r.Counter("txn_begins_total"),
+		commits: r.Counter("txn_commits_total"),
+		aborts:  r.Counter("txn_aborts_total"),
+		latency: r.Histogram("txn_latency_ms"),
+		active:  r.Gauge("txn_active"),
+	}
+}
+
+// Begin counts a transaction start.
+func (m *EngineMetrics) Begin() {
+	if m == nil {
+		return
+	}
+	m.begins.Inc()
+	m.active.Add(1)
+}
+
+// Commit counts a commit with its end-to-end latency.
+func (m *EngineMetrics) Commit(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.active.Add(-1)
+	m.commits.Inc()
+	m.latency.ObserveDuration(d)
+}
+
+// Abort counts a rollback with its end-to-end latency.
+func (m *EngineMetrics) Abort(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.active.Add(-1)
+	m.aborts.Inc()
+	m.latency.ObserveDuration(d)
+}

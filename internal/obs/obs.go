@@ -1,0 +1,81 @@
+// Package obs is the engine's live observability layer: a sharded
+// metrics registry (counters, gauges, log-bucket latency histograms),
+// a per-transaction span tracer with a bounded slow-transaction ring,
+// and an HTTP exposition endpoint (Prometheus text /metrics plus JSON
+// /debug routes).
+//
+// The paper's methodology is "measure variance first, then fix it"
+// (§3, TProfiler); this package makes the running engine measurable
+// without stopping it. Design constraints, in order:
+//
+//  1. A disabled registry must cost ~one atomic load per metric call,
+//     and a nil metric handle only a nil check, so instrumentation can
+//     stay compiled into every hot path (lock waits, buffer hits, WAL
+//     flushes) unconditionally.
+//  2. Counters and histogram buckets are sharded to avoid cache-line
+//     ping-pong between cores; histogram mean/variance is Welford-backed
+//     per shard and merged on read (stats.Welford.Merge).
+//  3. Retained slow-transaction traces replay into tprofiler.Profiler
+//     as call-tree spans, so a live outlier feeds the same offline
+//     variance analysis the paper's tables use.
+//
+// Everything hangs off an Obs bundle. The package-level Default bundle
+// is disabled until something (the -obs CLI flag, a test) enables it;
+// the engine wires Default into every layer when no explicit bundle is
+// configured, which is how "every experiment can export live metrics"
+// works without threading a handle through each construction site.
+package obs
+
+import "sync/atomic"
+
+// Obs bundles the two collection surfaces: the metrics registry and
+// the transaction tracer. A nil *Obs is valid everywhere and collects
+// nothing.
+type Obs struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// New returns an enabled Obs bundle with an empty registry and a
+// tracer retaining the DefaultSlowCap worst transactions.
+func New() *Obs {
+	return &Obs{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(DefaultSlowCap),
+	}
+}
+
+// Default is the process-wide bundle, disabled until SetEnabled(true).
+// Engines fall back to it when no explicit bundle is configured, so
+// flipping it on makes every running engine observable at once.
+var Default = func() *Obs {
+	o := New()
+	o.SetEnabled(false)
+	return o
+}()
+
+// OrDefault returns o, or Default when o is nil.
+func OrDefault(o *Obs) *Obs {
+	if o == nil {
+		return Default
+	}
+	return o
+}
+
+// SetEnabled flips collection for both the registry and the tracer.
+func (o *Obs) SetEnabled(on bool) {
+	if o == nil {
+		return
+	}
+	o.Registry.SetEnabled(on)
+	o.Tracer.SetEnabled(on)
+}
+
+// Enabled reports whether the registry is collecting.
+func (o *Obs) Enabled() bool {
+	return o != nil && o.Registry.Enabled()
+}
+
+// enabledFlag is the shared on/off switch metric handles consult; one
+// atomic load per metric operation when disabled.
+type enabledFlag = atomic.Bool

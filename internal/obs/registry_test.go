@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterExactUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	goroutines := runtime.GOMAXPROCS(0)
+	if goroutines < 4 {
+		goroutines = 4
+	}
+	const per = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(goroutines*per); got != want {
+		t.Fatalf("counter = %d, want %d (sharding must not lose updates)", got, want)
+	}
+}
+
+func TestGaugeAddSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("active")
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+}
+
+func TestHistogramMergedStatsUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms")
+	goroutines := runtime.GOMAXPROCS(0)
+	if goroutines < 4 {
+		goroutines = 4
+	}
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Deterministic values with known mean/variance: each
+				// goroutine observes 1..per ms.
+				h.Observe(float64(i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if got, want := s.N, int64(goroutines*per); got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	wantMean := float64(per+1) / 2
+	if math.Abs(s.Mean-wantMean) > 1e-6 {
+		t.Fatalf("merged mean %v, want %v (Welford merge must be exact)", s.Mean, wantMean)
+	}
+	// Population variance of 1..per is (per²-1)/12.
+	wantVar := (float64(per)*float64(per) - 1) / 12
+	if math.Abs(s.Variance-wantVar)/wantVar > 1e-9 {
+		t.Fatalf("merged variance %v, want %v", s.Variance, wantVar)
+	}
+	if s.Max != float64(per) {
+		t.Fatalf("max %v, want %v", s.Max, float64(per))
+	}
+}
+
+func TestHistogramBucketOf(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramScaled("x", 1, 8) // bounds 1,2,4,8,...,128
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.1, 2}, {4, 2}, {5, 3},
+		{128, 7}, {1e9, 7}, // overflow clamps to last bucket
+	}
+	for _, c := range cases {
+		if got := h.bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_ms")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 estimate %v wildly off for uniform 1..1000", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 900 || p99 > 1000 {
+		t.Fatalf("p99 estimate %v, want within [900,1000] (clamped to max)", p99)
+	}
+	if got := s.Quantile(1.0); got != s.Max {
+		t.Fatalf("p100 = %v, want max %v", got, s.Max)
+	}
+}
+
+func TestDisabledAndNilAreNoOps(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	c.Inc()
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().N != 0 {
+		t.Fatal("disabled registry must drop updates")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("re-enabled registry must collect again")
+	}
+
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	ng.Set(9)
+	nh.Observe(1) // must not panic
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Snapshot().N != 0 {
+		t.Fatal("nil handles must be no-ops")
+	}
+	var nr *Registry
+	if nr.Counter("x") != nil || nr.Enabled() {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+}
+
+func TestRegistryGetOrCreateAndTypeClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same", Label{"k", "v"})
+	b := r.Counter("same", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels must return the same handle")
+	}
+	if r.Counter("same", Label{"k", "other"}) == a {
+		t.Fatal("different labels must be a different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter series must panic")
+		}
+	}()
+	r.Gauge("same", Label{"k", "v"})
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("grants_total", Label{"policy", "VATS"}).Add(7)
+	r.Gauge("depth").Set(3)
+	h := r.Histogram("wait_ms")
+	h.Observe(0.5)
+	h.Observe(2)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE grants_total counter",
+		`grants_total{policy="VATS"} 7`,
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE wait_ms histogram",
+		`wait_ms_bucket{le="+Inf"} 2`,
+		"wait_ms_count 2",
+		"wait_ms_variance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", Label{"policy", "FCFS"})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	sums := r.Summaries()
+	s, ok := sums[`lat_ms{policy="FCFS"}`]
+	if !ok {
+		t.Fatalf("missing series key in %v", sums)
+	}
+	if s.N != 100 || math.Abs(s.Mean-49.5) > 1e-9 {
+		t.Fatalf("summary N=%d mean=%v, want 100/49.5", s.N, s.Mean)
+	}
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/tprofiler"
+)
+
+// EventType is one kind of transaction trace event.
+type EventType uint8
+
+// Trace event types; the set mirrors the engine's profiler leaves so a
+// replayed trace lands on the same span names TProfiler scores.
+const (
+	EvBegin EventType = iota
+	EvLockWait
+	EvLockGrant
+	EvPageMiss
+	EvLogFlush
+	EvCommit
+	EvAbort
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EvBegin:
+		return "begin"
+	case EvLockWait:
+		return "lock.wait"
+	case EvLockGrant:
+		return "lock.grant"
+	case EvPageMiss:
+		return "page.miss"
+	case EvLogFlush:
+		return "log.flush"
+	case EvCommit:
+		return "commit"
+	case EvAbort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one timestamped occurrence inside a transaction.
+type Event struct {
+	Type EventType
+	// At is the offset since transaction begin.
+	At time.Duration
+	// Dur carries a measured cost for events that have one (page-miss
+	// I/O time, log-flush time, lock wait on the grant event).
+	Dur time.Duration
+	// Arg is event-specific (lock key id, flushed bytes, ...).
+	Arg uint64
+}
+
+// traceRingCap bounds the per-transaction event ring; the oldest
+// events are overwritten when a transaction produces more.
+const traceRingCap = 64
+
+// DefaultSlowCap is the default size of the slow-transaction ring.
+const DefaultSlowCap = 32
+
+// TxnTrace is a ring-buffered event log for one transaction. It is
+// single-goroutine while the transaction runs (like the transaction
+// itself) and immutable once handed to the tracer by End.
+type TxnTrace struct {
+	ID    uint64
+	Tag   string
+	Begin time.Time
+	// Latency and Aborted are set by Tracer.End.
+	Latency time.Duration
+	Aborted bool
+
+	events [traceRingCap]Event
+	n      int // total appended (may exceed traceRingCap)
+}
+
+// Add appends an event; nil traces (tracing disabled) no-op.
+func (tr *TxnTrace) Add(t EventType, dur time.Duration, arg uint64) {
+	if tr == nil {
+		return
+	}
+	tr.AddAt(t, time.Since(tr.Begin), dur, arg)
+}
+
+// SetTag labels the trace (e.g. the TPC-C transaction type).
+func (tr *TxnTrace) SetTag(tag string) {
+	if tr == nil {
+		return
+	}
+	tr.Tag = tag
+}
+
+// AddAt appends an event with an explicit begin-relative offset, for
+// callers that measured the moment themselves (e.g. a lock enqueue
+// recorded after the wait resolved).
+func (tr *TxnTrace) AddAt(t EventType, at, dur time.Duration, arg uint64) {
+	if tr == nil {
+		return
+	}
+	tr.events[tr.n%traceRingCap] = Event{Type: t, At: at, Dur: dur, Arg: arg}
+	tr.n++
+}
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (tr *TxnTrace) Dropped() int {
+	if tr == nil || tr.n <= traceRingCap {
+		return 0
+	}
+	return tr.n - traceRingCap
+}
+
+// Events returns the retained events in append order.
+func (tr *TxnTrace) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	if tr.n <= traceRingCap {
+		out := make([]Event, tr.n)
+		copy(out, tr.events[:tr.n])
+		return out
+	}
+	out := make([]Event, traceRingCap)
+	start := tr.n % traceRingCap
+	copy(out, tr.events[start:])
+	copy(out[traceRingCap-start:], tr.events[:start])
+	return out
+}
+
+// Spans aggregates the trace into named span durations (ms), the shape
+// TProfiler consumes: lock.wait from wait→grant event pairs (falling
+// back to the grant's Dur when the wait event was overwritten), buf.io
+// from page-miss costs, log.flush from flush costs.
+func (tr *TxnTrace) Spans() map[string]float64 {
+	if tr == nil {
+		return nil
+	}
+	spans := make(map[string]float64, 4)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var pendingWait []time.Duration
+	for _, ev := range tr.Events() {
+		switch ev.Type {
+		case EvLockWait:
+			pendingWait = append(pendingWait, ev.At)
+		case EvLockGrant:
+			if n := len(pendingWait); n > 0 {
+				spans["lock.wait"] += ms(ev.At - pendingWait[n-1])
+				pendingWait = pendingWait[:n-1]
+			} else {
+				spans["lock.wait"] += ms(ev.Dur)
+			}
+		case EvPageMiss:
+			spans["buf.io"] += ms(ev.Dur)
+		case EvLogFlush:
+			spans["log.flush"] += ms(ev.Dur)
+		}
+	}
+	return spans
+}
+
+// ReplayInto feeds the trace to a TProfiler instance as one completed
+// transaction with the aggregated spans, so a retained live outlier
+// participates in the same variance analysis as harness-profiled runs.
+func (tr *TxnTrace) ReplayInto(p *tprofiler.Profiler) {
+	if tr == nil || p == nil {
+		return
+	}
+	p.AddTrace(float64(tr.Latency)/float64(time.Millisecond), tr.Spans())
+}
+
+// Tracer hands out per-transaction traces and retains the worst
+// (highest-latency) completed ones in a bounded ring, so the p99+ tail
+// is always inspectable live without unbounded memory.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	cap    int
+	slow   []*TxnTrace // unordered; minIdx tracks the cheapest slot
+	minIdx int
+}
+
+// NewTracer returns an enabled tracer retaining the slowCap worst
+// transactions (DefaultSlowCap if slowCap <= 0).
+func NewTracer(slowCap int) *Tracer {
+	if slowCap <= 0 {
+		slowCap = DefaultSlowCap
+	}
+	t := &Tracer{cap: slowCap}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled flips trace collection.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(on)
+}
+
+// Enabled reports whether traces are being collected.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// BeginTxn opens a trace for transaction id, or returns nil (a valid
+// no-op trace) when tracing is disabled.
+func (t *Tracer) BeginTxn(id uint64) *TxnTrace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	tr := &TxnTrace{ID: id, Begin: time.Now()}
+	tr.events[0] = Event{Type: EvBegin}
+	tr.n = 1
+	return tr
+}
+
+// End finalizes the trace and offers it to the slow ring: it is
+// retained if the ring has room or its latency exceeds the ring's
+// current minimum (which it evicts).
+func (t *Tracer) End(tr *TxnTrace, aborted bool) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Latency = time.Since(tr.Begin)
+	tr.Aborted = aborted
+	if aborted {
+		tr.Add(EvAbort, 0, 0)
+	} else {
+		tr.Add(EvCommit, 0, 0)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.slow) < t.cap {
+		t.slow = append(t.slow, tr)
+		t.reindexLocked()
+		return
+	}
+	if tr.Latency <= t.slow[t.minIdx].Latency {
+		return
+	}
+	t.slow[t.minIdx] = tr
+	t.reindexLocked()
+}
+
+func (t *Tracer) reindexLocked() {
+	t.minIdx = 0
+	for i, s := range t.slow {
+		if s.Latency < t.slow[t.minIdx].Latency {
+			t.minIdx = i
+		}
+	}
+}
+
+// Slow returns the retained traces, slowest first.
+func (t *Tracer) Slow() []*TxnTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]*TxnTrace(nil), t.slow...)
+	t.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Latency > out[j-1].Latency; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Reset discards retained traces.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slow = t.slow[:0]
+	t.minIdx = 0
+	t.mu.Unlock()
+}
+
+// ReplayAll replays every retained trace into p, returning how many
+// were replayed. Together with tprofiler.TopFactors this turns the
+// live slow ring into a ranked variance-factor list.
+func (t *Tracer) ReplayAll(p *tprofiler.Profiler) int {
+	traces := t.Slow()
+	for _, tr := range traces {
+		tr.ReplayInto(p)
+	}
+	return len(traces)
+}

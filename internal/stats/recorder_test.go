@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestReservoirRecorderBoundsMemory(t *testing.T) {
+	const k, total = 100, 10000
+	r := NewReservoirRecorder(k)
+	for i := 0; i < total; i++ {
+		r.RecordValue(float64(i))
+	}
+	if got := r.Len(); got != k {
+		t.Fatalf("Len() = %d, want reservoir size %d", got, k)
+	}
+	if got := r.N(); got != total {
+		t.Fatalf("N() = %d, want %d", got, total)
+	}
+	for _, v := range r.Snapshot() {
+		if v < 0 || v >= total {
+			t.Fatalf("sample %v outside observed range [0, %d)", v, total)
+		}
+	}
+}
+
+func TestReservoirRecorderExactBelowCapacity(t *testing.T) {
+	r := NewReservoirRecorder(50)
+	for i := 0; i < 20; i++ {
+		r.RecordValue(float64(i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 20 {
+		t.Fatalf("Len = %d, want all 20 below capacity", len(snap))
+	}
+	for i, v := range snap {
+		if v != float64(i) {
+			t.Fatalf("snap[%d] = %v, want %d (no sampling below capacity)", i, v, i)
+		}
+	}
+}
+
+func TestReservoirRecorderSampleMeanUnbiased(t *testing.T) {
+	// Feed a known uniform stream and check the sample mean lands near
+	// the stream mean. The xorshift seed is fixed, so this is
+	// deterministic — the tolerance just guards the uniformity of the
+	// replacement policy.
+	const k, total = 2000, 200000
+	r := NewReservoirRecorder(k)
+	for i := 0; i < total; i++ {
+		r.RecordValue(float64(i % 1000))
+	}
+	sum := 0.0
+	for _, v := range r.Snapshot() {
+		sum += v
+	}
+	mean := sum / float64(k)
+	want := 499.5
+	// Standard error of a uniform(0,999) mean over 2000 samples is
+	// ~6.5; allow 5 sigma.
+	if math.Abs(mean-want) > 33 {
+		t.Fatalf("reservoir mean %.1f, want %.1f ± 33", mean, want)
+	}
+}
+
+func TestReservoirRecorderZeroKIsExact(t *testing.T) {
+	r := NewReservoirRecorder(0)
+	for i := 0; i < 500; i++ {
+		r.RecordValue(1)
+	}
+	if r.Len() != 500 {
+		t.Fatalf("k<=0 should fall back to exact mode, Len = %d", r.Len())
+	}
+}
+
+func TestReservoirRecorderConcurrent(t *testing.T) {
+	const k = 64
+	r := NewReservoirRecorder(k)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.RecordValue(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.N(); got != goroutines*per {
+		t.Fatalf("N() = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Len(); got != k {
+		t.Fatalf("Len() = %d, want %d", got, k)
+	}
+}
+
+func TestReservoirRecorderReset(t *testing.T) {
+	r := NewReservoirRecorder(4)
+	for i := 0; i < 100; i++ {
+		r.RecordValue(float64(i))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.N() != 0 {
+		t.Fatalf("after Reset: Len=%d N=%d, want 0/0", r.Len(), r.N())
+	}
+	r.RecordValue(7)
+	if r.Len() != 1 || r.N() != 1 {
+		t.Fatalf("after refill: Len=%d N=%d, want 1/1", r.Len(), r.N())
+	}
+}
+
+func TestWelfordMergeManyShards(t *testing.T) {
+	// The obs registry merges one Welford per histogram shard; check a
+	// chunked merge over many shards matches the single-stream result.
+	vals := make([]float64, 0, 1000)
+	x := 1.0
+	for i := 0; i < 1000; i++ {
+		x = math.Mod(x*1.3+0.7, 97)
+		vals = append(vals, x)
+	}
+	var whole Welford
+	for _, v := range vals {
+		whole.Add(v)
+	}
+	const shards = 16
+	parts := make([]Welford, shards)
+	for i, v := range vals {
+		parts[i%shards].Add(v)
+	}
+	var merged Welford
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged count %d, want %d", merged.N(), whole.N())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v, want %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-7 {
+		t.Fatalf("merged variance %v, want %v", merged.Variance(), whole.Variance())
+	}
+}

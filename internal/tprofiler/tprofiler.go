@@ -280,6 +280,35 @@ func (tc *TxnCtx) End() {
 	p.mu.Unlock()
 }
 
+// AddTrace folds one externally collected transaction into the
+// profiler: totalMs is the end-to-end latency and spans maps span
+// paths (slash-separated, as produced by Enter/Exit nesting or a flat
+// set of leaf names) to their total time within the transaction. The
+// live observability layer uses this to replay retained
+// slow-transaction traces into the same variance analysis that
+// harness-profiled runs feed.
+func (p *Profiler) AddTrace(totalMs float64, spans map[string]float64) {
+	if p == nil {
+		return
+	}
+	totals := make(map[string]float64, len(spans)+1)
+	depths := make(map[string]int, len(spans)+1)
+	for path, ms := range spans {
+		totals[path] = ms
+		depths[path] = strings.Count(path, "/") + 1
+	}
+	totals["txn"] = totalMs
+	depths["txn"] = 0
+	p.mu.Lock()
+	p.count++
+	p.txns.Add(totalMs)
+	p.traces = append(p.traces, totals)
+	for path, d := range depths {
+		p.depths[path] = d
+	}
+	p.mu.Unlock()
+}
+
 // analyzeLocked runs (or reuses) the offline variance analysis over the
 // collected traces: per-node variance accumulators, sibling
 // covariances, and subtree heights. Caller holds p.mu.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vats/internal/disk"
+	"vats/internal/obs"
 )
 
 // LSN is a log sequence number; LSNs are dense and strictly increasing.
@@ -70,6 +71,9 @@ type Config struct {
 	// FlushInterval is the background flusher period for the lazy
 	// policies (the paper's engines use ~1s; scaled default 5ms).
 	FlushInterval time.Duration
+	// Obs, when non-nil, receives live metrics (flush latency,
+	// group-commit batch size, bytes, per-stream flush counts).
+	Obs *obs.Obs
 }
 
 // Stats reports log-manager activity.
@@ -104,6 +108,7 @@ type record struct {
 type Manager struct {
 	cfg     Config
 	streams []*stream
+	met     *obs.WALMetrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -122,6 +127,7 @@ type Manager struct {
 }
 
 type stream struct {
+	idx     int
 	dev     *disk.Device
 	mu      sync.Mutex
 	waiters atomic.Int32
@@ -136,9 +142,10 @@ func New(cfg Config) *Manager {
 		cfg.FlushInterval = 5 * time.Millisecond
 	}
 	m := &Manager{cfg: cfg}
+	m.met = obs.NewWALMetrics(cfg.Obs, len(cfg.Devices))
 	m.cond = sync.NewCond(&m.mu)
-	for _, d := range cfg.Devices {
-		m.streams = append(m.streams, &stream{dev: d})
+	for i, d := range cfg.Devices {
+		m.streams = append(m.streams, &stream{idx: i, dev: d})
 	}
 	if cfg.Policy != EagerFlush {
 		m.stopFlusher = make(chan struct{})
@@ -162,6 +169,7 @@ func (m *Manager) Append(txn uint64, payload []byte) (LSN, error) {
 	r := &record{lsn: m.next, txn: txn, payload: p}
 	m.records = append(m.records, r)
 	m.appends.Add(1)
+	m.met.Append()
 	return r.lsn, nil
 }
 
@@ -216,6 +224,7 @@ func (m *Manager) commitEager(txn uint64) error {
 			st.mu.Unlock()
 			st.waiters.Add(-1)
 			m.grouped.Add(1)
+			m.met.Grouped()
 			return nil
 		}
 		batch, bytes := m.takeBatchLocked(stateBuffered, stateInFlight)
@@ -236,11 +245,19 @@ func (m *Manager) commitEager(txn uint64) error {
 				return ErrCrashed
 			}
 			m.grouped.Add(1)
+			m.met.Grouped()
 			return nil
 		}
 
+		var flushStart time.Time
+		if m.met.FlushEnabled() {
+			flushStart = time.Now()
+		}
 		st.dev.WriteBytes(bytes)
 		st.dev.Fsync()
+		if !flushStart.IsZero() {
+			m.met.FlushDone(time.Since(flushStart), len(batch), bytes, st.idx)
+		}
 
 		m.mu.Lock()
 		if m.crashed {
@@ -361,10 +378,17 @@ func (m *Manager) backgroundFlush() {
 	}
 	st := m.pickStream()
 	st.mu.Lock()
+	var flushStart time.Time
+	if m.met.FlushEnabled() {
+		flushStart = time.Now()
+	}
 	if bytes > 0 {
 		st.dev.WriteBytes(bytes)
 	}
 	st.dev.Fsync()
+	if !flushStart.IsZero() {
+		m.met.FlushDone(time.Since(flushStart), len(toWrite)+len(toSync), bytes, st.idx)
+	}
 	st.mu.Unlock()
 	m.flushes.Add(1)
 	m.bytes.Add(int64(bytes))
@@ -404,10 +428,17 @@ func (m *Manager) Flush() {
 	}
 	st := m.pickStream()
 	st.mu.Lock()
+	var flushStart time.Time
+	if m.met.FlushEnabled() {
+		flushStart = time.Now()
+	}
 	if bytes > 0 {
 		st.dev.WriteBytes(bytes)
 	}
 	st.dev.Fsync()
+	if !flushStart.IsZero() {
+		m.met.FlushDone(time.Since(flushStart), len(toWrite)+len(toSync), bytes, st.idx)
+	}
 	st.mu.Unlock()
 	m.flushes.Add(1)
 	m.bytes.Add(int64(bytes))

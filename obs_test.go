@@ -1,0 +1,134 @@
+package vats_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"vats"
+)
+
+// TestObservabilityEndToEnd drives a small TPC-C run with live
+// observability enabled and checks the HTTP surface: /metrics must show
+// non-zero lock-wait, buffer hit/miss, and WAL-flush series, and
+// /debug/txns must return retained slow-transaction traces that replay
+// into a ranked variance-factor list.
+func TestObservabilityEndToEnd(t *testing.T) {
+	ob := vats.NewObservability()
+	srv, err := ob.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The small pool forces eviction/miss traffic so the buffer-pool
+	// series are exercised, not just registered.
+	db, err := vats.Open(vats.Options{Scheduler: vats.VATS, Obs: ob, BufferPages: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wl, err := vats.NewWorkload("tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vats.RunBenchmark(db, wl, vats.BenchConfig{
+		Clients: 8, Count: 300, Warmup: 30, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := httpGet(t, srv.URL()+"/metrics")
+	for _, series := range []string{
+		"lock_wait_ms_count", "buf_hits_total", "buf_misses_total",
+		"wal_flush_ms_count", "txn_commits_total", "txn_latency_ms_count",
+	} {
+		if !hasNonZeroSeries(metrics, series) {
+			t.Errorf("/metrics has no non-zero %s series:\n%s", series, grepLines(metrics, series))
+		}
+	}
+
+	var txns struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			ID        uint64             `json:"id"`
+			LatencyMs float64            `json:"latency_ms"`
+			Spans     map[string]float64 `json:"spans_ms"`
+		} `json:"traces"`
+		Factors []struct {
+			Functions []string `json:"functions"`
+			Score     float64  `json:"score"`
+		} `json:"factors"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL()+"/debug/txns?factors=10")), &txns); err != nil {
+		t.Fatal(err)
+	}
+	if txns.Count < 1 {
+		t.Fatal("/debug/txns retained no traces during a 300-txn run")
+	}
+	if txns.Traces[0].LatencyMs <= 0 {
+		t.Fatalf("retained trace has non-positive latency: %+v", txns.Traces[0])
+	}
+	if len(txns.Factors) == 0 {
+		t.Fatal("?factors= replay produced no ranked variance factors")
+	}
+
+	var sums map[string]struct {
+		N    int     `json:"N"`
+		Mean float64 `json:"Mean"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL()+"/debug/stats")), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) == 0 {
+		t.Fatal("/debug/stats returned no histogram summaries")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// hasNonZeroSeries reports whether any exposition line for the series
+// carries a value other than 0.
+func hasNonZeroSeries(metrics, series string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" && fields[1] != "0.0" {
+			return true
+		}
+	}
+	return false
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return fmt.Sprintf("(no lines containing %q)", substr)
+	}
+	return strings.Join(out, "\n")
+}

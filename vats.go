@@ -37,6 +37,7 @@ import (
 	"vats/internal/engine"
 	"vats/internal/harness"
 	"vats/internal/lock"
+	"vats/internal/obs"
 	"vats/internal/stats"
 	"vats/internal/storage"
 	"vats/internal/tprofiler"
@@ -72,6 +73,11 @@ type (
 	Experiment = harness.Experiment
 	// AgeSample is one (age, remaining-time) lock-wait observation.
 	AgeSample = engine.AgeSample
+	// Obs is a live observability bundle: a sharded metrics registry
+	// plus the slow-transaction tracer (see internal/obs).
+	Obs = obs.Obs
+	// ObsServer is a running /metrics + /debug HTTP endpoint.
+	ObsServer = obs.Server
 )
 
 // NewRowReader wraps a row image for decoding.
@@ -83,6 +89,24 @@ func Summarize(latencies []float64) Summary { return stats.Summarize(latencies) 
 // NewProfiler returns an empty TProfiler instance; pass it in Options to
 // collect a variance tree while the engine runs.
 func NewProfiler() *Profiler { return tprofiler.New() }
+
+// Observability returns the process-wide observability bundle that
+// engines fall back to when Options.Obs is nil. It is disabled (near-
+// zero cost) until enabled via SetEnabled or ServeObservability.
+func Observability() *Obs { return obs.Default }
+
+// NewObservability returns a fresh, enabled observability bundle to
+// pass in Options.Obs when one engine should be observed in isolation
+// from the global default. Serve the bundle with its Serve method.
+func NewObservability() *Obs { return obs.New() }
+
+// ServeObservability starts the /metrics + /debug/txns + /debug/stats
+// HTTP endpoint on addr (e.g. ":9090", or "127.0.0.1:0" for an
+// ephemeral port) serving the global observability bundle, enabling
+// collection as a side effect. Close the returned server to stop it.
+func ServeObservability(addr string) (*ObsServer, error) {
+	return obs.Serve(addr, obs.Default)
+}
 
 // SchedulerPolicy selects the lock scheduler (§5 of the paper).
 type SchedulerPolicy int
@@ -183,6 +207,9 @@ type Options struct {
 	// SampleAgeRemaining collects (age, remaining-time) pairs at lock
 	// waits (Figure 8 data), retrievable via DB.AgeSamples.
 	SampleAgeRemaining bool
+	// Obs, when non-nil, is a dedicated observability bundle for this
+	// engine; nil uses the global Observability() default.
+	Obs *Obs
 	// Seed makes the simulated devices deterministic.
 	Seed int64
 }
@@ -213,6 +240,7 @@ func Open(o Options) (*DB, error) {
 		FlushPolicy:        o.Flush.wal(),
 		Profiler:           o.Profiler,
 		SampleAgeRemaining: o.SampleAgeRemaining,
+		Obs:                o.Obs,
 		Seed:               o.Seed,
 	})
 	return db, nil
