@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench repro
+.PHONY: all build test short vet race bench bench-json repro
 
 all: build vet short
 
@@ -26,6 +26,11 @@ race:
 # Observability overhead guardrail (see docs/OBSERVABILITY.md).
 bench:
 	$(GO) test -run xxx -bench BenchmarkObsOverhead ./internal/obs/
+
+# Commit hot-path benchmark suite -> BENCH_PR2.json, including the frozen
+# pre-PR baseline for before/after comparison (see docs/PERF.md).
+bench-json:
+	sh scripts/bench_json.sh BENCH_PR2.json
 
 repro:
 	$(GO) run ./cmd/repro -quick

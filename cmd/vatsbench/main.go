@@ -114,4 +114,14 @@ func main() {
 	ws := db.Log().Stats()
 	fmt.Printf("wal: appends=%d flushes=%d grouped=%d bytes=%d\n",
 		ws.Appends, ws.Flushes, ws.GroupedCommits, ws.Bytes)
+	marks := db.Log().StreamWatermarks()
+	sm := make([]string, len(marks))
+	for i, wm := range marks {
+		sm[i] = fmt.Sprintf("%d", wm)
+	}
+	fmt.Printf("wal: durable-watermark=%d stream-watermarks=[%s]\n",
+		db.Log().DurableWatermark(), strings.Join(sm, " "))
+	if ws.Flushes > 0 {
+		fmt.Printf("wal: records/flush=%.1f\n", float64(ws.Appends)/float64(ws.Flushes))
+	}
 }

@@ -40,6 +40,14 @@ type Config struct {
 	// PerByte is the transfer cost per byte actually written (a full
 	// block is always transferred, mirroring the paper's fig. 4 right).
 	PerByte time.Duration
+	// PreciseWait makes the device busy-wait instead of sleeping, so
+	// microsecond-scale service times are honoured exactly. time.Sleep
+	// rounds up to the kernel timer granularity (~1ms on coarse-tick
+	// hosts), which would inflate a 2µs device to ~1ms per op — useless
+	// for benchmarks that want hardware out of the picture. Burns a CPU
+	// while waiting, so it is opt-in and meant for near-zero-latency
+	// benchmark devices only.
+	PreciseWait bool
 	// Seed seeds the latency sampler.
 	Seed int64
 }
@@ -176,7 +184,11 @@ func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
 	service += time.Duration(blocks) * time.Duration(d.cfg.BlockSize) * d.cfg.PerByte
 	_ = transferBytes
 	if service > 0 {
-		time.Sleep(service)
+		if d.cfg.PreciseWait {
+			spinWait(service)
+		} else {
+			time.Sleep(service)
+		}
 	}
 	d.mu.Unlock()
 	atomic.AddInt32(&d.waiters, -1)
@@ -186,6 +198,13 @@ func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
 	d.bytes.Add(int64(transferBytes))
 	d.busyNs.Add(int64(service))
 	return time.Since(start)
+}
+
+// spinWait busy-waits for d with sub-microsecond accuracy.
+func spinWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for !time.Now().After(deadline) {
+	}
 }
 
 // Stats returns cumulative activity counters.

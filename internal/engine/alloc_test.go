@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"testing"
+
+	"vats/internal/storage"
+	"vats/internal/wal"
+)
+
+// TestAllocsPerRedoRecord is the allocation guardrail for the redo path:
+// amortized over a large write transaction, encoding a redo record and
+// shipping the set to the WAL as one batch must cost at most one
+// allocation per record — including the fixed per-transaction overhead
+// (Txn, batch copy, commit). It drives appendRedo directly so the
+// measurement isolates the redo machinery from the storage read path,
+// whose buffer-pool allocations are not what this guards.
+func TestAllocsPerRedoRecord(t *testing.T) {
+	const recs = 64
+	db := Open(benchCfg(wal.LazyWrite, false))
+	defer db.Close()
+	s := db.NewSession()
+	var rb storage.RowBuilder
+	img := rb.Uint64(7).Bytes()
+
+	run := func() {
+		tx := s.Begin()
+		for k := uint64(1); k <= recs; k++ {
+			tx.appendRedo(redoUpdate, 1, k, img)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the session's spare buffers to their steady-state capacity.
+	for i := 0; i < 8; i++ {
+		run()
+	}
+	perTxn := testing.AllocsPerRun(20, run)
+	if perRec := perTxn / recs; perRec > 1 {
+		t.Errorf("%.0f allocs per %d-record txn = %.2f per redo record, want <= 1",
+			perTxn, recs, perRec)
+	}
+}

@@ -257,6 +257,15 @@ func (db *DB) Obs() *obs.Obs { return db.obs }
 type Session struct {
 	db *DB
 	h  *buffer.Handle
+
+	// Reusable redo-encoding buffers, lent to one transaction at a time
+	// (Begin takes them, Commit/Rollback return them grown). A second
+	// transaction interleaved on the same session finds them taken and
+	// falls back to allocating; steady-state single-transaction use pays
+	// zero allocations per statement for redo encoding.
+	spareRedo  []byte
+	spareEnds  []int
+	spareViews [][]byte
 }
 
 // NewSession opens a connection-like session.
@@ -288,13 +297,16 @@ func (s *Session) Begin() *Txn {
 func (s *Session) BeginAt(birth time.Time) *Txn {
 	id := lock.TxnID(s.db.nextTxn.Add(1))
 	s.db.met.Begin()
-	return &Txn{
+	tx := &Txn{
 		s:     s,
 		id:    id,
 		birth: birth,
 		tc:    s.db.cfg.Profiler.StartTxn(),
 		tr:    s.db.obs.Tracer.BeginTxn(uint64(id)),
 	}
+	tx.redo, s.spareRedo = s.spareRedo[:0], nil
+	tx.redoEnds, s.spareEnds = s.spareEnds[:0], nil
+	return tx
 }
 
 // IsRetryable reports whether an error is a transient concurrency

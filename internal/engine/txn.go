@@ -32,6 +32,15 @@ type Txn struct {
 	done  bool
 	wrote bool
 
+	// redo accumulates the transaction's encoded redo records; redoEnds
+	// marks each record's end offset. The buffers are borrowed from the
+	// Session at Begin and returned at Commit/Rollback, so steady-state
+	// transactions encode redo without allocating. The whole set reaches
+	// the WAL as one AppendBatch on the commit path — statements never
+	// touch the log manager.
+	redo     []byte
+	redoEnds []int
+
 	tag        string
 	waitEvents []waitEvent // only when Config.SampleAgeRemaining
 }
@@ -197,7 +206,8 @@ func (tx *Txn) Insert(t *storage.Table, key uint64, row []byte) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoEntry{t: t, op: redoInsert, key: key})
-	return tx.appendRedo(redoInsert, t, key, row)
+	tx.appendRedo(redoInsert, t.Space(), key, row)
+	return nil
 }
 
 // Update replaces the row under key with an exclusive lock.
@@ -223,7 +233,8 @@ func (tx *Txn) Update(t *storage.Table, key uint64, row []byte) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoEntry{t: t, op: redoUpdate, key: key, old: old})
-	return tx.appendRedo(redoUpdate, t, key, row)
+	tx.appendRedo(redoUpdate, t.Space(), key, row)
+	return nil
 }
 
 // Delete removes the row under key with an exclusive lock.
@@ -249,7 +260,8 @@ func (tx *Txn) Delete(t *storage.Table, key uint64) error {
 		return err
 	}
 	tx.undo = append(tx.undo, undoEntry{t: t, op: redoDelete, key: key, old: old})
-	return tx.appendRedo(redoDelete, t, key, nil)
+	tx.appendRedo(redoDelete, t.Space(), key, nil)
+	return nil
 }
 
 // Scan iterates keys in [lo, hi] at read-committed isolation (no range
@@ -278,12 +290,21 @@ func (tx *Txn) IndexScan(t *storage.Table, index string, lo, hi uint64, fn func(
 	return err
 }
 
-func (tx *Txn) appendRedo(op byte, t *storage.Table, key uint64, row []byte) error {
+// appendRedo encodes one redo record into the transaction's local
+// buffer. The WAL sees nothing until Commit hands it the whole batch.
+func (tx *Txn) appendRedo(op byte, space uint32, key uint64, row []byte) {
 	tok := tx.tc.Enter("wal.append")
-	defer tx.tc.Exit(tok)
 	tx.wrote = true
-	_, err := tx.s.db.log.Append(uint64(tx.id), encodeRedo(op, t.Space(), key, row))
-	return err
+	tx.redo = encodeRedoInto(tx.redo, op, space, key, row)
+	tx.redoEnds = append(tx.redoEnds, len(tx.redo))
+	tx.tc.Exit(tok)
+}
+
+// releaseRedo returns the redo buffers to the session for reuse by the
+// next transaction. Safe after AppendBatch: the WAL copies payloads.
+func (tx *Txn) releaseRedo() {
+	tx.s.spareRedo, tx.redo = tx.redo, nil
+	tx.s.spareEnds, tx.redoEnds = tx.redoEnds, nil
 }
 
 // Commit makes the transaction durable per the flush policy and releases
@@ -295,10 +316,20 @@ func (tx *Txn) Commit() error {
 	tx.done = true
 	var err error
 	if tx.wrote {
-		if _, aerr := tx.s.db.log.Append(uint64(tx.id), encodeRedo(redoCommit, 0, 0, nil)); aerr != nil {
+		// Seal the batch with the commit marker and hand the whole
+		// transaction to the WAL in one call: one lock acquisition per
+		// transaction instead of one per statement.
+		tx.appendRedo(redoCommit, 0, 0, nil)
+		views := tx.s.spareViews[:0]
+		start := 0
+		for _, end := range tx.redoEnds {
+			views = append(views, tx.redo[start:end])
+			start = end
+		}
+		tok := tx.tc.Enter("commit")
+		if _, aerr := tx.s.db.log.AppendBatch(uint64(tx.id), views); aerr != nil {
 			err = aerr
 		} else {
-			tok := tx.tc.Enter("commit")
 			ftok := tx.tc.Enter("log.flush")
 			fstart := time.Now()
 			err = tx.s.db.log.Commit(uint64(tx.id))
@@ -306,9 +337,14 @@ func (tx *Txn) Commit() error {
 				tx.tr.Add(obs.EvLogFlush, time.Since(fstart), 0)
 			}
 			tx.tc.Exit(ftok)
-			tx.tc.Exit(tok)
 		}
+		tx.tc.Exit(tok)
+		for i := range views {
+			views[i] = nil
+		}
+		tx.s.spareViews = views[:0]
 	}
+	tx.releaseRedo()
 	tx.s.db.locks.ReleaseAll(tx.id)
 	tx.flushWaitSamples()
 	tx.tc.End()
@@ -342,6 +378,7 @@ func (tx *Txn) Rollback() {
 			_ = u.t.Insert(tx.s.h, u.key, u.old)
 		}
 	}
+	tx.releaseRedo()
 	tx.s.db.locks.ReleaseAll(tx.id)
 	tx.tc.End()
 	tx.s.db.met.Abort(time.Since(tx.birth))
@@ -351,13 +388,19 @@ func (tx *Txn) Rollback() {
 // encodeRedo serializes a redo record:
 // op(1) | space(4) | key(8) | rowLen(4) | row.
 func encodeRedo(op byte, space uint32, key uint64, row []byte) []byte {
-	buf := make([]byte, 1+4+8+4+len(row))
-	buf[0] = op
-	binary.LittleEndian.PutUint32(buf[1:], space)
-	binary.LittleEndian.PutUint64(buf[5:], key)
-	binary.LittleEndian.PutUint32(buf[13:], uint32(len(row)))
-	copy(buf[17:], row)
-	return buf
+	return encodeRedoInto(make([]byte, 0, 17+len(row)), op, space, key, row)
+}
+
+// encodeRedoInto appends an encoded redo record to buf, reusing its
+// capacity — the allocation-free form the per-statement hot path uses.
+func encodeRedoInto(buf []byte, op byte, space uint32, key uint64, row []byte) []byte {
+	var hdr [17]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], space)
+	binary.LittleEndian.PutUint64(hdr[5:], key)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(row)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, row...)
 }
 
 func decodeRedo(b []byte) (op byte, space uint32, key uint64, row []byte, err error) {

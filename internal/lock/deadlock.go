@@ -40,9 +40,13 @@ func (m *Manager) detectLoop() {
 }
 
 // waitEdge records that a transaction is waiting and whom it waits for.
+// gen snapshots req.gen at graph-build time: requests are pooled, so by
+// the time abortWaiter runs, req may have been recycled to an unrelated
+// wait. A gen mismatch identifies that and voids the edge.
 type waitEdge struct {
 	birth time.Time
 	req   *Request
+	gen   uint64
 	shard *shard
 	on    []TxnID
 }
@@ -85,7 +89,7 @@ func (m *Manager) buildGraph() map[TxnID]*waitEdge {
 				}
 				e := graph[w.Owner]
 				if e == nil {
-					e = &waitEdge{birth: w.Birth, req: w, shard: s}
+					e = &waitEdge{birth: w.Birth, req: w, gen: w.gen, shard: s}
 					graph[w.Owner] = e
 				}
 				for _, h := range ls.holders {
@@ -187,7 +191,9 @@ func (m *Manager) abortWaiter(e *waitEdge) bool {
 	s := e.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e.req.done {
+	if e.req.gen != e.gen || e.req.done {
+		// Resolved (and possibly recycled to a different wait) since the
+		// graph was built.
 		return false
 	}
 	ls := s.locks[e.req.key]
@@ -197,6 +203,7 @@ func (m *Manager) abortWaiter(e *waitEdge) bool {
 	for i, w := range ls.waiters {
 		if w == e.req {
 			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			s.waiterRemoved(w.Owner)
 			w.done = true
 			w.granted <- ErrDeadlock
 			m.grantPassLocked(s, e.req.key, ls)

@@ -91,6 +91,16 @@ type Request struct {
 	upgrade bool
 	granted chan error
 	done    bool // guarded by shard mutex; set once resolved
+	// inHolders reports whether a granted request was installed in the
+	// holder list (false when an upgrade was merged into the existing
+	// holder). Written under the shard mutex before the grant is sent;
+	// the waiter reads it after receiving, so the channel orders it.
+	inHolders bool
+	// gen is the request's reuse generation. Requests are pooled per
+	// shard; the deadlock detector snapshots (req, gen) pairs and
+	// re-validates them under the shard mutex, so a request recycled to
+	// a new wait cannot be mistaken for the snapshot's (ABA).
+	gen uint64
 }
 
 // Stats aggregates lock-manager activity.
@@ -145,15 +155,60 @@ type shard struct {
 	mu    sync.Mutex
 	locks map[Key]*lockState
 	// held tracks, per owner, the keys it holds locks on in this shard,
-	// so ReleaseAll need not scan the whole table.
-	held map[TxnID]map[Key]struct{}
-	seq  uint64
-	rng  uint64 // xorshift state for RandPrio
+	// so ReleaseAll need not scan the whole table. The key slices are
+	// recycled through keyFree.
+	held map[TxnID][]Key
+	// waiting counts pending waiters per owner, so the commit-path
+	// ReleaseAll (which never has waits to cancel) skips the
+	// cancellation scan entirely.
+	waiting map[TxnID]int
+	seq     uint64
+	rng     uint64 // xorshift state for RandPrio
+	// states counts live lockStates; ReleaseAll skips shards whose
+	// count reads zero without taking the mutex (an owner with state in
+	// the shard keeps the count nonzero until it removes that state
+	// itself, so the racy read is safe for the releasing owner).
+	states atomic.Int64
+
+	// reqPool and statePool recycle Requests (with their grant channels)
+	// and lockStates. Both pools are per shard, so a recycled Request's
+	// mutable fields stay guarded by this shard's mutex for their whole
+	// life — a global pool would let a request migrate to another shard
+	// and race the deadlock detector's re-validation.
+	reqPool   sync.Pool
+	statePool sync.Pool
+	keyFree   [][]Key
 }
 
 type lockState struct {
 	holders []*Request
 	waiters []*Request
+}
+
+func (s *shard) newLockState() *lockState {
+	if ls, _ := s.statePool.Get().(*lockState); ls != nil {
+		return ls
+	}
+	return &lockState{}
+}
+
+// freeReqLocked recycles a resolved request. Caller holds s.mu and
+// guarantees no goroutine will touch the request again (its grant
+// channel has been drained or never sent to). Bumping gen invalidates
+// any stale detector snapshot of the old incarnation.
+func (s *shard) freeReqLocked(req *Request) {
+	req.gen++
+	s.reqPool.Put(req)
+}
+
+func (s *shard) waiterAdded(owner TxnID) { s.waiting[owner]++ }
+
+func (s *shard) waiterRemoved(owner TxnID) {
+	if c := s.waiting[owner] - 1; c <= 0 {
+		delete(s.waiting, owner)
+	} else {
+		s.waiting[owner] = c
+	}
 }
 
 // NewManager builds a lock manager.
@@ -177,9 +232,10 @@ func NewManager(opts Options) *Manager {
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{
-			locks: make(map[Key]*lockState),
-			held:  make(map[TxnID]map[Key]struct{}),
-			rng:   uint64(i)*2654435761 + 1,
+			locks:   make(map[Key]*lockState),
+			held:    make(map[TxnID][]Key),
+			waiting: make(map[TxnID]int),
+			rng:     uint64(i)*2654435761 + 1,
 		}
 	}
 	return m
@@ -217,8 +273,20 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 	s.mu.Lock()
 	ls := s.locks[key]
 	if ls == nil {
-		ls = &lockState{}
+		// Uncontended fast path: no state exists for the key, so there is
+		// nothing to be compatible with and no scheduler decision to make.
+		// With the pooled lockState and Request this path allocates
+		// nothing in steady state.
+		ls = s.newLockState()
 		s.locks[key] = ls
+		s.states.Add(1)
+		req := m.newRequest(s, owner, birth, key, mode)
+		req.inHolders = true
+		ls.holders = append(ls.holders, req)
+		m.trackHeld(s, owner, key)
+		s.mu.Unlock()
+		m.met.Granted()
+		return nil
 	}
 
 	// Re-entrancy and upgrade analysis.
@@ -251,6 +319,7 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 		// Upgrades wait at the front conceptually: they are grantable
 		// as soon as the owner is the sole holder.
 		ls.waiters = append(ls.waiters, req)
+		s.waiterAdded(owner)
 		m.waiterCount.Add(1)
 		m.met.Enqueued()
 		m.ensureDetector()
@@ -261,6 +330,7 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 	// Fresh request.
 	req := m.newRequest(s, owner, birth, key, mode)
 	if m.grantableOnArrival(ls, req) {
+		req.inHolders = true
 		ls.holders = append(ls.holders, req)
 		m.trackHeld(s, owner, key)
 		s.mu.Unlock()
@@ -268,6 +338,7 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 		return nil
 	}
 	ls.waiters = append(ls.waiters, req)
+	s.waiterAdded(owner)
 	m.waiterCount.Add(1)
 	m.met.Enqueued()
 	m.ensureDetector()
@@ -278,12 +349,28 @@ func (m *Manager) Acquire(owner TxnID, birth time.Time, key Key, mode Mode) erro
 			m.waiterCount.Add(-1)
 			// done can only be set with a grant or error already queued.
 			err := <-req.granted
+			m.settleRequest(s, req, err)
 			m.obsResolve(err, 0)
 			return err
 		}
 	}
 	s.mu.Unlock()
 	return m.wait(s, req)
+}
+
+// settleRequest recycles a request whose wait has resolved and whose
+// grant channel has been drained. Granted requests installed as holders
+// stay live until ReleaseAll frees them; everything else (failed waits,
+// upgrades merged into the existing holder) is recycled here. inHolders
+// was written under the shard mutex before the grant was sent, so
+// reading it after the receive is ordered by the channel.
+func (m *Manager) settleRequest(s *shard, req *Request, err error) {
+	if err == nil && req.inHolders {
+		return
+	}
+	s.mu.Lock()
+	s.freeReqLocked(req)
+	s.mu.Unlock()
 }
 
 // obsResolve reports a resolved wait to the metrics layer: the queue
@@ -310,15 +397,20 @@ func (m *Manager) newRequest(s *shard, owner TxnID, birth time.Time, key Key, mo
 	s.rng ^= s.rng << 13
 	s.rng ^= s.rng >> 7
 	s.rng ^= s.rng << 17
-	return &Request{
-		Owner:    owner,
-		Mode:     mode,
-		Birth:    birth,
-		Seq:      s.seq,
-		RandPrio: s.rng,
-		key:      key,
-		granted:  make(chan error, 1),
+	req, _ := s.reqPool.Get().(*Request)
+	if req == nil {
+		req = &Request{granted: make(chan error, 1)}
 	}
+	req.Owner = owner
+	req.Mode = mode
+	req.Birth = birth
+	req.Seq = s.seq
+	req.RandPrio = s.rng
+	req.key = key
+	req.upgrade = false
+	req.done = false
+	req.inHolders = false
+	return req
 }
 
 // grantableOnArrival implements the arrival rule shared by all
@@ -346,13 +438,17 @@ func (m *Manager) waitingConflict(ls *lockState, owner TxnID) bool {
 	return false
 }
 
+// trackHeld records that owner holds a lock on key in this shard. The
+// per-owner slice may contain a duplicate key when an upgrade is
+// re-granted; ReleaseAll tolerates that (the second pass finds the
+// owner's holders already gone).
 func (m *Manager) trackHeld(s *shard, owner TxnID, key Key) {
-	hk := s.held[owner]
-	if hk == nil {
-		hk = make(map[Key]struct{})
-		s.held[owner] = hk
+	hk, ok := s.held[owner]
+	if !ok && len(s.keyFree) > 0 {
+		n := len(s.keyFree) - 1
+		hk, s.keyFree = s.keyFree[n][:0], s.keyFree[:n]
 	}
-	hk[key] = struct{}{}
+	s.held[owner] = append(hk, key)
 }
 
 func (m *Manager) wait(s *shard, req *Request) error {
@@ -372,6 +468,7 @@ func (m *Manager) wait(s *shard, req *Request) error {
 		if err != nil {
 			m.deadlocksOrAborts(err)
 		}
+		m.settleRequest(s, req, err)
 		m.obsResolve(err, time.Since(start))
 		return err
 	case <-timeoutC:
@@ -386,10 +483,12 @@ func (m *Manager) wait(s *shard, req *Request) error {
 			if err != nil {
 				m.deadlocksOrAborts(err)
 			}
+			m.settleRequest(s, req, err)
 			m.obsResolve(err, time.Since(start))
 			return err
 		}
 		m.removeWaiterLocked(s, req)
+		s.freeReqLocked(req)
 		s.mu.Unlock()
 		m.waitNs.Add(time.Since(start).Nanoseconds())
 		m.waiterCount.Add(-1)
@@ -414,19 +513,22 @@ func (m *Manager) removeWaiterLocked(s *shard, req *Request) {
 	for i, w := range ls.waiters {
 		if w == req {
 			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			s.waiterRemoved(req.Owner)
 			break
 		}
 	}
 	req.done = true
-	m.cleanupLocked(s, req.key, ls)
 	// Removing a waiter can unblock others (it may have been the
 	// incompatible one ahead of them).
 	m.grantPassLocked(s, req.key, ls)
+	m.cleanupLocked(s, req.key, ls)
 }
 
 func (m *Manager) cleanupLocked(s *shard, key Key, ls *lockState) {
 	if len(ls.holders) == 0 && len(ls.waiters) == 0 {
 		delete(s.locks, key)
+		s.states.Add(-1)
+		s.statePool.Put(ls)
 	}
 }
 
@@ -434,18 +536,29 @@ func (m *Manager) cleanupLocked(s *shard, key Key, ls *lockState) {
 // waits. This is the strict-2PL unlock at commit/abort time.
 func (m *Manager) ReleaseAll(owner TxnID) {
 	for _, s := range m.shards {
+		if s.states.Load() == 0 {
+			// Nothing lives in this shard. The owner's own lock state (if
+			// it had any) can only be removed by this very call, so the
+			// racy read can never skip a shard the owner has locks or
+			// waits in.
+			continue
+		}
 		s.mu.Lock()
 		keys := s.held[owner]
 		if keys != nil {
 			delete(s.held, owner)
-			for key := range keys {
+			for _, key := range keys {
 				ls := s.locks[key]
 				if ls == nil {
-					continue
+					continue // duplicate key from an upgrade re-grant
 				}
 				for i := 0; i < len(ls.holders); {
-					if ls.holders[i].Owner == owner {
+					if h := ls.holders[i]; h.Owner == owner {
 						ls.holders = append(ls.holders[:i], ls.holders[i+1:]...)
+						// The owner's Acquire returned long ago; only stale
+						// detector snapshots still reference h, and the gen
+						// bump invalidates those.
+						s.freeReqLocked(h)
 					} else {
 						i++
 					}
@@ -453,14 +566,20 @@ func (m *Manager) ReleaseAll(owner TxnID) {
 				m.grantPassLocked(s, key, ls)
 				m.cleanupLocked(s, key, ls)
 			}
+			s.keyFree = append(s.keyFree, keys)
 		}
 		// Cancel pending waits (abort path; a committing txn has none).
-		m.cancelWaitsLocked(s, owner, ErrAborted)
+		if s.waiting[owner] > 0 {
+			m.cancelWaitsLocked(s, owner, ErrAborted)
+		}
 		s.mu.Unlock()
 	}
 }
 
 func (m *Manager) cancelWaitsLocked(s *shard, owner TxnID, cause error) {
+	if s.waiting[owner] == 0 {
+		return
+	}
 	for key, ls := range s.locks {
 		changed := false
 		for i := 0; i < len(ls.waiters); {
@@ -468,6 +587,7 @@ func (m *Manager) cancelWaitsLocked(s *shard, owner TxnID, cause error) {
 			if w.Owner == owner && !w.done {
 				ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
 				w.done = true
+				s.waiterRemoved(owner)
 				w.granted <- cause
 				changed = true
 			} else {
@@ -530,6 +650,7 @@ func (m *Manager) grantLocked(s *shard, key Key, ls *lockState, w *Request) {
 	for i, q := range ls.waiters {
 		if q == w {
 			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			s.waiterRemoved(w.Owner)
 			break
 		}
 	}
@@ -546,9 +667,11 @@ func (m *Manager) grantLocked(s *shard, key Key, ls *lockState, w *Request) {
 		if !upgraded {
 			// Holder vanished (owner released while upgrade waited);
 			// grant as a fresh exclusive lock.
+			w.inHolders = true
 			ls.holders = append(ls.holders, w)
 		}
 	} else {
+		w.inHolders = true
 		ls.holders = append(ls.holders, w)
 	}
 	m.trackHeld(s, w.Owner, key)

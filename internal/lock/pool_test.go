@@ -1,0 +1,94 @@
+package lock
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAllocsFastPathZero is the allocation guardrail for the uncontended
+// fast path: an exclusive acquire of a cold key plus ReleaseAll must not
+// allocate in steady state — the lockState, the Request and its grant
+// channel, and the held-key slice all come from per-shard pools.
+func TestAllocsFastPathZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items randomly")
+	}
+	m := NewManager(Options{Scheduler: FCFS{}, DetectInterval: -1})
+	defer m.Close()
+	k := Key{1, 1}
+	birth := time.Now()
+	// Warm the pools.
+	for i := 0; i < 16; i++ {
+		if err := m.Acquire(1, birth, k, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(1)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Acquire(1, birth, k, Exclusive)
+		m.ReleaseAll(1)
+	})
+	if allocs != 0 {
+		t.Errorf("uncontended acquire/release allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestRequestPoolReuseStress drives contended, deadlock-prone, timeout-
+// prone traffic so pooled Requests are recycled while the detector holds
+// stale snapshots of them. Run under -race this checks the generation
+// guard: a recycled request must never be confused with its previous
+// wait, and every acquire must resolve with a coherent verdict.
+func TestRequestPoolReuseStress(t *testing.T) {
+	m := NewManager(Options{
+		Scheduler:      VATS{},
+		WaitTimeout:    20 * time.Millisecond,
+		DetectInterval: 200 * time.Microsecond,
+		Shards:         4, // force key collisions onto shared pools
+	})
+	defer m.Close()
+
+	const (
+		workers = 8
+		iters   = 300
+		keys    = 6
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				owner := TxnID(w*iters + i + 1)
+				birth := time.Now()
+				// Lock 2-3 keys in random order: plenty of deadlocks.
+				n := 2 + rng.Intn(2)
+				for j := 0; j < n; j++ {
+					k := Key{1, uint64(rng.Intn(keys))}
+					mode := Exclusive
+					if rng.Intn(3) == 0 {
+						mode = Shared
+					}
+					if err := m.Acquire(owner, birth, k, mode); err != nil {
+						break // deadlock victim, timeout, or cancelled: all fine
+					}
+				}
+				m.ReleaseAll(owner)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiesced: no lock state may survive.
+	for id := uint64(0); id < keys; id++ {
+		k := Key{1, id}
+		if n := m.HolderCount(k); n != 0 {
+			t.Errorf("key %v still has %d holders after quiesce", k, n)
+		}
+		if n := m.QueueLen(k); n != 0 {
+			t.Errorf("key %v still has %d waiters after quiesce", k, n)
+		}
+	}
+}

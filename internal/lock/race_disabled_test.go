@@ -1,0 +1,5 @@
+//go:build !race
+
+package lock
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package lock
+
+// raceEnabled reports whether the race detector is active. Under race
+// the runtime makes sync.Pool drop items at random, so allocation-count
+// assertions about pooled objects are meaningless.
+const raceEnabled = true

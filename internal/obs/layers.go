@@ -226,6 +226,14 @@ func (m *WALMetrics) Append() {
 	m.appends.Inc()
 }
 
+// AppendN counts n buffered redo records delivered as one batch.
+func (m *WALMetrics) AppendN(n int) {
+	if m == nil {
+		return
+	}
+	m.appends.Add(int64(n))
+}
+
 // Grouped counts a commit satisfied by another transaction's flush.
 func (m *WALMetrics) Grouped() {
 	if m == nil {

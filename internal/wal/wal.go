@@ -9,10 +9,18 @@
 // latency variance. In parallel mode two (or more) log devices hold
 // independent sets of redo logs and a committing transaction picks the
 // stream with fewer waiters, waiting only when none is free (§6.2).
+//
+// The log is stored as *batches*, not individual records: a transaction
+// hands the manager all of its redo records in one AppendBatch call (one
+// lock acquisition per transaction instead of one per statement), the
+// batch travels through buffered → written → durable as a unit, and the
+// commit-path durability check is an O(1) per-transaction outstanding-
+// batch counter plus durable-LSN watermarks — never a log scan.
 package wal
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,22 +95,20 @@ type Stats struct {
 	GroupedCommits int64
 }
 
-type recState int32
-
-const (
-	stateBuffered recState = iota
-	stateInFlight
-	stateWritten // written to device, not yet fsynced (LazyFlush)
-	stateDurable
-)
-
-type record struct {
-	lsn     LSN
-	txn     uint64
-	payload []byte
-	state   recState
-	stream  int
+// batch is the unit of log storage and of durability: the redo records
+// one AppendBatch call delivered for one transaction. Payloads live in a
+// single contiguous buffer with per-record end offsets, so a batch of n
+// records costs two allocations, not n. A batch becomes durable as a
+// whole — after a crash it is either fully recovered or fully absent.
+type batch struct {
+	txn   uint64
+	first LSN    // LSN of record 0; records are dense through last()
+	data  []byte // concatenated payload bytes
+	ends  []int  // ends[i] = end offset of record i in data
 }
+
+func (b *batch) last() LSN  { return b.first + LSN(len(b.ends)) - 1 }
+func (b *batch) bytes() int { return len(b.data) }
 
 // Manager is the redo-log manager.
 type Manager struct {
@@ -110,10 +116,34 @@ type Manager struct {
 	streams []*stream
 	met     *obs.WALMetrics
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	next    LSN
-	records []*record // all records in LSN order (the "log")
+	// next is the last allocated LSN; allocation is a lock-free atomic
+	// add, so concurrent appenders never serialize on LSN assignment.
+	next atomic.Uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// buffered holds appended batches not yet claimed by any flush;
+	// written holds batches a LazyFlush commit pushed to the OS cache,
+	// awaiting background fsync; durable holds everything fsynced.
+	// A claim moves whole batches out of buffered/written, performs the
+	// device I/O without m.mu, then completes them into durable — so
+	// claiming is O(batches taken), never O(log length).
+	buffered      []*batch
+	bufferedBytes int
+	written       []*batch
+	writtenBytes  int
+	durable       []*batch
+	durableRecs   int
+	// pending counts, per transaction, how many of its batches are not
+	// yet durable: the commit-path durability check is pending[txn] == 0.
+	pending map[uint64]int
+	// marks[i] is the highest LSN stream i has made durable; contig is
+	// the global durable watermark — every LSN ≤ contig is durable. ooo
+	// holds completed ranges waiting for a gap to fill (out-of-order
+	// completion across parallel streams), sorted by first LSN.
+	marks   []LSN
+	contig  LSN
+	ooo     []lsnRange
 	crashed bool
 
 	appends atomic.Int64
@@ -125,6 +155,8 @@ type Manager struct {
 	stopFlusher chan struct{}
 	flusherDone chan struct{}
 }
+
+type lsnRange struct{ first, last LSN }
 
 type stream struct {
 	idx     int
@@ -141,9 +173,10 @@ func New(cfg Config) *Manager {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 5 * time.Millisecond
 	}
-	m := &Manager{cfg: cfg}
+	m := &Manager{cfg: cfg, pending: make(map[uint64]int)}
 	m.met = obs.NewWALMetrics(cfg.Obs, len(cfg.Devices))
 	m.cond = sync.NewCond(&m.mu)
+	m.marks = make([]LSN, len(cfg.Devices))
 	for i, d := range cfg.Devices {
 		m.streams = append(m.streams, &stream{idx: i, dev: d})
 	}
@@ -158,19 +191,47 @@ func New(cfg Config) *Manager {
 // Append buffers one redo record for txn and returns its LSN. The record
 // is not durable until Commit (eager) or a background flush (lazy).
 func (m *Manager) Append(txn uint64, payload []byte) (LSN, error) {
-	p := make([]byte, len(payload))
-	copy(p, payload)
+	bt := &batch{txn: txn, data: append([]byte(nil), payload...), ends: []int{len(payload)}}
+	return m.appendBatch(txn, bt, 1)
+}
+
+// AppendBatch buffers all of txn's payloads as one atomic batch and
+// returns the LSN of its first record; the rest follow densely. The
+// payload bytes are copied once into a single contiguous buffer, and the
+// whole batch takes one lock acquisition regardless of record count.
+// Durability is all-or-nothing: after a crash either every record in the
+// batch is recovered or none is.
+func (m *Manager) AppendBatch(txn uint64, payloads [][]byte) (LSN, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	bt := &batch{txn: txn, data: make([]byte, 0, total), ends: make([]int, len(payloads))}
+	for i, p := range payloads {
+		bt.data = append(bt.data, p...)
+		bt.ends[i] = len(bt.data)
+	}
+	return m.appendBatch(txn, bt, len(payloads))
+}
+
+func (m *Manager) appendBatch(txn uint64, bt *batch, n int) (LSN, error) {
+	last := LSN(m.next.Add(uint64(n)))
+	bt.first = last - LSN(n) + 1
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.crashed {
+		m.mu.Unlock()
 		return 0, ErrCrashed
 	}
-	m.next++
-	r := &record{lsn: m.next, txn: txn, payload: p}
-	m.records = append(m.records, r)
-	m.appends.Add(1)
-	m.met.Append()
-	return r.lsn, nil
+	m.buffered = append(m.buffered, bt)
+	m.bufferedBytes += bt.bytes()
+	m.pending[txn]++
+	m.mu.Unlock()
+	m.appends.Add(int64(n))
+	m.met.AppendN(n)
+	return bt.first, nil
 }
 
 // Commit makes txn's records durable according to the policy and returns
@@ -199,7 +260,7 @@ func (m *Manager) commitEager(txn uint64) error {
 			m.mu.Unlock()
 			return ErrCrashed
 		}
-		if m.txnDurableLocked(txn) {
+		if m.pending[txn] == 0 {
 			m.mu.Unlock()
 			return nil
 		}
@@ -207,7 +268,7 @@ func (m *Manager) commitEager(txn uint64) error {
 
 		// Queue on a log stream. Whoever gets the stream lock becomes
 		// the group-commit leader and flushes everything buffered at
-		// that moment; committers queued behind it find their records
+		// that moment; committers queued behind it find their batches
 		// already durable when they get the lock.
 		st := m.pickStream()
 		st.waiters.Add(1)
@@ -219,7 +280,7 @@ func (m *Manager) commitEager(txn uint64) error {
 			st.waiters.Add(-1)
 			return ErrCrashed
 		}
-		if m.txnDurableLocked(txn) {
+		if m.pending[txn] == 0 {
 			m.mu.Unlock()
 			st.mu.Unlock()
 			st.waiters.Add(-1)
@@ -227,16 +288,16 @@ func (m *Manager) commitEager(txn uint64) error {
 			m.met.Grouped()
 			return nil
 		}
-		batch, bytes := m.takeBatchLocked(stateBuffered, stateInFlight)
+		claim, bytes := m.claimBufferedLocked()
 		m.mu.Unlock()
 
-		if len(batch) == 0 {
-			// Our records are in flight with a leader on another
+		if len(claim) == 0 {
+			// Our batches are in flight with a leader on another
 			// stream (parallel mode); wait for its broadcast.
 			st.mu.Unlock()
 			st.waiters.Add(-1)
 			m.mu.Lock()
-			for !m.crashed && !m.txnDurableLocked(txn) {
+			for !m.crashed && m.pending[txn] != 0 {
 				m.cond.Wait()
 			}
 			crashed := m.crashed
@@ -256,20 +317,18 @@ func (m *Manager) commitEager(txn uint64) error {
 		st.dev.WriteBytes(bytes)
 		st.dev.Fsync()
 		if !flushStart.IsZero() {
-			m.met.FlushDone(time.Since(flushStart), len(batch), bytes, st.idx)
+			m.met.FlushDone(time.Since(flushStart), recordCount(claim), bytes, st.idx)
 		}
 
 		m.mu.Lock()
 		if m.crashed {
+			// Crash raced with the flush; do not resurrect batches.
 			m.mu.Unlock()
 			st.mu.Unlock()
 			st.waiters.Add(-1)
 			return ErrCrashed
 		}
-		for _, r := range batch {
-			r.state = stateDurable
-		}
-		m.synced.Add(int64(len(batch)))
+		m.completeLocked(claim, st.idx)
 		m.cond.Broadcast()
 		m.mu.Unlock()
 		st.mu.Unlock()
@@ -289,36 +348,95 @@ func (m *Manager) commitLazyFlush(txn uint64) error {
 	if m.crashed {
 		return ErrCrashed
 	}
-	for _, r := range m.records {
-		if r.txn == txn && r.state == stateBuffered {
-			r.state = stateWritten
+	kept := m.buffered[:0]
+	for _, bt := range m.buffered {
+		if bt.txn == txn {
+			m.written = append(m.written, bt)
+			m.writtenBytes += bt.bytes()
+			m.bufferedBytes -= bt.bytes()
+			continue
 		}
+		kept = append(kept, bt)
 	}
+	for i := len(kept); i < len(m.buffered); i++ {
+		m.buffered[i] = nil
+	}
+	m.buffered = kept
 	return nil
 }
 
-// takeBatchLocked claims every record in `from` state, marking it `to`,
-// and returns the batch and its total byte size. Caller holds m.mu.
-func (m *Manager) takeBatchLocked(from, to recState) ([]*record, int) {
-	var batch []*record
-	bytes := 0
-	for _, r := range m.records {
-		if r.state == from {
-			r.state = to
-			batch = append(batch, r)
-			bytes += len(r.payload)
-		}
-	}
-	return batch, bytes
+// claimBufferedLocked claims every buffered batch for flushing, leaving
+// the buffered list empty. Caller holds m.mu; the claim is completed (or
+// abandoned on crash) without re-scanning the log.
+func (m *Manager) claimBufferedLocked() ([]*batch, int) {
+	claim := m.buffered
+	bytes := m.bufferedBytes
+	m.buffered = nil
+	m.bufferedBytes = 0
+	return claim, bytes
 }
 
-func (m *Manager) txnDurableLocked(txn uint64) bool {
-	for _, r := range m.records {
-		if r.txn == txn && r.state != stateDurable {
-			return false
+// claimWrittenLocked claims every written-but-unsynced batch.
+func (m *Manager) claimWrittenLocked() ([]*batch, int) {
+	claim := m.written
+	bytes := m.writtenBytes
+	m.written = nil
+	m.writtenBytes = 0
+	return claim, bytes
+}
+
+// completeLocked marks claimed batches durable: appends them to the
+// durable log, settles each transaction's outstanding-batch counter, and
+// advances the stream's and the global durable-LSN watermarks. Caller
+// holds m.mu.
+func (m *Manager) completeLocked(claim []*batch, stream int) {
+	recs := 0
+	var hi LSN
+	for _, bt := range claim {
+		m.durable = append(m.durable, bt)
+		recs += len(bt.ends)
+		if l := bt.last(); l > hi {
+			hi = l
 		}
+		if c := m.pending[bt.txn] - 1; c == 0 {
+			delete(m.pending, bt.txn)
+		} else {
+			m.pending[bt.txn] = c
+		}
+		m.advanceWatermarkLocked(bt.first, bt.last())
 	}
-	return true
+	m.durableRecs += recs
+	m.synced.Add(int64(recs))
+	if stream >= 0 && stream < len(m.marks) && hi > m.marks[stream] {
+		m.marks[stream] = hi
+	}
+}
+
+// advanceWatermarkLocked merges one newly durable LSN range into the
+// global watermark. Ranges complete out of order across parallel
+// streams; completed ranges beyond a gap park in m.ooo until the gap
+// fills. Caller holds m.mu.
+func (m *Manager) advanceWatermarkLocked(first, last LSN) {
+	if first != m.contig+1 {
+		i := sort.Search(len(m.ooo), func(i int) bool { return m.ooo[i].first > first })
+		m.ooo = append(m.ooo, lsnRange{})
+		copy(m.ooo[i+1:], m.ooo[i:])
+		m.ooo[i] = lsnRange{first, last}
+		return
+	}
+	m.contig = last
+	for len(m.ooo) > 0 && m.ooo[0].first == m.contig+1 {
+		m.contig = m.ooo[0].last
+		m.ooo = m.ooo[1:]
+	}
+}
+
+func recordCount(claim []*batch) int {
+	n := 0
+	for _, bt := range claim {
+		n += len(bt.ends)
+	}
+	return n
 }
 
 // pickStream returns the log stream with the fewest waiters (§6.2); in
@@ -352,30 +470,49 @@ func (m *Manager) flushLoop() {
 }
 
 // backgroundFlush performs one flusher pass: write any still-buffered
-// records (LazyWrite) and fsync everything written but not yet durable.
+// batches (LazyWrite) and fsync everything written but not yet durable.
 func (m *Manager) backgroundFlush() {
 	m.mu.Lock()
 	if m.crashed {
 		m.mu.Unlock()
 		return
 	}
-	var toWrite []*record
+	var toWrite []*batch
 	bytes := 0
 	if m.cfg.Policy == LazyWrite {
-		toWrite, bytes = m.takeBatchLocked(stateBuffered, stateInFlight)
+		toWrite, bytes = m.claimBufferedLocked()
 	}
-	var toSync []*record
-	for _, r := range m.records {
-		if r.state == stateWritten {
-			toSync = append(toSync, r)
-			bytes += len(r.payload)
-		}
-	}
+	toSync, wb := m.claimWrittenLocked()
+	bytes += wb
 	m.mu.Unlock()
 
 	if len(toWrite) == 0 && len(toSync) == 0 {
 		return
 	}
+	m.flushClaims(toWrite, toSync, bytes)
+}
+
+// Flush forces one synchronous flush pass (used by clean shutdown).
+func (m *Manager) Flush() {
+	m.mu.Lock()
+	if m.crashed {
+		m.mu.Unlock()
+		return
+	}
+	toWrite, bytes := m.claimBufferedLocked()
+	toSync, wb := m.claimWrittenLocked()
+	bytes += wb
+	m.mu.Unlock()
+	if len(toWrite) == 0 && len(toSync) == 0 {
+		return
+	}
+	m.flushClaims(toWrite, toSync, bytes)
+}
+
+// flushClaims pushes a claimed set of batches through one device
+// write+fsync and completes them. Shared by the background flusher and
+// manual Flush.
+func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) {
 	st := m.pickStream()
 	st.mu.Lock()
 	var flushStart time.Time
@@ -387,7 +524,7 @@ func (m *Manager) backgroundFlush() {
 	}
 	st.dev.Fsync()
 	if !flushStart.IsZero() {
-		m.met.FlushDone(time.Since(flushStart), len(toWrite)+len(toSync), bytes, st.idx)
+		m.met.FlushDone(time.Since(flushStart), recordCount(toWrite)+recordCount(toSync), bytes, st.idx)
 	}
 	st.mu.Unlock()
 	m.flushes.Add(1)
@@ -395,63 +532,17 @@ func (m *Manager) backgroundFlush() {
 
 	m.mu.Lock()
 	if m.crashed {
-		// Crash raced with this flush; do not resurrect records.
+		// Crash raced with this flush; do not resurrect batches.
 		m.mu.Unlock()
 		return
 	}
-	for _, r := range toWrite {
-		r.state = stateDurable
-	}
-	for _, r := range toSync {
-		r.state = stateDurable
-	}
-	m.synced.Add(int64(len(toWrite) + len(toSync)))
+	m.completeLocked(toWrite, st.idx)
+	m.completeLocked(toSync, st.idx)
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }
 
-// Flush forces one synchronous flush pass (used by clean shutdown).
-func (m *Manager) Flush() {
-	m.mu.Lock()
-	toWrite, bytes := m.takeBatchLocked(stateBuffered, stateInFlight)
-	var toSync []*record
-	for _, r := range m.records {
-		if r.state == stateWritten {
-			toSync = append(toSync, r)
-			bytes += len(r.payload)
-		}
-	}
-	crashed := m.crashed
-	m.mu.Unlock()
-	if crashed || (len(toWrite) == 0 && len(toSync) == 0) {
-		return
-	}
-	st := m.pickStream()
-	st.mu.Lock()
-	var flushStart time.Time
-	if m.met.FlushEnabled() {
-		flushStart = time.Now()
-	}
-	if bytes > 0 {
-		st.dev.WriteBytes(bytes)
-	}
-	st.dev.Fsync()
-	if !flushStart.IsZero() {
-		m.met.FlushDone(time.Since(flushStart), len(toWrite)+len(toSync), bytes, st.idx)
-	}
-	st.mu.Unlock()
-	m.flushes.Add(1)
-	m.bytes.Add(int64(bytes))
-	m.mu.Lock()
-	for _, r := range append(toWrite, toSync...) {
-		r.state = stateDurable
-	}
-	m.synced.Add(int64(len(toWrite) + len(toSync)))
-	m.cond.Broadcast()
-	m.mu.Unlock()
-}
-
-// Crash simulates a crash: all non-durable records are lost and the
+// Crash simulates a crash: all non-durable batches are lost and the
 // manager refuses further work. Use Recovered to inspect the surviving
 // prefix. The paper's Appendix B: lazy policies "risk losing forward
 // progress in the event of a crash".
@@ -488,15 +579,26 @@ type Entry struct {
 	Payload []byte
 }
 
+// sortedDurableLocked returns the durable batches in LSN order. Parallel
+// streams complete batches out of order, so the durable list is sorted
+// lazily at read time (recovery/inspection), never on the commit path.
+func (m *Manager) sortedDurableLocked() []*batch {
+	out := append([]*batch(nil), m.durable...)
+	sort.Slice(out, func(i, j int) bool { return out[i].first < out[j].first })
+	return out
+}
+
 // RecoveredEntries returns the durable records with their transaction
 // ids in LSN order — the input to the engine's redo recovery.
 func (m *Manager) RecoveredEntries() []Entry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out []Entry
-	for _, r := range m.records {
-		if r.state == stateDurable {
-			out = append(out, Entry{LSN: r.lsn, Txn: r.txn, Payload: r.payload})
+	for _, bt := range m.sortedDurableLocked() {
+		start := 0
+		for i, end := range bt.ends {
+			out = append(out, Entry{LSN: bt.first + LSN(i), Txn: bt.txn, Payload: bt.data[start:end:end]})
+			start = end
 		}
 	}
 	return out
@@ -504,18 +606,40 @@ func (m *Manager) RecoveredEntries() []Entry {
 
 // Truncate discards durable records with LSN below `before` — the log
 // reclamation step after a checkpoint. Non-durable records are never
-// discarded regardless of LSN.
+// discarded regardless of LSN. Surviving records of a partially
+// truncated batch are copied into a fresh buffer so the discarded
+// payload bytes are actually released, not pinned by the old backing
+// array.
 func (m *Manager) Truncate(before LSN) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	kept := m.records[:0]
-	for _, r := range m.records {
-		if r.lsn < before && r.state == stateDurable {
-			continue
+	kept := make([]*batch, 0, len(m.durable))
+	recs := 0
+	for _, bt := range m.durable {
+		switch {
+		case bt.last() < before:
+			continue // fully truncated; batch memory is released
+		case bt.first >= before:
+			kept = append(kept, bt)
+			recs += len(bt.ends)
+		default:
+			drop := int(before - bt.first)
+			start := bt.ends[drop-1]
+			nb := &batch{
+				txn:   bt.txn,
+				first: before,
+				data:  append([]byte(nil), bt.data[start:]...),
+				ends:  make([]int, len(bt.ends)-drop),
+			}
+			for i := range nb.ends {
+				nb.ends[i] = bt.ends[drop+i] - start
+			}
+			kept = append(kept, nb)
+			recs += len(nb.ends)
 		}
-		kept = append(kept, r)
 	}
-	m.records = kept
+	m.durable = kept
+	m.durableRecs = recs
 }
 
 // Recovered returns the payloads of durable records in LSN order — what
@@ -524,9 +648,11 @@ func (m *Manager) Recovered() [][]byte {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out [][]byte
-	for _, r := range m.records {
-		if r.state == stateDurable {
-			out = append(out, r.payload)
+	for _, bt := range m.sortedDurableLocked() {
+		start := 0
+		for _, end := range bt.ends {
+			out = append(out, bt.data[start:end:end])
+			start = end
 		}
 	}
 	return out
@@ -536,13 +662,26 @@ func (m *Manager) Recovered() [][]byte {
 func (m *Manager) DurableCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for _, r := range m.records {
-		if r.state == stateDurable {
-			n++
-		}
-	}
-	return n
+	return m.durableRecs
+}
+
+// DurableWatermark returns the global durable watermark: the highest LSN
+// W such that every record with LSN ≤ W has been made durable. It is
+// monotone non-decreasing and advances only when out-of-order stream
+// completions close their gaps.
+func (m *Manager) DurableWatermark() LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.contig
+}
+
+// StreamWatermarks returns, per log stream, the highest LSN that stream
+// has made durable (0 if it has flushed nothing). Each entry is monotone
+// non-decreasing.
+func (m *Manager) StreamWatermarks() []LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]LSN(nil), m.marks...)
 }
 
 // Stats returns a snapshot of counters.
