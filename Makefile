@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json repro
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-smoke repro
 
 all: build vet short
 
@@ -18,10 +18,11 @@ short:
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrent-by-design packages (the sharded metrics
-# registry and the stats accumulators it merges).
+# Race-check the concurrent-by-design packages (the lock-free read path,
+# the sharded metrics registry and the stats accumulators it merges).
 race:
-	$(GO) test -race -short ./internal/obs/... ./internal/stats/...
+	$(GO) test -race -short ./internal/btree/... ./internal/buffer/... \
+		./internal/storage/... ./internal/obs/... ./internal/stats/...
 
 # Observability overhead guardrail (see docs/OBSERVABILITY.md).
 bench:
@@ -30,7 +31,20 @@ bench:
 # Commit hot-path benchmark suite -> BENCH_PR2.json, including the frozen
 # pre-PR baseline for before/after comparison (see docs/PERF.md).
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR2.json
+	sh scripts/bench_json.sh commit BENCH_PR2.json
+
+# Read hot-path benchmark suite at -cpu 1,8 -> BENCH_PR3.json (sharded
+# buffer pool, seqlock table reads, lock-free catalog; see docs/PERF.md).
+bench-read-json:
+	sh scripts/bench_json.sh read BENCH_PR3.json
+
+# One-iteration benchmark compile-and-run pass over the hot-path
+# packages: catches benchmarks that no longer build or panic without
+# paying for a measurement run (CI runs this).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x \
+		./internal/buffer/ ./internal/storage/ ./internal/engine/ \
+		./internal/lock/ ./internal/wal/
 
 repro:
 	$(GO) run ./cmd/repro -quick

@@ -29,6 +29,7 @@ func main() {
 		rate    = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
 		count   = flag.Int("count", 1000, "transactions to measure")
 		pages   = flag.Int("buffer", 4096, "buffer pool pages")
+		shards  = flag.Int("buffer-shards", 0, "buffer pool instances (0 = one)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		obsAddr = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
 	)
@@ -45,9 +46,10 @@ func main() {
 	}
 
 	opts := vats.Options{
-		BufferPages: *pages,
-		ParallelLog: *par,
-		Seed:        *seed,
+		BufferPages:  *pages,
+		BufferShards: *shards,
+		ParallelLog:  *par,
+		Seed:         *seed,
 	}
 	switch strings.ToUpper(*sched) {
 	case "VATS":

@@ -1,16 +1,23 @@
 // Package btree provides an in-memory B+-tree keyed by uint64, used by
-// the storage layer for clustered and secondary indexes. Leaves are
-// linked for cheap range scans (the btr_cur_search_to_nth_level analog:
-// lookups traverse the tree level by level, so latency varies with tree
-// height — inherent variance, as the paper's §4.1 notes).
+// the storage layer for clustered and secondary indexes. Lookups
+// traverse the tree level by level (the btr_cur_search_to_nth_level
+// analog), so latency varies with tree height — inherent variance, as
+// the paper's §4.1 notes.
 //
-// The tree is not safe for concurrent use; callers synchronize (the
-// storage layer wraps each index in an RWMutex).
+// The tree is copy-on-write: every mutation path-copies the nodes it
+// touches and atomically publishes a new root, so any number of readers
+// may run lock-free and race-free against ONE writer. Readers always
+// see a consistent snapshot — a lookup or range scan that started
+// before a mutation keeps iterating the old version. Writers must still
+// be externally synchronized with each other (the storage layer holds
+// its table mutex around mutations); only reader/writer concurrency is
+// handled here. Values are shared between snapshots, so callers must
+// treat stored values as immutable (replace, don't mutate in place).
 package btree
 
 import (
 	"fmt"
-	"sort"
+	"sync/atomic"
 )
 
 // DefaultOrder is the default maximum number of children per internal
@@ -19,17 +26,22 @@ const DefaultOrder = 64
 
 // Tree is a B+-tree mapping uint64 keys to values of type V.
 type Tree[V any] struct {
-	root   *node[V]
+	root   atomic.Pointer[node[V]]
+	length atomic.Int64
 	order  int // max children of an internal node; leaves hold order-1 max keys
-	length int
+
+	// writeGen stamps nodes created by the current mutation so a write
+	// path can tell its own fresh copies (safe to mutate in place) from
+	// published nodes (must be cloned first). Only the writer touches it.
+	writeGen uint64
 }
 
 type node[V any] struct {
+	gen      uint64
 	leaf     bool
 	keys     []uint64
 	children []*node[V] // internal only: len(children) == len(keys)+1
 	values   []V        // leaf only: len(values) == len(keys)
-	next     *node[V]   // leaf only
 }
 
 // New returns a tree with the given order (maximum fan-out); order < 4
@@ -41,35 +53,59 @@ func New[V any](order int) *Tree[V] {
 	if order < 4 {
 		order = 4
 	}
-	return &Tree[V]{order: order, root: &node[V]{leaf: true}}
+	t := &Tree[V]{order: order}
+	t.root.Store(&node[V]{leaf: true})
+	return t
 }
 
 // Len returns the number of keys in the tree.
-func (t *Tree[V]) Len() int { return t.length }
+func (t *Tree[V]) Len() int { return int(t.length.Load()) }
 
 // Height returns the number of levels (1 for a lone leaf).
 func (t *Tree[V]) Height() int {
 	h := 1
-	for n := t.root; !n.leaf; n = n.children[0] {
+	for n := t.root.Load(); !n.leaf; n = n.children[0] {
 		h++
 	}
 	return h
 }
 
+// search returns the first index with keys[i] >= key. Open-coded binary
+// search: this is the innermost loop of every lookup, and the closure
+// sort.Search takes costs more than the search itself.
 func (n *node[V]) search(key uint64) int {
-	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // childIndex returns which child of an internal node covers key.
 // Internal keys act as separators: child i covers keys < keys[i];
 // the last child covers the rest. Keys equal to the separator go right.
 func (n *node[V]) childIndex(key uint64) int {
-	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if key < n.keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
-// Get returns the value for key.
+// Get returns the value for key. Safe to call concurrently with one
+// writer: it reads a consistent published snapshot.
 func (t *Tree[V]) Get(key uint64) (V, bool) {
-	n := t.root
+	n := t.root.Load()
 	for !n.leaf {
 		n = n.children[n.childIndex(key)]
 	}
@@ -81,23 +117,46 @@ func (t *Tree[V]) Get(key uint64) (V, bool) {
 	return zero, false
 }
 
+// mutable returns a node the current mutation owns: n itself if it was
+// created by this mutation, otherwise a fresh copy (with one slot of
+// growth headroom so a following insert rarely reallocates). Published
+// nodes are never written in place.
+func (t *Tree[V]) mutable(n *node[V]) *node[V] {
+	if n.gen == t.writeGen {
+		return n
+	}
+	c := &node[V]{gen: t.writeGen, leaf: n.leaf}
+	c.keys = append(make([]uint64, 0, len(n.keys)+1), n.keys...)
+	if n.leaf {
+		c.values = append(make([]V, 0, len(n.values)+1), n.values...)
+	} else {
+		c.children = append(make([]*node[V], 0, len(n.children)+1), n.children...)
+	}
+	return c
+}
+
 // Insert sets key to v, returning true if an existing value was replaced.
 func (t *Tree[V]) Insert(key uint64, v V) bool {
-	replaced := t.insert(t.root, key, v)
+	t.writeGen++
+	root := t.mutable(t.root.Load())
+	replaced := t.insert(root, key, v)
 	if !replaced {
-		t.length++
+		t.length.Add(1)
 	}
-	if t.overflow(t.root) {
-		left := t.root
+	if t.overflow(root) {
+		left := root
 		mid, right := t.split(left)
-		t.root = &node[V]{
+		root = &node[V]{
+			gen:      t.writeGen,
 			keys:     []uint64{mid},
 			children: []*node[V]{left, right},
 		}
 	}
+	t.root.Store(root)
 	return replaced
 }
 
+// insert descends into n, which the caller owns (gen == writeGen).
 func (t *Tree[V]) insert(n *node[V], key uint64, v V) bool {
 	if n.leaf {
 		i := n.search(key)
@@ -115,7 +174,8 @@ func (t *Tree[V]) insert(n *node[V], key uint64, v V) bool {
 		return false
 	}
 	ci := n.childIndex(key)
-	child := n.children[ci]
+	child := t.mutable(n.children[ci])
+	n.children[ci] = child
 	replaced := t.insert(child, key, v)
 	if t.overflow(child) {
 		mid, right := t.split(child)
@@ -136,25 +196,25 @@ func (t *Tree[V]) overflow(n *node[V]) bool {
 	return len(n.children) > t.order
 }
 
-// split divides an overflowing node into two, returning the separator
-// key and the new right sibling.
+// split divides an overflowing owned node into two, returning the
+// separator key and the new right sibling.
 func (t *Tree[V]) split(n *node[V]) (uint64, *node[V]) {
 	if n.leaf {
 		mid := len(n.keys) / 2
 		right := &node[V]{
+			gen:    t.writeGen,
 			leaf:   true,
 			keys:   append([]uint64(nil), n.keys[mid:]...),
 			values: append([]V(nil), n.values[mid:]...),
-			next:   n.next,
 		}
 		n.keys = n.keys[:mid:mid]
 		n.values = n.values[:mid:mid]
-		n.next = right
 		return right.keys[0], right
 	}
 	mid := len(n.keys) / 2
 	sep := n.keys[mid]
 	right := &node[V]{
+		gen:      t.writeGen,
 		keys:     append([]uint64(nil), n.keys[mid+1:]...),
 		children: append([]*node[V](nil), n.children[mid+1:]...),
 	}
@@ -165,16 +225,21 @@ func (t *Tree[V]) split(n *node[V]) (uint64, *node[V]) {
 
 // Delete removes key, returning whether it was present.
 func (t *Tree[V]) Delete(key uint64) bool {
-	deleted := t.delete(t.root, key)
+	t.writeGen++
+	root := t.mutable(t.root.Load())
+	deleted := t.delete(root, key)
 	if deleted {
-		t.length--
+		t.length.Add(-1)
 	}
-	if !t.root.leaf && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
+	var pub *node[V] = root
+	if !root.leaf && len(root.children) == 1 {
+		pub = root.children[0]
 	}
+	t.root.Store(pub)
 	return deleted
 }
 
+// delete descends into n, which the caller owns.
 func (t *Tree[V]) delete(n *node[V], key uint64) bool {
 	if n.leaf {
 		i := n.search(key)
@@ -186,7 +251,8 @@ func (t *Tree[V]) delete(n *node[V], key uint64) bool {
 		return true
 	}
 	ci := n.childIndex(key)
-	child := n.children[ci]
+	child := t.mutable(n.children[ci])
+	n.children[ci] = child
 	deleted := t.delete(child, key)
 	if deleted && t.underflow(child) {
 		t.rebalance(n, ci)
@@ -202,15 +268,17 @@ func (t *Tree[V]) underflow(n *node[V]) bool {
 	return len(n.children) < (t.order+1)/2
 }
 
-// rebalance fixes an underflowing child ci of parent n by borrowing from
-// or merging with a sibling.
+// rebalance fixes an underflowing child ci of parent n (both owned) by
+// borrowing from or merging with a sibling. Siblings are published
+// nodes, so they are cloned before being written.
 func (t *Tree[V]) rebalance(n *node[V], ci int) {
 	child := n.children[ci]
 
 	// Try borrowing from the left sibling.
 	if ci > 0 {
-		left := n.children[ci-1]
-		if t.canLend(left) {
+		if t.canLend(n.children[ci-1]) {
+			left := t.mutable(n.children[ci-1])
+			n.children[ci-1] = left
 			if child.leaf {
 				k := left.keys[len(left.keys)-1]
 				v := left.values[len(left.values)-1]
@@ -234,8 +302,9 @@ func (t *Tree[V]) rebalance(n *node[V], ci int) {
 	}
 	// Try borrowing from the right sibling.
 	if ci < len(n.children)-1 {
-		right := n.children[ci+1]
-		if t.canLend(right) {
+		if t.canLend(n.children[ci+1]) {
+			right := t.mutable(n.children[ci+1])
+			n.children[ci+1] = right
 			if child.leaf {
 				k := right.keys[0]
 				v := right.values[0]
@@ -258,6 +327,7 @@ func (t *Tree[V]) rebalance(n *node[V], ci int) {
 	}
 	// Merge with a sibling.
 	if ci > 0 {
+		n.children[ci-1] = t.mutable(n.children[ci-1])
 		t.merge(n, ci-1)
 	} else {
 		t.merge(n, ci)
@@ -272,12 +342,12 @@ func (t *Tree[V]) canLend(n *node[V]) bool {
 }
 
 // merge folds child i+1 of n into child i and removes the separator.
+// n and child i are owned; child i+1 is only read.
 func (t *Tree[V]) merge(n *node[V], i int) {
 	left, right := n.children[i], n.children[i+1]
 	if left.leaf {
 		left.keys = append(left.keys, right.keys...)
 		left.values = append(left.values, right.values...)
-		left.next = right.next
 	} else {
 		left.keys = append(left.keys, n.keys[i])
 		left.keys = append(left.keys, right.keys...)
@@ -288,24 +358,35 @@ func (t *Tree[V]) merge(n *node[V], i int) {
 }
 
 // AscendRange calls fn for each key in [lo, hi] in ascending order until
-// fn returns false.
+// fn returns false. The iteration runs over an immutable snapshot, so it
+// is safe (and sees frozen data) even while a writer mutates the tree.
 func (t *Tree[V]) AscendRange(lo, hi uint64, fn func(key uint64, v V) bool) {
-	n := t.root
-	for !n.leaf {
-		n = n.children[n.childIndex(lo)]
-	}
-	for n != nil {
-		i := n.search(lo)
-		for ; i < len(n.keys); i++ {
+	t.ascend(t.root.Load(), lo, hi, fn)
+}
+
+func (t *Tree[V]) ascend(n *node[V], lo, hi uint64, fn func(key uint64, v V) bool) bool {
+	if n.leaf {
+		for i := n.search(lo); i < len(n.keys); i++ {
 			if n.keys[i] > hi {
-				return
+				return false
 			}
 			if !fn(n.keys[i], n.values[i]) {
-				return
+				return false
 			}
 		}
-		n = n.next
+		return true
 	}
+	for ci := n.childIndex(lo); ci < len(n.children); ci++ {
+		if !t.ascend(n.children[ci], lo, hi, fn) {
+			return false
+		}
+		// Child ci+1 holds keys >= keys[ci]; once that bound passes hi
+		// nothing further right matters.
+		if ci < len(n.keys) && n.keys[ci] > hi {
+			return true
+		}
+	}
+	return true
 }
 
 // Ascend calls fn over every key in ascending order until fn returns
@@ -318,13 +399,13 @@ func (t *Tree[V]) Ascend(fn func(key uint64, v V) bool) {
 // until fn returns false. Used for latest-first lookups (e.g. TPC-C
 // Order-Status reads a customer's most recent order).
 func (t *Tree[V]) DescendRange(hi, lo uint64, fn func(key uint64, v V) bool) {
-	t.descend(t.root, hi, lo, fn)
+	t.descend(t.root.Load(), hi, lo, fn)
 }
 
 func (t *Tree[V]) descend(n *node[V], hi, lo uint64, fn func(key uint64, v V) bool) bool {
 	if n.leaf {
 		// Last index with key <= hi.
-		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > hi })
+		i := n.childIndex(hi) // first index with hi < keys[i]
 		for i--; i >= 0; i-- {
 			if n.keys[i] < lo {
 				return false
@@ -352,7 +433,7 @@ func (t *Tree[V]) descend(n *node[V], hi, lo uint64, fn func(key uint64, v V) bo
 
 // Min returns the smallest key.
 func (t *Tree[V]) Min() (uint64, V, bool) {
-	n := t.root
+	n := t.root.Load()
 	for !n.leaf {
 		n = n.children[0]
 	}
@@ -365,7 +446,7 @@ func (t *Tree[V]) Min() (uint64, V, bool) {
 
 // Max returns the largest key.
 func (t *Tree[V]) Max() (uint64, V, bool) {
-	n := t.root
+	n := t.root.Load()
 	for !n.leaf {
 		n = n.children[len(n.children)-1]
 	}
@@ -379,32 +460,33 @@ func (t *Tree[V]) Max() (uint64, V, bool) {
 // Validate checks structural invariants, returning the first violation.
 // Used by property tests.
 func (t *Tree[V]) Validate() error {
-	count, _, _, err := t.validate(t.root, 0, ^uint64(0), true)
+	root := t.root.Load()
+	count, _, _, err := t.validate(root, 0, ^uint64(0), true)
 	if err != nil {
 		return err
 	}
-	if count != t.length {
-		return fmt.Errorf("btree: length %d but %d keys reachable", t.length, count)
+	if count != t.Len() {
+		return fmt.Errorf("btree: length %d but %d keys reachable", t.Len(), count)
 	}
-	// All leaves must be reachable via the leaf chain and sorted.
-	n := t.root
-	for !n.leaf {
-		n = n.children[0]
-	}
+	// An in-order walk must be strictly sorted.
 	prevSet := false
 	var prev uint64
-	chained := 0
-	for ; n != nil; n = n.next {
-		for _, k := range n.keys {
-			if prevSet && k <= prev {
-				return fmt.Errorf("btree: leaf chain out of order at %d", k)
-			}
-			prev, prevSet = k, true
-			chained++
+	walked := 0
+	ok := true
+	t.Ascend(func(k uint64, _ V) bool {
+		if prevSet && k <= prev {
+			ok = false
+			return false
 		}
+		prev, prevSet = k, true
+		walked++
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("btree: in-order walk out of order at %d", prev)
 	}
-	if chained != t.length {
-		return fmt.Errorf("btree: leaf chain has %d keys, length %d", chained, t.length)
+	if walked != t.Len() {
+		return fmt.Errorf("btree: walk has %d keys, length %d", walked, t.Len())
 	}
 	return nil
 }

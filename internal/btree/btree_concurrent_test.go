@@ -1,0 +1,105 @@
+package btree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentReadersOneWriter drives lock-free readers against a
+// single mutating writer (the tree's documented contract). Run with
+// -race: any in-place mutation of a published node shows up as a data
+// race here.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	tr := New[uint64](8) // small order: deep tree, frequent splits/merges
+	const keys = 4096
+	for k := uint64(1); k <= keys; k++ {
+		tr.Insert(k, k*10)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		seed := uint64(g + 1)
+		go func() {
+			defer wg.Done()
+			x := seed * 2654435761
+			for !stop.Load() {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				k := x%keys + 1
+				if v, ok := tr.Get(k); ok && v != k*10 {
+					t.Errorf("key %d has value %d, want %d", k, v, k*10)
+					return
+				}
+				// Range reads must stay sorted and self-consistent even
+				// while the writer splits and merges nodes.
+				prev := uint64(0)
+				tr.AscendRange(k, k+64, func(rk uint64, rv uint64) bool {
+					if rk <= prev || rv != rk*10 {
+						t.Errorf("scan saw key %d (prev %d) value %d", rk, prev, rv)
+						return false
+					}
+					prev = rk
+					return true
+				})
+			}
+		}()
+	}
+
+	// One writer: delete and re-insert rolling windows so the tree
+	// constantly rebalances.
+	for round := 0; round < 200; round++ {
+		base := uint64(round%64)*61 + 1
+		for k := base; k < base+32 && k <= keys; k++ {
+			tr.Delete(k)
+		}
+		for k := base; k < base+32 && k <= keys; k++ {
+			tr.Insert(k, k*10)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != keys {
+		t.Fatalf("len = %d, want %d", tr.Len(), keys)
+	}
+}
+
+// TestSnapshotIterationIsFrozen checks that an iteration running while
+// the writer deletes every key still sees the snapshot it started on.
+func TestSnapshotIterationIsFrozen(t *testing.T) {
+	tr := New[int](8)
+	const keys = 2048
+	for k := uint64(1); k <= keys; k++ {
+		tr.Insert(k, int(k))
+	}
+	started := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		seen := 0
+		tr.Ascend(func(k uint64, v int) bool {
+			if seen == 0 {
+				close(started)
+			}
+			seen++
+			return true
+		})
+		done <- seen
+	}()
+	<-started
+	for k := uint64(1); k <= keys; k++ {
+		tr.Delete(k)
+	}
+	if seen := <-done; seen != keys {
+		t.Fatalf("iteration saw %d keys, want the full %d-key snapshot", seen, keys)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+}

@@ -15,6 +15,16 @@
 // the promotion to a per-thread backlog that is drained by the next
 // successful acquirer. This package implements both policies behind
 // UpdatePolicy so the fig. 3 (left) comparison is a one-line switch.
+//
+// Independent of the LRU policy, the pool is partitioned into
+// Config.Shards instances (MySQL's innodb_buffer_pool_instances): each
+// shard owns a slice of the page hash, its own LRU lists, its own
+// capacity budget, and its own locks, so traffic to different pages
+// rarely meets on a shared line. Within a shard, the page-hash *hit*
+// path is lock-free: buckets are singly-linked chains published with
+// atomic pointers, readers pin frames with a CAS that loses to a
+// concurrent eviction (pins are tombstoned at -1 before a frame leaves
+// the hash), and only the miss/create/evict paths take the shard mutex.
 package buffer
 
 import (
@@ -70,8 +80,15 @@ var (
 
 // Config configures a Pool.
 type Config struct {
-	// Capacity is the number of page frames.
+	// Capacity is the number of page frames, summed over all shards.
 	Capacity int
+	// Shards is the number of buffer-pool instances the capacity is
+	// split across (MySQL's innodb_buffer_pool_instances). Rounded up
+	// to a power of two; 0 or 1 means a single instance, which keeps
+	// the §6.1 single-mutex contention semantics the shape experiments
+	// rely on. Shard counts that would leave a shard without a frame
+	// are clamped down.
+	Shards int
 	// PageSize is the page size in bytes (default 4096).
 	PageSize int
 	// Device backs page reads and dirty write-backs; nil means a
@@ -100,7 +117,7 @@ type Config struct {
 	Obs *obs.Obs
 }
 
-// Stats reports pool activity.
+// Stats reports pool activity, merged across shards.
 type Stats struct {
 	Hits         int64
 	Misses       int64
@@ -110,23 +127,37 @@ type Stats struct {
 	Deferred     int64 // promotions pushed to a backlog (LLU)
 	Drained      int64 // backlog entries later applied
 	DroppedDefer int64 // backlog entries dropped (full or evicted)
-	// Mutex is the eager-mode buffer-pool mutex contention profile.
+	// Mutex is the eager-mode buffer-pool mutex contention profile,
+	// summed over shards (MaxWait is the max across shards).
 	Mutex latch.MutexStats
 }
 
-type frame struct {
-	id   PageID
-	data []byte
+// pinTomb marks a frame claimed by eviction: once pins CAS from 0 to
+// pinTomb the frame can never be pinned again, so lock-free readers that
+// raced the evictor fail their pin and retry through the miss path.
+const pinTomb = -1
 
+type frame struct {
+	id    PageID
+	data  []byte
+	shard *shard
+
+	// hashNext chains frames in a page-hash bucket. Written only under
+	// the shard mutex; read lock-free by the hit path.
+	hashNext atomic.Pointer[frame]
+
+	// pins counts references. 0 = unpinned, >0 = pinned, pinTomb =
+	// evicted. Readers pin with a CAS loop (tryPin); eviction claims a
+	// frame with CAS(0, pinTomb).
 	pins      atomic.Int32
 	dirty     atomic.Bool
-	ioPending bool // guarded by Pool.tableMu
+	ioPending atomic.Bool // set under the shard mutex; cleared with Broadcast
 
 	// pageMu guards the page contents for writers (the storage layer's
 	// page latch).
 	pageMu sync.Mutex
 
-	// LRU fields, guarded by the pool's LRU lock; inOld and moveGen are
+	// LRU fields, guarded by the shard's LRU lock; inOld and moveGen are
 	// atomics so the hit fast path can read them without the lock.
 	prev, next *frame
 	inList     bool
@@ -134,45 +165,71 @@ type frame struct {
 	moveGen    atomic.Uint64
 }
 
-// Frame is a pinned page handle returned by Fetch/Create. Call Release
-// when done; use WithPageLock around mutations.
+// tryPin pins the frame unless eviction already claimed it.
+func (f *frame) tryPin() bool {
+	for {
+		pc := f.pins.Load()
+		if pc < 0 {
+			return false
+		}
+		if f.pins.CompareAndSwap(pc, pc+1) {
+			return true
+		}
+	}
+}
+
+// Frame is a pinned page handle returned by Fetch/Create. It is a small
+// value (no allocation per fetch). Call Release when done; use
+// WithPageLock (or Latch/Unlatch) around mutations.
 type Frame struct {
-	f    *frame
-	pool *Pool
+	f *frame
 }
 
 // ID returns the page id.
-func (fr *Frame) ID() PageID { return fr.f.id }
+func (fr Frame) ID() PageID { return fr.f.id }
 
 // Data returns the page contents. Readers may access it while pinned;
 // writers must hold the page lock (WithPageLock) and call MarkDirty.
-func (fr *Frame) Data() []byte { return fr.f.data }
+func (fr Frame) Data() []byte { return fr.f.data }
 
 // MarkDirty flags the page for write-back on eviction.
-func (fr *Frame) MarkDirty() { fr.f.dirty.Store(true) }
+func (fr Frame) MarkDirty() { fr.f.dirty.Store(true) }
 
 // WithPageLock runs fn with the per-page latch held.
-func (fr *Frame) WithPageLock(fn func()) {
+func (fr Frame) WithPageLock(fn func()) {
 	fr.f.pageMu.Lock()
 	defer fr.f.pageMu.Unlock()
 	fn()
 }
 
+// Latch acquires the per-page latch without a closure; pair with
+// Unlatch. The read hot path uses it to stay allocation-free.
+func (fr Frame) Latch() { fr.f.pageMu.Lock() }
+
+// Unlatch releases the per-page latch.
+func (fr Frame) Unlatch() { fr.f.pageMu.Unlock() }
+
 // Release unpins the page.
-func (fr *Frame) Release() {
+func (fr Frame) Release() {
 	if fr.f.pins.Add(-1) < 0 {
 		panic("buffer: unpin of unpinned page")
 	}
 }
 
-// Pool is the buffer pool.
-type Pool struct {
-	cfg Config
-	dev *disk.Device
+// shard is one buffer-pool instance: a slice of the page hash with its
+// own LRU lists, capacity budget, backing store, and locks.
+type shard struct {
+	pool     *Pool
+	capacity int
 
-	tableMu sync.Mutex
-	ioCond  *sync.Cond
-	table   map[PageID]*frame
+	// Page hash. Readers traverse bucket chains lock-free; all writes
+	// to the chains happen under mu.
+	buckets    []atomic.Pointer[frame]
+	bucketMask uint64
+
+	mu       sync.Mutex // guards hash membership, ioPending transitions
+	ioCond   *sync.Cond
+	resident int // frames in the hash, guarded by mu
 
 	// Backing store: page images "on disk".
 	storeMu sync.Mutex
@@ -199,8 +256,38 @@ type Pool struct {
 	deferred   atomic.Int64
 	drained    atomic.Int64
 	dropped    atomic.Int64
+}
 
-	met *obs.BufferMetrics
+// Pool is the buffer pool: Config.Shards independent instances behind
+// one façade.
+type Pool struct {
+	cfg       Config
+	dev       *disk.Device
+	met       *obs.BufferMetrics
+	shards    []*shard
+	shardMask uint64
+}
+
+// shardHashBits is how many low hash bits select the shard; bucket
+// selection uses the bits above so the two choices stay independent.
+const shardHashBits = 12
+
+// hashPageID mixes a PageID into a well-spread 64-bit hash
+// (splitmix64-style finalizer).
+func hashPageID(id PageID) uint64 {
+	h := id.No*0x9E3779B97F4A7C15 ^ uint64(id.Space)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewPool builds a pool from cfg.
@@ -220,19 +307,58 @@ func NewPool(cfg Config) *Pool {
 	if cfg.BacklogLimit <= 0 {
 		cfg.BacklogLimit = 64
 	}
-	p := &Pool{
-		cfg:   cfg,
-		dev:   cfg.Device,
-		table: make(map[PageID]*frame, cfg.Capacity),
-		store: make(map[PageID][]byte),
-		met:   obs.NewBufferMetrics(cfg.Obs, cfg.Policy.String()),
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
-	p.ioCond = sync.NewCond(&p.tableMu)
+	cfg.Shards = nextPow2(cfg.Shards)
+	if max := 1 << shardHashBits; cfg.Shards > max {
+		cfg.Shards = max
+	}
+	for cfg.Shards > 1 && cfg.Capacity/cfg.Shards < 1 {
+		cfg.Shards >>= 1
+	}
+	p := &Pool{
+		cfg:       cfg,
+		dev:       cfg.Device,
+		met:       obs.NewBufferMetrics(cfg.Obs, cfg.Policy.String()),
+		shards:    make([]*shard, cfg.Shards),
+		shardMask: uint64(cfg.Shards - 1),
+	}
+	base, extra := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
+	for i := range p.shards {
+		capi := base
+		if i < extra {
+			capi++
+		}
+		nb := nextPow2(2 * capi)
+		if nb < 8 {
+			nb = 8
+		}
+		s := &shard{
+			pool:       p,
+			capacity:   capi,
+			buckets:    make([]atomic.Pointer[frame], nb),
+			bucketMask: uint64(nb - 1),
+			store:      make(map[PageID][]byte),
+		}
+		s.ioCond = sync.NewCond(&s.mu)
+		p.shards[i] = s
+	}
 	return p
 }
 
-// Capacity returns the frame capacity.
+// shardFor routes a page to its shard and bucket index.
+func (p *Pool) shardFor(id PageID) (*shard, uint64) {
+	h := hashPageID(id)
+	s := p.shards[h&p.shardMask]
+	return s, (h >> shardHashBits) & s.bucketMask
+}
+
+// Capacity returns the frame capacity summed over shards.
 func (p *Pool) Capacity() int { return p.cfg.Capacity }
+
+// Shards returns the number of buffer-pool instances.
+func (p *Pool) Shards() int { return len(p.shards) }
 
 // PageSize returns the page size in bytes.
 func (p *Pool) PageSize() int { return p.cfg.PageSize }
@@ -246,9 +372,17 @@ type Handle struct {
 
 	// Wait accounting for the caller's profiler: time spent waiting on
 	// the buffer-pool (LRU) lock and on device I/O since TakeWaits.
-	lruWait time.Duration
-	ioWait  time.Duration
+	// Hit-path promotion waits are only timed when trackWaits is set,
+	// keeping timer syscalls off the hot path for profiler-less callers.
+	trackWaits bool
+	lruWait    time.Duration
+	ioWait     time.Duration
 }
+
+// SetWaitTracking enables hit-path LRU wait timing for this handle. The
+// engine turns it on when a profiler wants buf_pool_mutex_enter
+// attribution; without it the hit path skips the clock reads.
+func (h *Handle) SetWaitTracking(on bool) { h.trackWaits = on }
 
 // TakeWaits returns and resets the LRU-lock and device-I/O wait time
 // accumulated by this handle's operations. The engine records these as
@@ -264,238 +398,335 @@ func (p *Pool) NewHandle() *Handle { return &Handle{pool: p} }
 
 // lruLock / lruUnlock wrap whichever primitive the policy uses for
 // unconditional acquisition (miss path, eviction).
-func (p *Pool) lruLock() {
-	if p.cfg.Policy == LazyLRU {
-		p.lruLazy.Lock()
+func (s *shard) lruLock() {
+	if s.pool.cfg.Policy == LazyLRU {
+		s.lruLazy.Lock()
 	} else {
-		p.lruEager.Lock()
+		s.lruEager.Lock()
 	}
 }
 
-func (p *Pool) lruUnlock() {
-	if p.cfg.Policy == LazyLRU {
-		p.lruLazy.Unlock()
+func (s *shard) lruUnlock() {
+	if s.pool.cfg.Policy == LazyLRU {
+		s.lruLazy.Unlock()
 	} else {
-		p.lruEager.Unlock()
+		s.lruEager.Unlock()
+	}
+}
+
+// lookupLocked finds id in the shard's page hash. Caller holds s.mu.
+func (s *shard) lookupLocked(bucket uint64, id PageID) *frame {
+	for f := s.buckets[bucket].Load(); f != nil; f = f.hashNext.Load() {
+		if f.id == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// hashInsertLocked publishes f at the head of its bucket chain. Caller
+// holds s.mu.
+func (s *shard) hashInsertLocked(bucket uint64, f *frame) {
+	b := &s.buckets[bucket]
+	f.hashNext.Store(b.Load())
+	b.Store(f)
+	s.resident++
+}
+
+// hashRemoveLocked unlinks f from its bucket chain. Caller holds s.mu.
+// f's own hashNext is left intact so a lock-free reader standing on f
+// can finish its traversal.
+func (s *shard) hashRemoveLocked(bucket uint64, f *frame) {
+	b := &s.buckets[bucket]
+	var prev *frame
+	for cur := b.Load(); cur != nil; cur = cur.hashNext.Load() {
+		if cur == f {
+			next := f.hashNext.Load()
+			if prev == nil {
+				b.Store(next)
+			} else {
+				prev.hashNext.Store(next)
+			}
+			s.resident--
+			return
+		}
+		prev = cur
 	}
 }
 
 // Create allocates a new zeroed page, evicting if necessary. The page is
 // returned pinned and dirty.
-func (p *Pool) Create(id PageID) (*Frame, error) {
-	p.storeMu.Lock()
-	if _, ok := p.store[id]; ok {
-		p.storeMu.Unlock()
-		return nil, ErrPageExists
+func (p *Pool) Create(id PageID) (Frame, error) {
+	s, bucket := p.shardFor(id)
+	s.storeMu.Lock()
+	if _, ok := s.store[id]; ok {
+		s.storeMu.Unlock()
+		return Frame{}, ErrPageExists
 	}
-	p.store[id] = nil // reserve; image written on eviction/flush
-	p.storeMu.Unlock()
+	s.store[id] = nil // reserve; image written on eviction/flush
+	s.storeMu.Unlock()
 
-	p.tableMu.Lock()
-	if _, ok := p.table[id]; ok {
-		p.tableMu.Unlock()
-		return nil, ErrPageExists
+	s.mu.Lock()
+	if s.lookupLocked(bucket, id) != nil {
+		s.mu.Unlock()
+		return Frame{}, ErrPageExists
 	}
-	f, victim, err := p.installLocked(id)
+	f, victim, err := s.installLocked(bucket, id)
 	if err != nil {
-		p.tableMu.Unlock()
-		p.storeMu.Lock()
-		delete(p.store, id) // release the reservation
-		p.storeMu.Unlock()
-		return nil, err
+		s.mu.Unlock()
+		s.storeMu.Lock()
+		delete(s.store, id) // release the reservation
+		s.storeMu.Unlock()
+		return Frame{}, err
 	}
-	f.ioPending = false // no read needed for a fresh page
+	f.ioPending.Store(false) // no read needed for a fresh page
 	f.dirty.Store(true)
-	p.tableMu.Unlock()
-	p.ioCond.Broadcast()
+	s.mu.Unlock()
+	s.ioCond.Broadcast()
 
-	p.writeBackVictim(victim)
-	return &Frame{f: f, pool: p}, nil
+	s.writeBackVictim(victim)
+	return Frame{f}, nil
 }
 
 // Fetch pins page id, reading it from the backing store on a miss. The
-// Handle's policy applies LRU promotion on hits.
-func (h *Handle) Fetch(id PageID) (*Frame, error) {
+// Handle's policy applies LRU promotion on hits. The hit path is
+// lock-free: a bucket-chain probe plus a pin CAS.
+func (h *Handle) Fetch(id PageID) (Frame, error) {
 	p := h.pool
-	p.tableMu.Lock()
-	if f, ok := p.table[id]; ok {
-		f.pins.Add(1)
-		for f.ioPending {
-			p.ioCond.Wait()
+	hash := hashPageID(id)
+	s := p.shards[hash&p.shardMask]
+	bucket := (hash >> shardHashBits) & s.bucketMask
+	for f := s.buckets[bucket].Load(); f != nil; f = f.hashNext.Load() {
+		if f.id != id {
+			continue
 		}
-		// The frame may have been evicted while we waited? No: pins>0
-		// prevents eviction, and we pinned before waiting.
-		p.tableMu.Unlock()
-		p.hits.Add(1)
+		if !f.tryPin() {
+			break // lost to a concurrent eviction; resolve under the lock
+		}
+		if f.ioPending.Load() {
+			s.mu.Lock()
+			for f.ioPending.Load() {
+				s.ioCond.Wait()
+			}
+			s.mu.Unlock()
+		}
+		s.hits.Add(1)
 		p.met.Hit()
 		h.touch(f)
-		return &Frame{f: f, pool: p}, nil
+		return Frame{f}, nil
+	}
+	return h.fetchSlow(s, bucket, id)
+}
+
+// fetchSlow resolves a probe miss under the shard mutex: either the page
+// appeared concurrently (hit after all) or it must be read from the
+// backing store into a fresh frame.
+func (h *Handle) fetchSlow(s *shard, bucket uint64, id PageID) (Frame, error) {
+	p := h.pool
+	s.mu.Lock()
+	if f := s.lookupLocked(bucket, id); f != nil {
+		// Frames in the hash can't be tombstoned while we hold s.mu, so
+		// the pin only races other pinners and must eventually land.
+		if !f.tryPin() {
+			panic("buffer: evicted frame still in page hash")
+		}
+		for f.ioPending.Load() {
+			s.ioCond.Wait()
+		}
+		s.mu.Unlock()
+		s.hits.Add(1)
+		p.met.Hit()
+		h.touch(f)
+		return Frame{f}, nil
 	}
 
 	// Miss.
-	p.storeMu.Lock()
-	img, ok := p.store[id]
-	p.storeMu.Unlock()
+	s.storeMu.Lock()
+	img, ok := s.store[id]
+	s.storeMu.Unlock()
 	if !ok {
-		p.tableMu.Unlock()
-		return nil, ErrPageNotFound
+		s.mu.Unlock()
+		return Frame{}, ErrPageNotFound
 	}
 	lruStart := time.Now()
-	f, victim, err := p.installLocked(id)
+	f, victim, err := s.installLocked(bucket, id)
 	if err != nil {
-		p.tableMu.Unlock()
-		return nil, err
+		s.mu.Unlock()
+		return Frame{}, err
 	}
 	h.lruWait += time.Since(lruStart)
-	p.tableMu.Unlock()
-	p.misses.Add(1)
+	s.mu.Unlock()
+	s.misses.Add(1)
 	p.met.Miss()
 
 	ioStart := time.Now()
-	p.writeBackVictim(victim)
+	s.writeBackVictim(victim)
 	if p.dev != nil {
 		p.dev.ReadBlock()
 	}
 	h.ioWait += time.Since(ioStart)
 	copy(f.data, img)
 
-	p.tableMu.Lock()
-	f.ioPending = false
-	p.tableMu.Unlock()
-	p.ioCond.Broadcast()
-	return &Frame{f: f, pool: p}, nil
+	s.mu.Lock()
+	f.ioPending.Store(false)
+	s.mu.Unlock()
+	s.ioCond.Broadcast()
+	return Frame{f}, nil
 }
 
 // installLocked allocates a pinned, io-pending frame for id at the LRU
-// midpoint, evicting a victim if the pool is full. Caller holds tableMu.
+// midpoint, evicting a victim if the shard is full. Caller holds s.mu.
 // The returned victim (possibly nil) must be passed to writeBackVictim
-// after releasing tableMu.
-func (p *Pool) installLocked(id PageID) (*frame, *frame, error) {
+// after releasing s.mu.
+func (s *shard) installLocked(bucket uint64, id PageID) (*frame, *frame, error) {
 	var victim *frame
-	p.lruLock()
+	s.lruLock()
 	var holdStart time.Time
-	if p.met.HoldEnabled() {
+	if s.pool.met.HoldEnabled() {
 		holdStart = time.Now()
 	}
-	if p.total >= p.cfg.Capacity {
-		victim = p.pickVictimLocked()
+	if s.total >= s.capacity {
+		victim = s.claimVictimLocked()
 		if victim == nil {
-			p.lruUnlock()
+			s.lruUnlock()
 			return nil, nil, ErrNoVictim
 		}
-		p.spinCost()
-		p.unlinkLocked(victim)
-		delete(p.table, victim.id)
-		p.evictions.Add(1)
-		p.met.Evicted()
+		s.spinCost()
+		s.unlinkLocked(victim)
+		s.hashRemoveLocked((hashPageID(victim.id)>>shardHashBits)&s.bucketMask, victim)
+		s.evictions.Add(1)
+		s.pool.met.Evicted()
 		if victim.dirty.Load() {
 			// Publish the image to the backing store *before* the page
-			// leaves the table, so a concurrent re-fetch cannot read a
+			// leaves the hash, so a concurrent re-fetch cannot read a
 			// stale image. The device latency is paid by the evicting
 			// thread afterwards (writeBackVictim).
 			img := make([]byte, len(victim.data))
 			victim.pageMu.Lock()
 			copy(img, victim.data)
 			victim.pageMu.Unlock()
-			p.storeMu.Lock()
-			p.store[victim.id] = img
-			p.storeMu.Unlock()
+			s.storeMu.Lock()
+			s.store[victim.id] = img
+			s.storeMu.Unlock()
 		}
 	}
-	f := &frame{id: id, data: make([]byte, p.cfg.PageSize), ioPending: true}
+	f := &frame{id: id, data: make([]byte, s.pool.cfg.PageSize), shard: s}
+	f.ioPending.Store(true)
 	f.pins.Store(1)
-	p.insertAtMidpointLocked(f)
+	s.insertAtMidpointLocked(f)
 	if !holdStart.IsZero() {
-		p.met.Held(time.Since(holdStart))
+		s.pool.met.Held(time.Since(holdStart))
 	}
-	p.lruUnlock()
-	p.table[id] = f
+	s.lruUnlock()
+	s.hashInsertLocked(bucket, f)
 	return f, victim, nil
 }
 
 // writeBackVictim charges the evicting thread the device write for a
 // dirty victim. The image itself was already published to the backing
-// store under the table lock (see installLocked).
-func (p *Pool) writeBackVictim(victim *frame) {
+// store under the shard lock (see installLocked).
+func (s *shard) writeBackVictim(victim *frame) {
 	if victim == nil || !victim.dirty.Load() {
 		return
 	}
-	if p.dev != nil {
-		p.dev.WriteBlock()
+	if s.pool.dev != nil {
+		s.pool.dev.WriteBlock()
 	}
-	p.writeBacks.Add(1)
-	p.met.WroteBack()
+	s.writeBacks.Add(1)
+	s.pool.met.WroteBack()
 }
 
 // touch applies the LRU promotion policy to a hit frame.
 func (h *Handle) touch(f *frame) {
-	p := h.pool
+	s := f.shard
 	// Fast path: recently-promoted young pages are not reordered (the
 	// "MySQL does not maintain precise LRU ordering within the young
-	// list" rule), so a well-sized pool rarely touches the LRU lock.
+	// list" rule), so a well-sized shard rarely touches the LRU lock.
 	if !f.inOld.Load() {
-		skip := uint64(p.cfg.Capacity / 4)
-		if p.gen.Load()-f.moveGen.Load() <= skip {
+		skip := uint64(s.capacity / 4)
+		if s.gen.Load()-f.moveGen.Load() <= skip {
 			return
 		}
 	}
+	p := s.pool
 	if p.cfg.Policy == EagerLRU {
-		start := time.Now()
-		p.lruEager.Lock()
-		acq := time.Now()
-		h.lruWait += acq.Sub(start)
-		p.makeYoungLocked(f)
-		if p.met.HoldEnabled() {
+		var start time.Time
+		if h.trackWaits {
+			start = time.Now()
+		}
+		s.lruEager.Lock()
+		var acq time.Time
+		if h.trackWaits || p.met.HoldEnabled() {
+			acq = time.Now()
+		}
+		if h.trackWaits {
+			h.lruWait += acq.Sub(start)
+		}
+		s.makeYoungLocked(f)
+		if p.met.HoldEnabled() && !acq.IsZero() {
 			p.met.Held(time.Since(acq))
 		}
-		p.lruEager.Unlock()
+		s.lruEager.Unlock()
 		return
 	}
 	// LLU: bounded spin; defer on failure.
-	start := time.Now()
-	acquired := p.lruLazy.TryLockFor(p.cfg.SpinWait)
-	h.lruWait += time.Since(start)
+	var start time.Time
+	if h.trackWaits {
+		start = time.Now()
+	}
+	acquired := s.lruLazy.TryLockFor(p.cfg.SpinWait)
+	if h.trackWaits {
+		h.lruWait += time.Since(start)
+	}
 	if acquired {
-		acq := time.Now()
-		h.drainBacklogLocked()
-		p.makeYoungLocked(f)
+		var acq time.Time
 		if p.met.HoldEnabled() {
+			acq = time.Now()
+		}
+		h.drainBacklogLocked(s)
+		s.makeYoungLocked(f)
+		if !acq.IsZero() {
 			p.met.Held(time.Since(acq))
 		}
-		p.lruLazy.Unlock()
+		s.lruLazy.Unlock()
 		return
 	}
-	p.deferred.Add(1)
+	s.deferred.Add(1)
 	p.met.Deferred()
 	if len(h.backlog) >= p.cfg.BacklogLimit {
-		p.dropped.Add(1)
+		s.dropped.Add(1)
 		copy(h.backlog, h.backlog[1:])
 		h.backlog = h.backlog[:len(h.backlog)-1]
 	}
 	h.backlog = append(h.backlog, f)
 }
 
-// drainBacklogLocked applies deferred promotions; caller holds the lazy
-// LRU lock.
-func (h *Handle) drainBacklogLocked() {
-	p := h.pool
+// drainBacklogLocked applies deferred promotions belonging to shard s;
+// caller holds s's lazy LRU lock. Entries for other shards stay queued
+// until one of their promotions takes that shard's lock.
+func (h *Handle) drainBacklogLocked(s *shard) {
 	// The batch pays the critical-section cost once: deferred
 	// promotions are applied together with good locality, which is the
 	// point of batching them.
 	charged := false
+	kept := h.backlog[:0]
 	for _, f := range h.backlog {
+		if f.shard != s {
+			kept = append(kept, f)
+			continue
+		}
 		if f.inList { // "after confirming they have not been evicted"
-			p.makeYoungCosted(f, !charged)
+			s.makeYoungCosted(f, !charged)
 			charged = true
-			p.drained.Add(1)
+			s.drained.Add(1)
 		} else {
-			p.dropped.Add(1)
+			s.dropped.Add(1)
 		}
 	}
-	h.backlog = h.backlog[:0]
+	h.backlog = kept
 }
 
-// --- LRU list internals. All guarded by the LRU lock. ---
+// --- LRU list internals. All guarded by the shard's LRU lock. ---
 
 // spinCost charges the configured critical-section cost while a lock is
 // held. The cost is charged as wall time (sleep): on a single-CPU
@@ -503,133 +734,137 @@ func (h *Handle) drainBacklogLocked() {
 // contention could form; sleeping keeps the lock held while other
 // workers genuinely queue on it, as they do on the paper's 8-core
 // server.
-func (p *Pool) spinCost() {
-	if p.cfg.CriticalCost <= 0 {
+func (s *shard) spinCost() {
+	if s.pool.cfg.CriticalCost <= 0 {
 		return
 	}
-	time.Sleep(p.cfg.CriticalCost)
+	time.Sleep(s.pool.cfg.CriticalCost)
 }
 
-func (p *Pool) makeYoungLocked(f *frame) {
-	p.makeYoungCosted(f, true)
+func (s *shard) makeYoungLocked(f *frame) {
+	s.makeYoungCosted(f, true)
 }
 
-func (p *Pool) makeYoungCosted(f *frame, charge bool) {
+func (s *shard) makeYoungCosted(f *frame, charge bool) {
 	if !f.inList {
 		return
 	}
 	if charge {
-		p.spinCost()
+		s.spinCost()
 	}
-	p.unlinkLocked(f)
+	s.unlinkLocked(f)
 	// Insert at head of young list.
 	f.prev = nil
-	f.next = p.head
-	if p.head != nil {
-		p.head.prev = f
+	f.next = s.head
+	if s.head != nil {
+		s.head.prev = f
 	}
-	p.head = f
-	if p.tail == nil {
-		p.tail = f
+	s.head = f
+	if s.tail == nil {
+		s.tail = f
 	}
 	f.inList = true
 	f.inOld.Store(false)
-	p.total++
-	f.moveGen.Store(p.gen.Add(1))
-	p.makeYoungs.Add(1)
-	p.rebalanceLocked()
+	s.total++
+	f.moveGen.Store(s.gen.Add(1))
+	s.makeYoungs.Add(1)
+	s.rebalanceLocked()
 }
 
 // insertAtMidpointLocked puts f at the head of the old sublist.
-func (p *Pool) insertAtMidpointLocked(f *frame) {
-	if p.oldHead == nil {
+func (s *shard) insertAtMidpointLocked(f *frame) {
+	if s.oldHead == nil {
 		// Old list empty: append at tail.
-		f.prev = p.tail
+		f.prev = s.tail
 		f.next = nil
-		if p.tail != nil {
-			p.tail.next = f
+		if s.tail != nil {
+			s.tail.next = f
 		}
-		p.tail = f
-		if p.head == nil {
-			p.head = f
+		s.tail = f
+		if s.head == nil {
+			s.head = f
 		}
 	} else {
-		f.prev = p.oldHead.prev
-		f.next = p.oldHead
-		if p.oldHead.prev != nil {
-			p.oldHead.prev.next = f
+		f.prev = s.oldHead.prev
+		f.next = s.oldHead
+		if s.oldHead.prev != nil {
+			s.oldHead.prev.next = f
 		} else {
-			p.head = f
+			s.head = f
 		}
-		p.oldHead.prev = f
+		s.oldHead.prev = f
 	}
-	p.oldHead = f
+	s.oldHead = f
 	f.inList = true
 	f.inOld.Store(true)
-	f.moveGen.Store(p.gen.Load())
-	p.total++
-	p.oldCount++
-	p.rebalanceLocked()
+	f.moveGen.Store(s.gen.Load())
+	s.total++
+	s.oldCount++
+	s.rebalanceLocked()
 }
 
-func (p *Pool) unlinkLocked(f *frame) {
+func (s *shard) unlinkLocked(f *frame) {
 	if !f.inList {
 		return
 	}
 	if f.prev != nil {
 		f.prev.next = f.next
 	} else {
-		p.head = f.next
+		s.head = f.next
 	}
 	if f.next != nil {
 		f.next.prev = f.prev
 	} else {
-		p.tail = f.prev
+		s.tail = f.prev
 	}
-	if p.oldHead == f {
-		p.oldHead = f.next // next toward tail stays old (or nil)
+	if s.oldHead == f {
+		s.oldHead = f.next // next toward tail stays old (or nil)
 	}
 	if f.inOld.Load() {
-		p.oldCount--
+		s.oldCount--
 	}
-	p.total--
+	s.total--
 	f.inList = false
 	f.prev, f.next = nil, nil
 }
 
 // rebalanceLocked maintains oldCount ≈ OldFraction * total by moving the
 // young/old boundary.
-func (p *Pool) rebalanceLocked() {
-	target := int(float64(p.total) * p.cfg.OldFraction)
-	for p.oldCount < target {
+func (s *shard) rebalanceLocked() {
+	target := int(float64(s.total) * s.pool.cfg.OldFraction)
+	for s.oldCount < target {
 		// Grow old: the youngest-list tail page becomes old.
 		var cand *frame
-		if p.oldHead != nil {
-			cand = p.oldHead.prev
+		if s.oldHead != nil {
+			cand = s.oldHead.prev
 		} else {
-			cand = p.tail
+			cand = s.tail
 		}
 		if cand == nil || cand.inOld.Load() {
 			break
 		}
 		cand.inOld.Store(true)
-		p.oldHead = cand
-		p.oldCount++
+		s.oldHead = cand
+		s.oldCount++
 	}
-	for p.oldCount > target+1 && p.oldHead != nil {
+	for s.oldCount > target+1 && s.oldHead != nil {
 		// Shrink old: promote the old head to young.
-		f := p.oldHead
+		f := s.oldHead
 		f.inOld.Store(false)
-		p.oldHead = f.next
-		p.oldCount--
+		s.oldHead = f.next
+		s.oldCount--
 	}
 }
 
-// pickVictimLocked scans from the tail (the coldest old page) for an
-// unpinned, io-complete frame.
-func (p *Pool) pickVictimLocked() *frame {
-	for f := p.tail; f != nil; f = f.prev {
-		if f.pins.Load() == 0 && !f.ioPending {
+// claimVictimLocked scans from the tail (the coldest old page) for an
+// unpinned, io-complete frame and claims it with a pin tombstone so no
+// lock-free reader can pin it afterwards.
+func (s *shard) claimVictimLocked() *frame {
+	for f := s.tail; f != nil; f = f.prev {
+		if f.ioPending.Load() {
+			continue
+		}
+		if f.pins.CompareAndSwap(0, pinTomb) {
 			return f
 		}
 	}
@@ -639,67 +874,101 @@ func (p *Pool) pickVictimLocked() *frame {
 // FlushAll writes every dirty resident page to the backing store (a
 // checkpoint). Pages stay resident.
 func (p *Pool) FlushAll() {
-	p.tableMu.Lock()
-	frames := make([]*frame, 0, len(p.table))
-	for _, f := range p.table {
-		frames = append(frames, f)
-	}
-	p.tableMu.Unlock()
-	for _, f := range frames {
-		if !f.dirty.Load() {
-			continue
+	for _, s := range p.shards {
+		s.mu.Lock()
+		frames := make([]*frame, 0, s.resident)
+		for i := range s.buckets {
+			for f := s.buckets[i].Load(); f != nil; f = f.hashNext.Load() {
+				frames = append(frames, f)
+			}
 		}
-		if p.dev != nil {
-			p.dev.WriteBlock()
+		s.mu.Unlock()
+		for _, f := range frames {
+			if !f.dirty.Load() {
+				continue
+			}
+			if p.dev != nil {
+				p.dev.WriteBlock()
+			}
+			img := make([]byte, len(f.data))
+			f.pageMu.Lock()
+			copy(img, f.data)
+			f.dirty.Store(false)
+			f.pageMu.Unlock()
+			s.storeMu.Lock()
+			s.store[f.id] = img
+			s.storeMu.Unlock()
+			s.writeBacks.Add(1)
 		}
-		img := make([]byte, len(f.data))
-		f.pageMu.Lock()
-		copy(img, f.data)
-		f.dirty.Store(false)
-		f.pageMu.Unlock()
-		p.storeMu.Lock()
-		p.store[f.id] = img
-		p.storeMu.Unlock()
-		p.writeBacks.Add(1)
 	}
 }
 
 // Resident returns the number of pages currently in the pool.
 func (p *Pool) Resident() int {
-	p.tableMu.Lock()
-	defer p.tableMu.Unlock()
-	return len(p.table)
-}
-
-// OldLen returns the old-sublist length (for invariant tests).
-func (p *Pool) OldLen() int {
-	p.lruLock()
-	defer p.lruUnlock()
-	return p.oldCount
-}
-
-// listLen walks the list under the LRU lock (for invariant tests).
-func (p *Pool) listLen() int {
-	p.lruLock()
-	defer p.lruUnlock()
 	n := 0
-	for f := p.head; f != nil; f = f.next {
-		n++
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += s.resident
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// Stats returns a snapshot of counters.
-func (p *Pool) Stats() Stats {
-	return Stats{
-		Hits:         p.hits.Load(),
-		Misses:       p.misses.Load(),
-		Evictions:    p.evictions.Load(),
-		WriteBacks:   p.writeBacks.Load(),
-		MakeYoungs:   p.makeYoungs.Load(),
-		Deferred:     p.deferred.Load(),
-		Drained:      p.drained.Load(),
-		DroppedDefer: p.dropped.Load(),
-		Mutex:        p.lruEager.Stats(),
+// OldLen returns the old-sublist length summed over shards (for
+// invariant tests).
+func (p *Pool) OldLen() int {
+	n := 0
+	for _, s := range p.shards {
+		s.lruLock()
+		n += s.oldCount
+		s.lruUnlock()
 	}
+	return n
+}
+
+// listLen walks the LRU lists under the shard LRU locks (for invariant
+// tests).
+func (p *Pool) listLen() int {
+	n := 0
+	for _, s := range p.shards {
+		s.lruLock()
+		for f := s.head; f != nil; f = f.next {
+			n++
+		}
+		s.lruUnlock()
+	}
+	return n
+}
+
+// shardCapacities returns each shard's frame budget (for invariant
+// tests).
+func (p *Pool) shardCapacities() []int {
+	caps := make([]int, len(p.shards))
+	for i, s := range p.shards {
+		caps[i] = s.capacity
+	}
+	return caps
+}
+
+// Stats returns a snapshot of counters merged across shards.
+func (p *Pool) Stats() Stats {
+	var st Stats
+	for _, s := range p.shards {
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		st.WriteBacks += s.writeBacks.Load()
+		st.MakeYoungs += s.makeYoungs.Load()
+		st.Deferred += s.deferred.Load()
+		st.Drained += s.drained.Load()
+		st.DroppedDefer += s.dropped.Load()
+		ms := s.lruEager.Stats()
+		st.Mutex.Acquires += ms.Acquires
+		st.Mutex.Contended += ms.Contended
+		st.Mutex.WaitTime += ms.WaitTime
+		if ms.MaxWait > st.Mutex.MaxWait {
+			st.Mutex.MaxWait = ms.MaxWait
+		}
+	}
+	return st
 }

@@ -16,7 +16,7 @@ func pool(capacity int, policy UpdatePolicy) *Pool {
 
 func pid(n uint64) PageID { return PageID{Space: 1, No: n} }
 
-func mustCreate(t *testing.T, p *Pool, id PageID) *Frame {
+func mustCreate(t *testing.T, p *Pool, id PageID) Frame {
 	t.Helper()
 	fr, err := p.Create(id)
 	if err != nil {
@@ -194,7 +194,7 @@ func TestLazyLRUDefersUnderContention(t *testing.T) {
 		mustCreate(t, p, pid(i)).Release()
 	}
 	// Hold the lazy lock so every promotion attempt times out.
-	p.lruLazy.Lock()
+	p.shards[0].lruLazy.Lock()
 	h := p.NewHandle()
 	for i := uint64(1); i <= 10; i++ {
 		fr, err := h.Fetch(pid(i))
@@ -206,7 +206,7 @@ func TestLazyLRUDefersUnderContention(t *testing.T) {
 	if got := p.Stats().Deferred; got == 0 {
 		t.Fatal("no promotions deferred while the LRU lock was held")
 	}
-	p.lruLazy.Unlock()
+	p.shards[0].lruLazy.Unlock()
 	// Next successful promotion drains the backlog. Page 1 is the LRU
 	// tail and always in the old sublist, so its touch takes the lock.
 	fr, _ := h.Fetch(pid(1))
@@ -221,13 +221,13 @@ func TestLazyBacklogBounded(t *testing.T) {
 	for i := uint64(1); i <= 64; i++ {
 		mustCreate(t, p, pid(i)).Release()
 	}
-	p.lruLazy.Lock()
+	p.shards[0].lruLazy.Lock()
 	h := p.NewHandle()
 	for i := uint64(1); i <= 20; i++ {
 		fr, _ := h.Fetch(pid(i))
 		fr.Release()
 	}
-	p.lruLazy.Unlock()
+	p.shards[0].lruLazy.Unlock()
 	if len(h.backlog) > 4 {
 		t.Fatalf("backlog grew to %d, limit 4", len(h.backlog))
 	}

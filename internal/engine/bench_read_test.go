@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"vats/internal/wal"
+)
+
+// Read-path benchmarks through the full engine: catalog resolution,
+// shared record locks, buffer pool, table read. Run the parallel
+// variants with -cpu N to model an N-core server. BENCH_PR3.json
+// freezes the pre-PR baseline (engine-wide db.mu catalog, single
+// buffer-pool mutex, RWMutex table reads).
+
+const benchReadKeys = 8192
+
+func benchReadDB(b *testing.B) *DB {
+	b.Helper()
+	cfg := benchCfg(wal.LazyWrite, false)
+	cfg.BufferCapacity = 4096
+	db := Open(cfg)
+	b.Cleanup(db.Close)
+	tab, err := db.CreateTable("t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := db.NewSession()
+	tx := s.Begin()
+	row := make([]byte, 64)
+	for i := range row {
+		row[i] = byte(i)
+	}
+	for k := uint64(1); k <= benchReadKeys; k++ {
+		if err := tx.Insert(tab, k, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkEngineRead drives read-only transactions (3 point reads
+// under shared locks) with per-statement catalog resolution, the way a
+// SQL layer would resolve "SELECT ... FROM t" every time.
+func BenchmarkEngineRead(b *testing.B) {
+	db := benchReadDB(b)
+	var seed atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := db.NewSession()
+		x := seed.Add(0x9e3779b9)*2654435761 + 1
+		for pb.Next() {
+			err := s.RunTxn(3, func(tx *Txn) error {
+				for i := 0; i < 3; i++ {
+					tab, ok := db.Table("t")
+					if !ok {
+						b.Error("table lost")
+						return nil
+					}
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					if _, err := tx.Get(tab, x%benchReadKeys+1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkCatalogLookup isolates DB.Table: the per-statement catalog
+// resolution that historically serialized on the engine-wide mutex.
+func BenchmarkCatalogLookup(b *testing.B) {
+	db := benchReadDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := db.Table("t"); !ok {
+				b.Error("table lost")
+				return
+			}
+		}
+	})
+}

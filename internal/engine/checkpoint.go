@@ -35,12 +35,11 @@ func (db *DB) Checkpoint() error {
 	ckptID := db.nextTxn.Add(1)
 	s := db.NewSession()
 
-	db.mu.Lock()
-	spaces := make([]uint32, 0, len(db.bySpace))
-	for space := range db.bySpace {
+	cat := db.cat.Load()
+	spaces := make([]uint32, 0, len(cat.bySpace))
+	for space := range cat.bySpace {
 		spaces = append(spaces, space)
 	}
-	db.mu.Unlock()
 
 	var firstLSN wal.LSN
 	for _, space := range spaces {

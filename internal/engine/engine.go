@@ -43,6 +43,11 @@ type Config struct {
 
 	// BufferCapacity is the pool size in pages (default 256).
 	BufferCapacity int
+	// BufferShards is the number of buffer-pool instances the capacity
+	// is split across (MySQL's innodb_buffer_pool_instances; see
+	// buffer.Config.Shards). 0 or 1 keeps the single-instance §6.1
+	// contention semantics.
+	BufferShards int
 	// PageSize in bytes (default 4096).
 	PageSize int
 	// LRUPolicy selects Eager vs Lazy (LLU) LRU updates.
@@ -101,12 +106,14 @@ type DB struct {
 	obs   *obs.Obs
 	met   *obs.EngineMetrics
 
-	mu        sync.Mutex
-	tables    map[string]*storage.Table
-	bySpace   map[uint32]*storage.Table
-	nextSpace uint32
+	// cat is the immutable catalog snapshot: per-statement name and
+	// space resolution read it with one atomic load and no lock. DDL
+	// (CreateTable) serializes on catMu and installs a fresh copy.
+	cat       atomic.Pointer[catalog]
+	catMu     sync.Mutex
+	nextSpace uint32 // guarded by catMu
 
-	samplesMu sync.Mutex
+	samplesMu sync.RWMutex
 	samples   map[string][]AgeSample
 
 	nextTxn atomic.Uint64
@@ -116,8 +123,8 @@ type DB struct {
 // AgeSamples returns the collected (age, remaining) samples per
 // transaction tag. Requires Config.SampleAgeRemaining.
 func (db *DB) AgeSamples() map[string][]AgeSample {
-	db.samplesMu.Lock()
-	defer db.samplesMu.Unlock()
+	db.samplesMu.RLock()
+	defer db.samplesMu.RUnlock()
 	out := make(map[string][]AgeSample, len(db.samples))
 	for k, v := range db.samples {
 		out[k] = append([]AgeSample(nil), v...)
@@ -155,12 +162,14 @@ func Open(cfg Config) *DB {
 	}
 	ob := obs.OrDefault(cfg.Obs)
 	db := &DB{
-		cfg:     cfg,
-		obs:     ob,
-		met:     obs.NewEngineMetrics(ob),
+		cfg: cfg,
+		obs: ob,
+		met: obs.NewEngineMetrics(ob),
+	}
+	db.cat.Store(&catalog{
 		tables:  make(map[string]*storage.Table),
 		bySpace: make(map[uint32]*storage.Table),
-	}
+	})
 	db.locks = lock.NewManager(lock.Options{
 		Scheduler:      cfg.Scheduler,
 		WaitTimeout:    cfg.LockTimeout,
@@ -169,6 +178,7 @@ func Open(cfg Config) *DB {
 	})
 	db.pool = buffer.NewPool(buffer.Config{
 		Capacity:     cfg.BufferCapacity,
+		Shards:       cfg.BufferShards,
 		PageSize:     cfg.PageSize,
 		Device:       cfg.DataDevice,
 		Policy:       cfg.LRUPolicy,
@@ -206,32 +216,48 @@ func (db *DB) Crash() {
 	db.locks.Close()
 }
 
+// catalog is an immutable name/space → table snapshot. Lookups read the
+// published snapshot lock-free; CreateTable installs a fresh one.
+type catalog struct {
+	tables  map[string]*storage.Table
+	bySpace map[uint32]*storage.Table
+}
+
 // CreateTable creates an empty table.
 func (db *DB) CreateTable(name string) (*storage.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[name]; ok {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	old := db.cat.Load()
+	if _, ok := old.tables[name]; ok {
 		return nil, fmt.Errorf("engine: table %q exists", name)
 	}
 	db.nextSpace++
 	t := storage.NewTable(name, db.nextSpace, db.pool)
-	db.tables[name] = t
-	db.bySpace[db.nextSpace] = t
+	next := &catalog{
+		tables:  make(map[string]*storage.Table, len(old.tables)+1),
+		bySpace: make(map[uint32]*storage.Table, len(old.bySpace)+1),
+	}
+	for k, v := range old.tables {
+		next.tables[k] = v
+	}
+	for k, v := range old.bySpace {
+		next.bySpace[k] = v
+	}
+	next.tables[name] = t
+	next.bySpace[db.nextSpace] = t
+	db.cat.Store(next)
 	return t, nil
 }
 
-// Table looks a table up by name.
+// Table looks a table up by name. Lock-free: concurrent readers never
+// serialize on the catalog.
 func (db *DB) Table(name string) (*storage.Table, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[name]
+	t, ok := db.cat.Load().tables[name]
 	return t, ok
 }
 
 func (db *DB) tableBySpace(space uint32) (*storage.Table, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.bySpace[space]
+	t, ok := db.cat.Load().bySpace[space]
 	return t, ok
 }
 
@@ -266,11 +292,38 @@ type Session struct {
 	spareRedo  []byte
 	spareEnds  []int
 	spareViews [][]byte
+
+	// Single-entry table cache: a session typically hammers one table
+	// per statement batch, so repeat resolutions skip even the atomic
+	// catalog load.
+	lastName  string
+	lastTable *storage.Table
 }
 
 // NewSession opens a connection-like session.
 func (db *DB) NewSession() *Session {
-	return &Session{db: db, h: db.pool.NewHandle()}
+	s := &Session{db: db, h: db.pool.NewHandle()}
+	if db.cfg.Profiler != nil {
+		// The profiler wants buf_pool_mutex_enter attribution, so pay
+		// for the hit-path wait clocks; without it the buffer hit path
+		// skips them.
+		s.h.SetWaitTracking(true)
+	}
+	return s
+}
+
+// Table resolves a table by name through the session's one-entry cache.
+// The catalog is immutable-snapshot based, so a cached pointer can never
+// go stale (tables are never dropped; DDL only adds).
+func (s *Session) Table(name string) (*storage.Table, bool) {
+	if s.lastTable != nil && s.lastName == name {
+		return s.lastTable, true
+	}
+	t, ok := s.db.Table(name)
+	if ok {
+		s.lastName, s.lastTable = name, t
+	}
+	return t, ok
 }
 
 // DB returns the owning engine.

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"vats/internal/storage"
 	"vats/internal/wal"
 )
 
@@ -44,10 +45,19 @@ func (db *DB) Recover(entries []wal.Entry) error {
 	}
 
 	s := db.NewSession()
+	// Replay streams are long runs of records against the same table;
+	// cache the last space resolution.
+	var lastSpace uint32
+	var lastTable *storage.Table
 	apply := func(op byte, space uint32, key uint64, row []byte) error {
-		t, ok := db.tableBySpace(space)
-		if !ok {
-			return fmt.Errorf("engine: recover: unknown space %d", space)
+		t := lastTable
+		if t == nil || space != lastSpace {
+			var ok bool
+			t, ok = db.tableBySpace(space)
+			if !ok {
+				return fmt.Errorf("engine: recover: unknown space %d", space)
+			}
+			lastSpace, lastTable = space, t
 		}
 		switch op {
 		case redoInsert, redoCkptRow:

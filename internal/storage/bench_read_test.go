@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"vats/internal/buffer"
+)
+
+// Read-path benchmarks: point lookups and the YCSB-C-style read/scan
+// mix through the table layer. The parallel variants measure how the
+// table's reader synchronization (historically one big RWMutex, now the
+// seqlock fast path) scales when every worker reads at once; run with
+// -cpu N to model an N-core server. BENCH_PR3.json freezes the pre-PR
+// baseline.
+
+const (
+	benchReadRows    = 50000
+	benchReadRowSize = 64
+)
+
+func benchReadTable(b *testing.B) (*Table, *buffer.Pool) {
+	b.Helper()
+	// Pool large enough that the whole table stays resident: the
+	// benchmark isolates the table/index read path, not eviction.
+	p := buffer.NewPool(buffer.Config{Capacity: 4096, PageSize: 4096})
+	t := NewTable("bench", 1, p)
+	h := p.NewHandle()
+	row := make([]byte, benchReadRowSize)
+	for i := range row {
+		row[i] = byte(i)
+	}
+	for k := uint64(1); k <= benchReadRows; k++ {
+		if err := t.Insert(h, k, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t, p
+}
+
+func benchKey(x *uint64) uint64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return *x%benchReadRows + 1
+}
+
+// BenchmarkTablePointRead is the single-threaded point-read latency
+// (the ±10% no-regression guardrail).
+func BenchmarkTablePointRead(b *testing.B) {
+	t, p := benchReadTable(b)
+	h := p.NewHandle()
+	x := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Get(h, benchKey(&x)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTablePointReadInto is the allocation-free variant: the
+// caller reuses a buffer, so the fast path performs zero allocations.
+func BenchmarkTablePointReadInto(b *testing.B) {
+	t, p := benchReadTable(b)
+	h := p.NewHandle()
+	buf := make([]byte, 0, 256)
+	x := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.GetInto(h, benchKey(&x), buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTablePointReadIntoParallel is the 0-alloc path with every
+// worker reading at once.
+func BenchmarkTablePointReadIntoParallel(b *testing.B) {
+	t, p := benchReadTable(b)
+	var seed atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := p.NewHandle()
+		buf := make([]byte, 0, 256)
+		x := seed.Add(0x9e3779b9)*2654435761 + 1
+		for pb.Next() {
+			if _, err := t.GetInto(h, benchKey(&x), buf[:0]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkTablePointReadParallel is the headline scalability number:
+// every worker does point lookups through the clustered index at once.
+func BenchmarkTablePointReadParallel(b *testing.B) {
+	t, p := benchReadTable(b)
+	var seed atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := p.NewHandle()
+		x := seed.Add(0x9e3779b9)*2654435761 + 1
+		for pb.Next() {
+			if _, err := t.Get(h, benchKey(&x)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkTableReadScanMixParallel is a YCSB-C-style read-mostly mix:
+// 95% point reads, 5% short range scans (50 rows), all goroutines at
+// once.
+func BenchmarkTableReadScanMixParallel(b *testing.B) {
+	t, p := benchReadTable(b)
+	var seed atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := p.NewHandle()
+		x := seed.Add(0x9e3779b9)*2654435761 + 1
+		for pb.Next() {
+			k := benchKey(&x)
+			if x%100 < 5 {
+				n := 0
+				err := t.Scan(h, k, k+49, func(uint64, []byte) bool {
+					n++
+					return true
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			} else if _, err := t.Get(h, k); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -12,16 +12,23 @@ import (
 type IndexKeyFunc func(pk uint64, row []byte) (key uint64, ok bool)
 
 // secondaryIndex maps a derived key to the primary keys of the rows
-// carrying it. It lives under the table's index mutex.
+// carrying it. Mutations are serialized by the table's mutex; the tree
+// is copy-on-write, so scans read it lock-free.
 type secondaryIndex struct {
 	name  string
 	keyOf IndexKeyFunc
 	tree  *btree.Tree[[]uint64]
 }
 
+// add and remove never mutate a stored pk slice in place: the tree's
+// published snapshots share values with readers, so each change installs
+// a fresh slice.
 func (ix *secondaryIndex) add(key, pk uint64) {
 	pks, _ := ix.tree.Get(key)
-	ix.tree.Insert(key, append(pks, pk))
+	out := make([]uint64, len(pks)+1)
+	copy(out, pks)
+	out[len(pks)] = pk
+	ix.tree.Insert(key, out)
 }
 
 func (ix *secondaryIndex) remove(key, pk uint64) {
@@ -29,16 +36,19 @@ func (ix *secondaryIndex) remove(key, pk uint64) {
 	if !ok {
 		return
 	}
-	for i, p := range pks {
-		if p == pk {
-			pks = append(pks[:i], pks[i+1:]...)
-			break
+	out := make([]uint64, 0, len(pks))
+	for _, p := range pks {
+		if p != pk {
+			out = append(out, p)
 		}
 	}
-	if len(pks) == 0 {
+	switch {
+	case len(out) == len(pks):
+		// pk was not in the posting list; nothing to do.
+	case len(out) == 0:
 		ix.tree.Delete(key)
-	} else {
-		ix.tree.Insert(key, pks)
+	default:
+		ix.tree.Insert(key, out)
 	}
 }
 
@@ -50,15 +60,16 @@ func (t *Table) CreateIndex(h *buffer.Handle, name string, keyOf IndexKeyFunc) e
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, ix := range t.indexes {
+	old := t.loadIndexes()
+	for _, ix := range old {
 		if ix.name == name {
 			return fmt.Errorf("storage %s: index %q exists", t.name, name)
 		}
 	}
 	ix := &secondaryIndex{name: name, keyOf: keyOf, tree: btree.New[[]uint64](0)}
-	// Backfill. Collect RIDs first, then read pages (readRID takes no
-	// table lock, so doing it under t.mu is deadlock-free and keeps the
-	// backfill atomic with respect to writers).
+	// Backfill. Reading pages under t.mu is deadlock-free (readRID takes
+	// no table lock) and keeps the backfill atomic with respect to
+	// writers.
 	var err error
 	t.index.Ascend(func(pk uint64, rid RID) bool {
 		var row []byte
@@ -74,12 +85,17 @@ func (t *Table) CreateIndex(h *buffer.Handle, name string, keyOf IndexKeyFunc) e
 	if err != nil {
 		return fmt.Errorf("storage %s: backfill %q: %w", t.name, name, err)
 	}
-	t.indexes = append(t.indexes, ix)
+	// Publish a fresh list (copy-on-write) so concurrent readers never
+	// see a partially-built slice.
+	next := make([]*secondaryIndex, len(old)+1)
+	copy(next, old)
+	next[len(old)] = ix
+	t.idxs.Store(&next)
 	return nil
 }
 
 func (t *Table) indexByName(name string) (*secondaryIndex, bool) {
-	for _, ix := range t.indexes {
+	for _, ix := range t.loadIndexes() {
 		if ix.name == name {
 			return ix, true
 		}
@@ -90,7 +106,7 @@ func (t *Table) indexByName(name string) (*secondaryIndex, bool) {
 // indexInsertLocked/indexDeleteLocked maintain all indexes; caller
 // holds t.mu.
 func (t *Table) indexInsertLocked(pk uint64, row []byte) {
-	for _, ix := range t.indexes {
+	for _, ix := range t.loadIndexes() {
 		if key, ok := ix.keyOf(pk, row); ok {
 			ix.add(key, pk)
 		}
@@ -98,7 +114,7 @@ func (t *Table) indexInsertLocked(pk uint64, row []byte) {
 }
 
 func (t *Table) indexDeleteLocked(pk uint64, row []byte) {
-	for _, ix := range t.indexes {
+	for _, ix := range t.loadIndexes() {
 		if key, ok := ix.keyOf(pk, row); ok {
 			ix.remove(key, pk)
 		}
@@ -107,37 +123,30 @@ func (t *Table) indexDeleteLocked(pk uint64, row []byte) {
 
 // IndexScan calls fn for every row whose secondary key falls in
 // [lo, hi], ascending by secondary key (rows sharing a key come in
-// primary-key order). Row images are copies; like Scan, it reads at
-// read-committed isolation.
+// primary-key order). Row images are copies. The scan streams over
+// copy-on-write snapshots of the secondary and clustered trees without
+// taking the table lock; rows deleted or relocated mid-scan are skipped
+// (read-committed, as before).
 func (t *Table) IndexScan(h *buffer.Handle, name string, lo, hi uint64, fn func(pk uint64, row []byte) bool) error {
-	t.mu.RLock()
 	ix, ok := t.indexByName(name)
 	if !ok {
-		t.mu.RUnlock()
 		return fmt.Errorf("storage %s: no index %q", t.name, name)
 	}
-	type entry struct {
-		pk  uint64
-		rid RID
-	}
-	var items []entry
 	ix.tree.AscendRange(lo, hi, func(_ uint64, pks []uint64) bool {
 		for _, pk := range pks {
-			if rid, ok := t.index.Get(pk); ok {
-				items = append(items, entry{pk, rid})
+			rid, ok := t.index.Get(pk)
+			if !ok {
+				continue
+			}
+			row, err := t.readRID(h, rid)
+			if err != nil {
+				continue // deleted or relocated since the snapshot
+			}
+			if !fn(pk, row) {
+				return false
 			}
 		}
 		return true
 	})
-	t.mu.RUnlock()
-	for _, it := range items {
-		row, err := t.readRID(h, it.rid)
-		if err != nil {
-			continue // deleted or relocated since the snapshot
-		}
-		if !fn(it.pk, row) {
-			return nil
-		}
-	}
 	return nil
 }

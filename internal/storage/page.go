@@ -80,6 +80,21 @@ func pageReadRow(data []byte, slot int) ([]byte, bool) {
 	return out, true
 }
 
+// pageReadRowAppend appends the row in slot to buf, avoiding the
+// allocation pageReadRow pays for its fresh copy.
+func pageReadRowAppend(data []byte, slot int, buf []byte) ([]byte, bool) {
+	if slot < 0 || slot >= pageNumSlots(data) {
+		return buf, false
+	}
+	so := pageHeaderSize + slotSize*slot
+	off := int(binary.LittleEndian.Uint16(data[so:]))
+	if off == deadOffset {
+		return buf, false
+	}
+	length := int(binary.LittleEndian.Uint16(data[so+2:]))
+	return append(buf, data[off:off+length]...), true
+}
+
 // pageUpdateRowInPlace overwrites a row if the new image fits in the
 // slot's existing space.
 func pageUpdateRowInPlace(data []byte, slot int, row []byte) bool {

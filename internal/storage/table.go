@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vats/internal/btree"
 	"vats/internal/buffer"
@@ -28,18 +29,43 @@ type RID struct {
 // Table is a heap table with a clustered B+-tree index on a uint64
 // primary key. Row images are opaque byte slices (see RowBuilder).
 //
-// Physical consistency is internal (index mutex + page latches);
-// isolation between transactions touching the same key is the caller's
+// Reads are optimistic: the clustered index is a copy-on-write tree
+// whose snapshots readers traverse lock-free, and a table-level
+// sequence counter validates that the index lookup and the page read
+// observed the same structural version (the seqlock pattern). Only the
+// operations that tombstone a slot — Delete and relocating Updates —
+// bump the sequence; Insert does not, because a row's page image is in
+// place before the index publishes its RID, so bulk loads never knock
+// readers off the fast path. A reader that keeps losing the race falls
+// back to the shared lock, which fully excludes structural writers.
+//
+// Physical consistency is internal (seqlock + page latches); isolation
+// between transactions touching the same key is the caller's
 // responsibility via the lock manager.
 type Table struct {
 	name  string
 	space uint32
 	pool  *buffer.Pool
 
-	mu       sync.RWMutex
-	index    *btree.Tree[RID]
-	indexes  []*secondaryIndex
-	nextPage uint64
+	// seq is the structural version: odd while a tombstoning writer is
+	// inside its critical section, even otherwise. Writers bump it
+	// (twice) while holding mu.
+	seq atomic.Uint64
+
+	// index maps primary key to row location. The tree is internally
+	// copy-on-write: lock-free readers always see a consistent
+	// snapshot; writers are serialized by mu.
+	index *btree.Tree[RID]
+
+	// idxs is the immutable secondary-index list, replaced wholesale by
+	// CreateIndex (copy-on-write under mu).
+	idxs atomic.Pointer[[]*secondaryIndex]
+
+	// nextPage is the page allocation high-water mark; atomic so Pages
+	// never has to queue behind a bulk load.
+	nextPage atomic.Uint64
+
+	mu       sync.RWMutex // serializes writers; fallback readers share it
 	fillPage buffer.PageID
 	hasFill  bool
 }
@@ -61,18 +87,18 @@ func (t *Table) Name() string { return t.name }
 // Space returns the table's page-space id.
 func (t *Table) Space() uint32 { return t.space }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.index.Len()
-}
+// Len returns the number of live rows. It never blocks behind writers,
+// so stats endpoints cannot stall behind a bulk load.
+func (t *Table) Len() int { return t.index.Len() }
 
-// Pages returns the number of pages allocated so far.
-func (t *Table) Pages() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.nextPage
+// Pages returns the number of pages allocated so far (lock-free).
+func (t *Table) Pages() uint64 { return t.nextPage.Load() }
+
+func (t *Table) loadIndexes() []*secondaryIndex {
+	if p := t.idxs.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Insert adds a row under key. h is the caller's worker-local buffer
@@ -90,6 +116,9 @@ func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
 	if err != nil {
 		return err
 	}
+	// The page image is written before the index publishes the RID, so
+	// optimistic readers either miss the key or see a complete row; no
+	// seq bump is needed.
 	t.index.Insert(key, rid)
 	t.indexInsertLocked(key, row)
 	return nil
@@ -119,8 +148,7 @@ func (t *Table) placeRowLocked(h *buffer.Handle, row []byte) (RID, error) {
 			t.hasFill = false
 		}
 		// Allocate a fresh page.
-		t.nextPage++
-		id := buffer.PageID{Space: t.space, No: t.nextPage}
+		id := buffer.PageID{Space: t.space, No: t.nextPage.Add(1)}
 		fr, err := t.pool.Create(id)
 		if err != nil {
 			return RID{}, fmt.Errorf("storage %s: create page: %w", t.name, err)
@@ -136,15 +164,73 @@ func (t *Table) placeRowLocked(h *buffer.Handle, row []byte) (RID, error) {
 	return RID{}, ErrRowTooLarge
 }
 
+// optimisticRetries is how many times a reader replays the lock-free
+// lookup+read before taking the shared lock.
+const optimisticRetries = 3
+
 // Get copies the row stored under key.
 func (t *Table) Get(h *buffer.Handle, key uint64) ([]byte, error) {
-	t.mu.RLock()
-	rid, ok := t.index.Get(key)
-	t.mu.RUnlock()
-	if !ok {
-		return nil, ErrKeyNotFound
+	row, err := t.GetInto(h, key, nil)
+	if err != nil {
+		return nil, err
 	}
-	return t.readRID(h, rid)
+	return row, nil
+}
+
+// GetInto appends the row stored under key to buf and returns the
+// extended slice. With a buf of sufficient capacity the read path does
+// not allocate. On error buf is returned unchanged.
+func (t *Table) GetInto(h *buffer.Handle, key uint64, buf []byte) ([]byte, error) {
+	base := len(buf)
+	for attempt := 0; attempt < optimisticRetries; attempt++ {
+		s1 := t.seq.Load()
+		if s1&1 != 0 {
+			continue // a tombstoning writer is mid-section
+		}
+		rid, ok := t.index.Get(key)
+		if !ok {
+			if t.seq.Load() == s1 {
+				return buf, ErrKeyNotFound
+			}
+			continue
+		}
+		fr, err := h.Fetch(rid.Page)
+		if err != nil {
+			if t.seq.Load() == s1 {
+				return buf, fmt.Errorf("storage %s: %w", t.name, err)
+			}
+			continue
+		}
+		fr.Latch()
+		out, ok := pageReadRowAppend(fr.Data(), rid.Slot, buf[:base])
+		fr.Unlatch()
+		fr.Release()
+		if t.seq.Load() != s1 || !ok {
+			continue // the row moved under us; replay
+		}
+		return out, nil
+	}
+
+	// Fallback: hold the shared lock across the index lookup and the
+	// page read, fully excluding structural writers.
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rid, ok := t.index.Get(key)
+	if !ok {
+		return buf, ErrKeyNotFound
+	}
+	fr, err := h.Fetch(rid.Page)
+	if err != nil {
+		return buf, fmt.Errorf("storage %s: %w", t.name, err)
+	}
+	fr.Latch()
+	out, ok := pageReadRowAppend(fr.Data(), rid.Slot, buf[:base])
+	fr.Unlatch()
+	fr.Release()
+	if !ok {
+		return buf, ErrKeyNotFound
+	}
+	return out, nil
 }
 
 func (t *Table) readRID(h *buffer.Handle, rid RID) ([]byte, error) {
@@ -152,11 +238,9 @@ func (t *Table) readRID(h *buffer.Handle, rid RID) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage %s: %w", t.name, err)
 	}
-	var row []byte
-	var ok bool
-	fr.WithPageLock(func() {
-		row, ok = pageReadRow(fr.Data(), rid.Slot)
-	})
+	fr.Latch()
+	row, ok := pageReadRow(fr.Data(), rid.Slot)
+	fr.Unlatch()
 	fr.Release()
 	if !ok {
 		return nil, ErrKeyNotFound
@@ -171,15 +255,14 @@ func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
-	t.mu.RLock()
+	if len(t.loadIndexes()) > 0 {
+		return t.updateIndexed(h, key, row)
+	}
+	// The caller's record lock on key excludes concurrent writers of
+	// this row, so the lock-free RID lookup cannot go stale.
 	rid, ok := t.index.Get(key)
-	indexed := len(t.indexes) > 0
-	t.mu.RUnlock()
 	if !ok {
 		return ErrKeyNotFound
-	}
-	if indexed {
-		return t.updateIndexed(h, key, row)
 	}
 	fr, err := h.Fetch(rid.Page)
 	if err != nil {
@@ -196,7 +279,8 @@ func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
 	}
 	fr.Release()
 
-	// Relocate under the index write lock.
+	// Relocate under the write lock; the tombstone + index swap are a
+	// seqlock critical section.
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rid2, ok := t.index.Get(key)
@@ -207,17 +291,18 @@ func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
 	if err != nil {
 		return err
 	}
-	// Tombstone the old slot.
 	fr2, err := h.Fetch(rid2.Page)
 	if err != nil {
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
-	fr2.WithPageLock(func() {
-		pageDeleteRow(fr2.Data(), rid2.Slot)
-	})
-	fr2.MarkDirty()
-	fr2.Release()
+	t.seq.Add(1)
 	t.index.Insert(key, newRID)
+	fr2.Latch()
+	pageDeleteRow(fr2.Data(), rid2.Slot)
+	fr2.Unlatch()
+	fr2.MarkDirty()
+	t.seq.Add(1)
+	fr2.Release()
 	return nil
 }
 
@@ -255,19 +340,23 @@ func (t *Table) updateIndexed(h *buffer.Handle, key uint64, row []byte) error {
 		if err != nil {
 			return fmt.Errorf("storage %s: %w", t.name, err)
 		}
-		fr2.WithPageLock(func() {
-			pageDeleteRow(fr2.Data(), rid.Slot)
-		})
-		fr2.MarkDirty()
-		fr2.Release()
+		t.seq.Add(1)
 		t.index.Insert(key, newRID)
+		fr2.Latch()
+		pageDeleteRow(fr2.Data(), rid.Slot)
+		fr2.Unlatch()
+		fr2.MarkDirty()
+		t.seq.Add(1)
+		fr2.Release()
 	}
 	t.indexDeleteLocked(key, old)
 	t.indexInsertLocked(key, row)
 	return nil
 }
 
-// Delete removes the row under key.
+// Delete removes the row under key. The index removal and the page
+// tombstone happen inside one seqlock critical section so an optimistic
+// reader can never see the tombstone with a stable sequence.
 func (t *Table) Delete(h *buffer.Handle, key uint64) error {
 	t.mu.Lock()
 	rid, ok := t.index.Get(key)
@@ -275,53 +364,46 @@ func (t *Table) Delete(h *buffer.Handle, key uint64) error {
 		t.mu.Unlock()
 		return ErrKeyNotFound
 	}
-	if len(t.indexes) > 0 {
+	if len(t.loadIndexes()) > 0 {
 		if old, err := t.readRID(h, rid); err == nil {
 			t.indexDeleteLocked(key, old)
 		}
 	}
-	t.index.Delete(key)
-	t.mu.Unlock()
-
 	fr, err := h.Fetch(rid.Page)
 	if err != nil {
+		t.mu.Unlock()
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
-	fr.WithPageLock(func() {
-		pageDeleteRow(fr.Data(), rid.Slot)
-	})
+	t.seq.Add(1)
+	t.index.Delete(key)
+	fr.Latch()
+	pageDeleteRow(fr.Data(), rid.Slot)
+	fr.Unlatch()
 	fr.MarkDirty()
+	t.seq.Add(1)
+	t.mu.Unlock()
 	fr.Release()
 	return nil
 }
 
 // Scan calls fn for every key in [lo, hi] ascending until fn returns
-// false. The row images passed to fn are copies.
+// false. The row images passed to fn are copies. The scan streams over
+// a copy-on-write index snapshot without taking the table lock; rows
+// deleted or relocated after the snapshot are skipped (read-committed,
+// as before).
 func (t *Table) Scan(h *buffer.Handle, lo, hi uint64, fn func(key uint64, row []byte) bool) error {
-	// Snapshot matching RIDs under the read lock, then fetch rows
-	// without it so long scans do not starve writers.
-	type kr struct {
-		key uint64
-		rid RID
-	}
-	t.mu.RLock()
-	var items []kr
+	var err error
 	t.index.AscendRange(lo, hi, func(k uint64, rid RID) bool {
-		items = append(items, kr{k, rid})
-		return true
-	})
-	t.mu.RUnlock()
-	for _, it := range items {
-		row, err := t.readRID(h, it.rid)
+		var row []byte
+		row, err = t.readRID(h, rid)
 		if errors.Is(err, ErrKeyNotFound) {
-			continue // deleted or relocated since the snapshot
+			err = nil
+			return true // deleted or relocated since the snapshot
 		}
 		if err != nil {
-			return err
+			return false
 		}
-		if !fn(it.key, row) {
-			return nil
-		}
-	}
-	return nil
+		return fn(k, row)
+	})
+	return err
 }

@@ -1,28 +1,70 @@
 #!/bin/sh
-# bench_json.sh — run the commit hot-path benchmark suite and emit a
-# machine-readable BENCH_PR2.json: one entry per benchmark with every
+# bench_json.sh — run a hot-path benchmark suite and emit a
+# machine-readable JSON file: one entry per benchmark with every
 # reported metric (ns/op, allocs/op, B/op, txn/s, ...), plus the frozen
-# pre-PR baseline measured with the identical PreciseWait harness so the
+# pre-PR baseline measured with the identical harness so the
 # before/after speedup is auditable from the file alone.
 #
-# Usage: scripts/bench_json.sh [output.json] [benchtime]
+# Suites:
+#   commit — the PR-2 commit hot path            -> BENCH_PR2.json
+#   read   — the PR-3 read path, run at -cpu 1,8 -> BENCH_PR3.json
+#            (the -N name suffix distinguishes the goroutine counts)
+#
+# Usage: scripts/bench_json.sh [commit|read] [output.json] [benchtime]
 set -e
-out=${1:-BENCH_PR2.json}
-benchtime=${2:-2s}
+suite=${1:-commit}
+case "$suite" in
+commit) default_out=BENCH_PR2.json ;;
+read) default_out=BENCH_PR3.json ;;
+*)
+	echo "usage: $0 [commit|read] [output.json] [benchtime]" >&2
+	exit 2
+	;;
+esac
+out=${2:-$default_out}
+benchtime=${3:-2s}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run xxx -bench 'BenchmarkCommitThroughput|BenchmarkAppend$' \
-	-benchmem -benchtime "$benchtime" ./internal/wal/ | tee -a "$tmp"
-go test -run xxx -bench 'BenchmarkEngineCommit' \
-	-benchmem -benchtime "$benchtime" ./internal/engine/ | tee -a "$tmp"
-go test -run xxx -bench 'BenchmarkLockAcquire' \
-	-benchmem -benchtime "$benchtime" ./internal/lock/ | tee -a "$tmp"
-go test -run xxx -bench 'BenchmarkObsOverhead' \
-	-benchmem -benchtime "$benchtime" ./internal/obs/ | tee -a "$tmp"
+if [ "$suite" = commit ]; then
+	go test -run xxx -bench 'BenchmarkCommitThroughput|BenchmarkAppend$' \
+		-benchmem -benchtime "$benchtime" ./internal/wal/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkEngineCommit' \
+		-benchmem -benchtime "$benchtime" ./internal/engine/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkLockAcquire' \
+		-benchmem -benchtime "$benchtime" ./internal/lock/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkObsOverhead' \
+		-benchmem -benchtime "$benchtime" ./internal/obs/ | tee -a "$tmp"
+else
+	go test -run xxx -bench 'BenchmarkPoolFetchHit' -cpu 1,8 \
+		-benchmem -benchtime "$benchtime" ./internal/buffer/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkTablePointRead|BenchmarkTableReadScanMix' -cpu 1,8 \
+		-benchmem -benchtime "$benchtime" ./internal/storage/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkEngineRead|BenchmarkCatalogLookup' -cpu 1,8 \
+		-benchmem -benchtime "$benchtime" ./internal/engine/ | tee -a "$tmp"
+fi
 
-{
-	cat <<'EOF'
+emit_current() {
+	# keepcpu=1 keeps the -N goroutine-count suffix in benchmark names
+	# (the read suite runs each benchmark at -cpu 1,8).
+	awk -v keepcpu="$1" '
+	/^pkg:/ { n = split($2, parts, "/"); pkg = parts[n] }
+	/^Benchmark/ {
+		name = $1
+		if (!keepcpu) sub(/-[0-9]+$/, "", name)
+		if (!first) first = 1; else printf(",\n")
+		printf("    \"%s/%s\": {\"iterations\": %s", pkg, name, $2)
+		for (i = 3; i + 1 <= NF; i += 2)
+			printf(", \"%s\": %s", $(i + 1), $i)
+		printf("}")
+	}
+	END { printf("\n") }
+	' "$tmp"
+}
+
+if [ "$suite" = commit ]; then
+	{
+		cat <<'EOF'
 {
   "baseline_pre_pr": {
     "_note": "pre-PR code measured with the same PreciseWait benchmark harness",
@@ -38,23 +80,40 @@ go test -run xxx -bench 'BenchmarkObsOverhead' \
   },
   "current": {
 EOF
-	awk '
-	/^pkg:/ { n = split($2, parts, "/"); pkg = parts[n] }
-	/^Benchmark/ {
-		name = $1
-		sub(/-[0-9]+$/, "", name)
-		sub(/^Benchmark/, "Benchmark", name)
-		if (!first) first = 1; else printf(",\n")
-		printf("    \"%s/%s\": {\"iterations\": %s", pkg, name, $2)
-		for (i = 3; i + 1 <= NF; i += 2)
-			printf(", \"%s\": %s", $(i + 1), $i)
-		printf("}")
-	}
-	END { printf("\n") }
-	' "$tmp"
-	cat <<'EOF'
+		emit_current 0
+		cat <<'EOF'
   }
 }
 EOF
-} >"$out"
+	} >"$out"
+else
+	{
+		cat <<'EOF'
+{
+  "baseline_pre_pr": {
+    "_note": "pre-PR read path (single pool mutex + map page hash, RWMutex table reads, engine-wide catalog mutex) measured with the identical benchmarks at -cpu 1,8 on the same host; the -8 suffix is the 8-goroutine run",
+    "buffer/BenchmarkPoolFetchHit": {"ns/op": 216.3, "B/op": 16, "allocs/op": 1},
+    "buffer/BenchmarkPoolFetchHit-8": {"ns/op": 224.6, "B/op": 16, "allocs/op": 1},
+    "buffer/BenchmarkPoolFetchHitParallel": {"ns/op": 210.5, "B/op": 16, "allocs/op": 1},
+    "buffer/BenchmarkPoolFetchHitParallel-8": {"ns/op": 236.1, "B/op": 16, "allocs/op": 1},
+    "storage/BenchmarkTablePointRead": {"ns/op": 544.1, "B/op": 80, "allocs/op": 2},
+    "storage/BenchmarkTablePointRead-8": {"ns/op": 577.8, "B/op": 80, "allocs/op": 2},
+    "storage/BenchmarkTablePointReadParallel": {"ns/op": 532.7, "B/op": 80, "allocs/op": 2},
+    "storage/BenchmarkTablePointReadParallel-8": {"ns/op": 594.1, "B/op": 80, "allocs/op": 2},
+    "storage/BenchmarkTableReadScanMixParallel": {"ns/op": 1156, "B/op": 477, "allocs/op": 7},
+    "storage/BenchmarkTableReadScanMixParallel-8": {"ns/op": 1478, "B/op": 476, "allocs/op": 7},
+    "engine/BenchmarkEngineRead": {"ns/op": 3462, "B/op": 420, "allocs/op": 7},
+    "engine/BenchmarkEngineRead-8": {"ns/op": 3852, "B/op": 433, "allocs/op": 7},
+    "engine/BenchmarkCatalogLookup": {"ns/op": 23.98, "B/op": 0, "allocs/op": 0},
+    "engine/BenchmarkCatalogLookup-8": {"ns/op": 38.59, "B/op": 0, "allocs/op": 0}
+  },
+  "current": {
+EOF
+		emit_current 1
+		cat <<'EOF'
+  }
+}
+EOF
+	} >"$out"
+fi
 echo "wrote $out"

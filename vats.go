@@ -196,6 +196,9 @@ type Options struct {
 	LRU LRUPolicy
 	// BufferPages is the buffer pool capacity in pages (default 1024).
 	BufferPages int
+	// BufferShards splits the pool into that many instances (MySQL's
+	// innodb_buffer_pool_instances); 0 keeps a single instance.
+	BufferShards int
 	// PageSize in bytes (default 4096).
 	PageSize int
 	// LockTimeout bounds lock waits (default 2s).
@@ -232,6 +235,7 @@ func Open(o Options) (*DB, error) {
 		Scheduler:          o.Scheduler.scheduler(),
 		LockTimeout:        o.LockTimeout,
 		BufferCapacity:     o.BufferPages,
+		BufferShards:       o.BufferShards,
 		PageSize:           o.PageSize,
 		LRUPolicy:          o.LRU.buffer(),
 		DataDevice:         disk.New(dataCfg),
