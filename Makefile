@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json bench-read-json bench-smoke repro
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-smoke repro torture torture-short
 
 all: build vet short
 
@@ -48,3 +48,15 @@ bench-smoke:
 
 repro:
 	$(GO) run ./cmd/repro -quick
+
+# Crash & fault-injection torture campaign against the recovery path
+# (see docs/TESTING.md). Every round is a pure function of its seed:
+# `make torture SEED=<s> CRASHES=1` replays a failure byte-for-byte.
+SEED ?= 1
+CRASHES ?= 1000
+torture:
+	$(GO) run ./cmd/torture -seed $(SEED) -crashes $(CRASHES)
+
+# Bounded, race-checked slice of the campaign for CI (<60s).
+torture-short:
+	$(GO) test -race -short -run 'TestTorture|TestRound|TestCleanShutdown' ./internal/torture/

@@ -1,0 +1,66 @@
+// Command torture runs the deterministic crash & fault-injection
+// campaign against the engine's recovery path (see internal/torture).
+//
+// Each round i uses seed = -seed + i, so a failing round is replayed
+// exactly by the printed repro command. The process exits non-zero on
+// the first round with violations.
+//
+// Usage:
+//
+//	go run ./cmd/torture -seed 1 -crashes 1000
+//	go run ./cmd/torture -seed 20260805 -crashes 10000 -duration 10m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vats/internal/torture"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "master seed; round i runs with seed+i")
+	crashes := flag.Int("crashes", 1000, "number of rounds (simulated machine lives)")
+	duration := flag.Duration("duration", 0, "optional wall-clock budget; 0 = unlimited")
+	verbose := flag.Bool("v", false, "print every round's summary")
+	flag.Parse()
+
+	start := time.Now()
+	var crashed, clean, acked, lies int
+	for i := 0; i < *crashes; i++ {
+		if *duration > 0 && time.Since(start) > *duration {
+			fmt.Printf("duration budget reached after %d rounds\n", i)
+			break
+		}
+		roundSeed := *seed + int64(i)
+		res := torture.Run(torture.FromSeed(roundSeed))
+		if res.Crashed {
+			crashed++
+		} else {
+			clean++
+		}
+		acked += res.Acked
+		lies += res.Lies
+		if *verbose {
+			fmt.Printf("seed %d: policy=%v parallel=%v ckpt=%v crashop=%d ops=%d crashed=%v acked=%d unfinished=%d lies=%d entries=%d\n",
+				roundSeed, res.Cfg.Policy, res.Cfg.Parallel, res.Cfg.Checkpoints, res.Cfg.CrashOp,
+				res.Ops, res.Crashed, res.Acked, res.Unfinished, res.Lies, res.Entries)
+		}
+		if len(res.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "seed %d: %d invariant violation(s):\n", roundSeed, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "  - %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "REPRO: %s\n", res.ReproCmd())
+			os.Exit(1)
+		}
+		if n := i + 1; n%100 == 0 {
+			fmt.Printf("%d/%d rounds ok (%d crashed, %d clean, %d commits, %d fsync lies, %s)\n",
+				n, *crashes, crashed, clean, acked, lies, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("PASS: %d rounds, %d crashed, %d clean, %d commits audited, %d fsync lies survived, %s\n",
+		crashed+clean, crashed, clean, acked, lies, time.Since(start).Round(time.Millisecond))
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vats/internal/faultfs"
 	"vats/internal/xrand"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 	// while waiting, so it is opt-in and meant for near-zero-latency
 	// benchmark devices only.
 	PreciseWait bool
+	// Faults attaches a deterministic fault plan and turns the device
+	// into a fault-capable, byte-recording device: the WAL then writes
+	// real framed bytes through WriteData/Sync, and the plan injects
+	// transient I/O errors, dropped fsyncs, stalls, and the machine
+	// crash point (see fault.go). Nil keeps the latency-only device.
+	Faults *faultfs.Plan
 	// Seed seeds the latency sampler.
 	Seed int64
 }
@@ -95,8 +102,8 @@ type Device struct {
 	blocks atomic.Int64
 	busyNs atomic.Int64
 
-	stallMu    sync.Mutex
-	stallUntil time.Time
+	// Fault-mode byte store (see fault.go); nil unless cfg.Faults set.
+	fs *faultState
 }
 
 // New creates a Device from cfg. Zero-valued fields get safe defaults.
@@ -111,6 +118,9 @@ func New(cfg Config) *Device {
 	d.lat = xrand.NewLogNormal(xrand.New(cfg.Seed),
 		float64(cfg.MedianLatency)/float64(time.Millisecond),
 		cfg.Sigma, cfg.TailP, cfg.TailX)
+	if cfg.Faults != nil {
+		d.fs = &faultState{}
+	}
 	return d
 }
 
@@ -153,18 +163,13 @@ func (d *Device) WriteBlock() time.Duration {
 	return d.serve(1, 1, d.cfg.BlockSize)
 }
 
-// InjectStall makes the device refuse to start new operations for dur,
-// modelling a device-level hiccup. Used by failure-injection tests.
-func (d *Device) InjectStall(dur time.Duration) {
-	d.stallMu.Lock()
-	until := time.Now().Add(dur)
-	if until.After(d.stallUntil) {
-		d.stallUntil = until
-	}
-	d.stallMu.Unlock()
+func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
+	return d.serveStalled(ops, blocks, transferBytes, 0)
 }
 
-func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
+// serveStalled is serve with an extra injected stall (a device-cache
+// hiccup from the fault plan) added to the service time.
+func (d *Device) serveStalled(ops, blocks, transferBytes int, stall time.Duration) time.Duration {
 	start := time.Now()
 	w := atomic.AddInt32(&d.waiters, 1)
 	for {
@@ -174,14 +179,9 @@ func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
 		}
 	}
 	d.mu.Lock()
-	d.stallMu.Lock()
-	stall := time.Until(d.stallUntil)
-	d.stallMu.Unlock()
-	if stall > 0 {
-		time.Sleep(stall)
-	}
 	service := time.Duration(float64(ops) * d.lat.Sample() * float64(time.Millisecond))
 	service += time.Duration(blocks) * time.Duration(d.cfg.BlockSize) * d.cfg.PerByte
+	service += stall
 	_ = transferBytes
 	if service > 0 {
 		if d.cfg.PreciseWait {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"vats/internal/faultfs"
 )
 
 func fastConfig() Config {
@@ -95,21 +97,18 @@ func TestWaitersReturnsToZero(t *testing.T) {
 	}
 }
 
-func TestInjectStallDelaysNextOp(t *testing.T) {
+func TestFaultStallDelaysOp(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Sigma = 0
+	// A plan whose first op always stalls (probability 1).
+	cfg.Faults = faultfs.NewPlan(1, faultfs.Config{StallP: 1, StallDur: 5 * time.Millisecond})
 	d := New(cfg)
-	d.InjectStall(5 * time.Millisecond)
 	start := time.Now()
-	d.Fsync()
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	if e := time.Since(start); e < 4*time.Millisecond {
 		t.Errorf("stall not honoured: op took %v", e)
-	}
-	// Second op should be fast again.
-	start = time.Now()
-	d.Fsync()
-	if e := time.Since(start); e > 3*time.Millisecond {
-		t.Errorf("stall leaked into later op: %v", e)
 	}
 }
 

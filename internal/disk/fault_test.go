@@ -1,0 +1,95 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"vats/internal/faultfs"
+)
+
+func faultDev(plan *faultfs.Plan) *Device {
+	return New(Config{MedianLatency: time.Microsecond, BlockSize: 4096, Seed: 1, Faults: plan})
+}
+
+func TestFaultDeviceWriteSyncPersists(t *testing.T) {
+	d := faultDev(faultfs.NewPlan(1, faultfs.Config{}))
+	if err := d.WriteData([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteData([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if img := d.DurableImage(); len(img) != 0 {
+		t.Fatalf("unsynced bytes persisted: %q", img)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if img := d.DurableImage(); !bytes.Equal(img, []byte("hello world")) {
+		t.Fatalf("durable image = %q", img)
+	}
+}
+
+func TestFaultDeviceCrashLosesCache(t *testing.T) {
+	// Crash at op 3: write, sync, then the second write is the crash
+	// point with nothing torn in.
+	d := faultDev(faultfs.NewPlan(2, faultfs.Config{CrashOp: 3, CrashTorn: 0}))
+	d.WriteData([]byte("aa"))
+	d.Sync()
+	err := d.WriteData([]byte("bb"))
+	if !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if err := d.Sync(); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("post-crash op = %v, want ErrCrashed", err)
+	}
+	if img := d.DurableImage(); !bytes.Equal(img, []byte("aa")) {
+		t.Fatalf("durable image = %q, want only the synced prefix", img)
+	}
+}
+
+func TestFaultDeviceTornFsync(t *testing.T) {
+	// Crash at the fsync (op 2) persisting half the cache.
+	d := faultDev(faultfs.NewPlan(3, faultfs.Config{CrashOp: 2, CrashTorn: 0.5}))
+	d.WriteData([]byte("abcdefgh"))
+	if err := d.Sync(); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if img := d.DurableImage(); !bytes.Equal(img, []byte("abcd")) {
+		t.Fatalf("torn image = %q, want first half", img)
+	}
+}
+
+func TestFaultDeviceDroppedFsyncLies(t *testing.T) {
+	// Every fsync drops.
+	d := faultDev(faultfs.NewPlan(4, faultfs.Config{DropFsyncP: 1}))
+	d.WriteData([]byte("xy"))
+	if err := d.Sync(); err != nil {
+		t.Fatalf("dropped fsync must report success, got %v", err)
+	}
+	if img := d.DurableImage(); len(img) != 0 {
+		t.Fatalf("dropped fsync persisted bytes: %q", img)
+	}
+	if img := d.AckedImage(); !bytes.Equal(img, []byte("xy")) {
+		t.Fatalf("acked image = %q, want the lied-about bytes", img)
+	}
+	if d.Lies() != 1 {
+		t.Fatalf("lies = %d, want 1", d.Lies())
+	}
+}
+
+func TestFaultDeviceTransientErrorHasNoEffect(t *testing.T) {
+	// Every write/fsync errors transiently.
+	d := faultDev(faultfs.NewPlan(5, faultfs.Config{IOErrorP: 1}))
+	if err := d.WriteData([]byte("zz")); !errors.Is(err, faultfs.ErrIO) {
+		t.Fatalf("err = %v, want ErrIO", err)
+	}
+	if n := d.WrittenLen(); n != 0 {
+		t.Fatalf("failed write accepted %d bytes", n)
+	}
+	if err := d.Sync(); !errors.Is(err, faultfs.ErrIO) {
+		t.Fatalf("err = %v, want ErrIO", err)
+	}
+}

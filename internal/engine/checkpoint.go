@@ -19,16 +19,29 @@ var ErrNotQuiescent = errors.New("engine: checkpoint requires quiescence")
 
 // Checkpoint writes a quiescent snapshot of every table into the log
 // and truncates the records it supersedes, bounding both recovery time
-// and log size for long-running instances.
+// and log size for long-running instances. It returns the checkpoint's
+// id — the transaction id tagging its snapshot records — so callers
+// (the torture harness) can match a recovered image to the snapshot
+// recovery chose. The id is returned even when the checkpoint fails
+// partway (crash, I/O error): its partial records may already be on a
+// device, and log auditors need to attribute them.
 //
 // The caller must ensure no transactions are in flight (quiescent
 // checkpoint): the snapshot is taken table by table with latch-level
 // consistency only. On return, the log consists of the snapshot plus
 // everything appended after it, and Recover on such a log restores the
 // snapshot first, then replays later committed transactions.
-func (db *DB) Checkpoint() error {
+//
+// The end marker carries the snapshot's row count in its key field.
+// With parallel log streams the end marker can become durable on one
+// device while snapshot rows on another are lost in a crash; recovery
+// counts the rows it actually recovered against the marker's declared
+// count and falls back to the previous complete checkpoint when they
+// disagree, so a half-durable snapshot can never masquerade as the
+// recovery base.
+func (db *DB) Checkpoint() (uint64, error) {
 	if db.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	// A fresh txn id tags this checkpoint's records so recovery can
 	// associate its rows with its end marker.
@@ -42,6 +55,7 @@ func (db *DB) Checkpoint() error {
 	}
 
 	var firstLSN wal.LSN
+	rows := uint64(0)
 	for _, space := range spaces {
 		t, ok := db.tableBySpace(space)
 		if !ok {
@@ -57,27 +71,28 @@ func (db *DB) Checkpoint() error {
 			if firstLSN == 0 {
 				firstLSN = lsn
 			}
+			rows++
 			return true
 		})
 		if err == nil {
 			err = scanErr
 		}
 		if err != nil {
-			return fmt.Errorf("engine: checkpoint %s: %w", t.Name(), err)
+			return ckptID, fmt.Errorf("engine: checkpoint %s: %w", t.Name(), err)
 		}
 	}
-	endLSN, err := db.log.Append(ckptID, encodeRedo(redoCkptEnd, 0, 0, nil))
+	endLSN, err := db.log.Append(ckptID, encodeRedo(redoCkptEnd, 0, rows, nil))
 	if err != nil {
-		return fmt.Errorf("engine: checkpoint: %w", err)
+		return ckptID, fmt.Errorf("engine: checkpoint: %w", err)
 	}
 	if firstLSN == 0 {
 		firstLSN = endLSN
 	}
 	// Make the snapshot durable, then drop everything it supersedes.
 	if err := db.log.Commit(ckptID); err != nil {
-		return fmt.Errorf("engine: checkpoint flush: %w", err)
+		return ckptID, fmt.Errorf("engine: checkpoint flush: %w", err)
 	}
 	db.log.Flush() // lazy policies: force the flusher's work now
 	db.log.Truncate(firstLSN)
-	return nil
+	return ckptID, nil
 }

@@ -22,7 +22,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 		}
 	}
 	before := len(db.Log().RecoveredEntries())
-	if err := db.Checkpoint(); err != nil {
+	if _, err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	after := len(db.Log().RecoveredEntries())
@@ -49,7 +49,7 @@ func TestRecoveryFromCheckpoint(t *testing.T) {
 	tx.Update(tab, 1, row("v1-final"))
 	tx.Delete(tab, 2)
 	tx.Commit()
-	if err := db.Checkpoint(); err != nil {
+	if _, err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	// Post-checkpoint activity that must be replayed on top.
@@ -122,6 +122,41 @@ func TestRecoveryIgnoresPartialCheckpoint(t *testing.T) {
 	}
 }
 
+func TestRecoveryRejectsIncompleteCheckpoint(t *testing.T) {
+	// With parallel log streams a crash can persist a checkpoint's end
+	// marker while snapshot rows on another stream are lost. The end
+	// marker declares its row count; recovery must reject a checkpoint
+	// whose surviving rows fall short and fall back to full replay.
+	db := Open(fastCfg())
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	for i := uint64(1); i <= 5; i++ {
+		tx := s.Begin()
+		tx.Insert(tab, i, row(fmt.Sprintf("v%d", i)))
+		tx.Commit()
+	}
+	// Forge the half-durable snapshot: 2 rows survive, 5 declared.
+	ckptID := db.nextTxn.Add(1)
+	db.Log().Append(ckptID, encodeRedo(redoCkptRow, tab.Space(), 1, row("v1")))
+	db.Log().Append(ckptID, encodeRedo(redoCkptRow, tab.Space(), 2, row("v2")))
+	db.Log().Append(ckptID, encodeRedo(redoCkptEnd, 0, 5, nil))
+	db.Log().Commit(ckptID)
+	db.Crash()
+
+	db2 := Open(fastCfg())
+	defer db2.Close()
+	tab2, _ := db2.CreateTable("t")
+	if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Len() != 5 {
+		t.Fatalf("recovered %d rows, want 5 (incomplete checkpoint must be rejected)", tab2.Len())
+	}
+	if err := db2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCheckpointOnLazyPolicies(t *testing.T) {
 	for _, policy := range []wal.FlushPolicy{wal.LazyFlush, wal.LazyWrite} {
 		cfg := fastCfg()
@@ -133,7 +168,7 @@ func TestCheckpointOnLazyPolicies(t *testing.T) {
 		tx := s.Begin()
 		tx.Insert(tab, 1, row("x"))
 		tx.Commit()
-		if err := db.Checkpoint(); err != nil {
+		if _, err := db.Checkpoint(); err != nil {
 			t.Fatalf("%v: %v", policy, err)
 		}
 		db.Crash()
@@ -152,7 +187,7 @@ func TestCheckpointOnLazyPolicies(t *testing.T) {
 func TestCheckpointAfterClose(t *testing.T) {
 	db := Open(fastCfg())
 	db.Close()
-	if err := db.Checkpoint(); !errors.Is(err, ErrClosed) {
+	if _, err := db.Checkpoint(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -169,7 +204,7 @@ func TestRepeatedCheckpoints(t *testing.T) {
 			tx.Insert(tab, key, row(fmt.Sprintf("r%d", key)))
 			tx.Commit()
 		}
-		if err := db.Checkpoint(); err != nil {
+		if _, err := db.Checkpoint(); err != nil {
 			t.Fatal(err)
 		}
 	}

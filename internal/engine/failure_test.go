@@ -7,15 +7,19 @@ import (
 	"time"
 
 	"vats/internal/disk"
+	"vats/internal/faultfs"
 	"vats/internal/lock"
 	"vats/internal/storage"
+	"vats/internal/wal"
 )
 
-// TestDeviceStallDoesNotBreakCorrectness injects a log-device stall
-// mid-workload: latencies spike but every commit remains atomic and
-// durable.
+// TestDeviceStallDoesNotBreakCorrectness runs the workload against a
+// fault-capable log device whose plan injects stalls: latencies spike
+// but every commit remains atomic and durable, and the physical log
+// image decodes to exactly what the in-memory log believes is durable.
 func TestDeviceStallDoesNotBreakCorrectness(t *testing.T) {
-	logDev := disk.New(disk.Config{MedianLatency: 20 * time.Microsecond, BlockSize: 4096, Seed: 1})
+	plan := faultfs.NewPlan(7, faultfs.Config{StallP: 0.05, StallDur: 10 * time.Millisecond})
+	logDev := disk.New(disk.Config{MedianLatency: 20 * time.Microsecond, BlockSize: 4096, Seed: 1, Faults: plan})
 	cfg := fastCfg()
 	cfg.LogDevices = []*disk.Device{logDev}
 	db := Open(cfg)
@@ -39,15 +43,23 @@ func TestDeviceStallDoesNotBreakCorrectness(t *testing.T) {
 			}
 		}()
 	}
-	time.Sleep(2 * time.Millisecond)
-	logDev.InjectStall(20 * time.Millisecond)
 	wg.Wait()
 
 	db.Crash()
+	if err := db.Log().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover from the physical device image, not the in-memory log:
+	// the two must agree (no faults besides stalls were injected).
+	phys := wal.RecoverDeviceEntries(logDev)
+	mem := db.Log().RecoveredEntries()
+	if len(phys) != len(mem) {
+		t.Fatalf("device image has %d entries, in-memory log %d", len(phys), len(mem))
+	}
 	db2 := Open(fastCfg())
 	defer db2.Close()
 	tab2, _ := db2.CreateTable("t")
-	if err := db2.Recover(db.Log().RecoveredEntries()); err != nil {
+	if err := db2.Recover(phys); err != nil {
 		t.Fatal(err)
 	}
 	if got := tab2.Len(); got != 100 {

@@ -13,20 +13,50 @@ import (
 //
 // If the log contains a complete checkpoint (see Checkpoint), recovery
 // restores the latest checkpoint's snapshot first and then replays only
-// the committed transactions after it. Records from in-flight, aborted
-// or superseded transactions are ignored; replay is in LSN order, which
-// under strict 2PL is consistent with the original conflict order.
+// the committed transactions after it. A checkpoint is complete only
+// when every snapshot row its end marker declares is actually present:
+// with parallel log streams a crash can persist the end marker on one
+// device while snapshot rows on another are lost, and trusting such a
+// marker would silently drop the missing rows AND everything the
+// truncation that followed it superseded. Incomplete checkpoints are
+// skipped in favour of the newest complete one (or none). Records from
+// in-flight, aborted or superseded transactions are ignored; replay is
+// in LSN order, which under strict 2PL is consistent with the original
+// conflict order.
 func (db *DB) Recover(entries []wal.Entry) error {
-	// Locate the last complete checkpoint.
-	var ckptID uint64
-	var ckptEnd wal.LSN
+	// Collect checkpoint end markers, newest first, then pick the
+	// newest whose declared row count matches the rows that survived.
+	type ckptMark struct {
+		id       uint64
+		end      wal.LSN
+		declared uint64
+	}
+	var marks []ckptMark
 	for _, e := range entries {
-		op, _, _, _, err := decodeRedo(e.Payload)
+		op, _, key, _, err := decodeRedo(e.Payload)
 		if err != nil {
 			return fmt.Errorf("engine: recover: %w", err)
 		}
 		if op == redoCkptEnd {
-			ckptID, ckptEnd = e.Txn, e.LSN
+			marks = append(marks, ckptMark{id: e.Txn, end: e.LSN, declared: key})
+		}
+	}
+	var ckptID uint64
+	var ckptEnd wal.LSN
+	for i := len(marks) - 1; i >= 0; i-- {
+		mk := marks[i]
+		var got uint64
+		for _, e := range entries {
+			if e.Txn != mk.id || e.LSN >= mk.end {
+				continue
+			}
+			if op, _, _, _, err := decodeRedo(e.Payload); err == nil && op == redoCkptRow {
+				got++
+			}
+		}
+		if got == mk.declared {
+			ckptID, ckptEnd = mk.id, mk.end
+			break
 		}
 	}
 

@@ -1,0 +1,19 @@
+package engine
+
+// Exported view of the redo-record wire format for log-auditing tools
+// (the torture harness decodes recovered device images and compares
+// them against its workload journal). The unexported codes in txn.go
+// and checkpoint.go remain the source of truth.
+const (
+	RedoInsert  = redoInsert
+	RedoUpdate  = redoUpdate
+	RedoDelete  = redoDelete
+	RedoCommit  = redoCommit
+	RedoCkptRow = redoCkptRow
+	RedoCkptEnd = redoCkptEnd
+)
+
+// DecodeRedo decodes one redo record payload (see encodeRedo).
+func DecodeRedo(b []byte) (op byte, space uint32, key uint64, row []byte, err error) {
+	return decodeRedo(b)
+}

@@ -8,7 +8,12 @@
 // internal/lock, which is precisely the boundary the paper studies.
 package storage
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
 
 // Slotted page layout (little endian):
 //
@@ -64,17 +69,36 @@ func pageInsertRow(data []byte, row []byte) (slot int, ok bool) {
 	return n, true
 }
 
-// pageReadRow copies the row in slot out of the page.
-func pageReadRow(data []byte, slot int) ([]byte, bool) {
-	if slot < 0 || slot >= pageNumSlots(data) {
-		return nil, false
+// slotBounds resolves a slot to its row's [off, off+length) extent,
+// rejecting out-of-range slot numbers, dead slots, and — defensively —
+// extents that escape the page (a corrupt or foreign byte image must
+// yield ok=false, never an out-of-bounds read; FuzzPageCodec relies on
+// this).
+func slotBounds(data []byte, slot int) (off, length int, ok bool) {
+	if len(data) < pageHeaderSize || slot < 0 || slot >= pageNumSlots(data) {
+		return 0, 0, false
 	}
 	so := pageHeaderSize + slotSize*slot
-	off := int(binary.LittleEndian.Uint16(data[so:]))
+	if so+slotSize > len(data) {
+		return 0, 0, false
+	}
+	off = int(binary.LittleEndian.Uint16(data[so:]))
 	if off == deadOffset {
+		return 0, 0, false
+	}
+	length = int(binary.LittleEndian.Uint16(data[so+2:]))
+	if off < pageHeaderSize || off+length > len(data) {
+		return 0, 0, false
+	}
+	return off, length, true
+}
+
+// pageReadRow copies the row in slot out of the page.
+func pageReadRow(data []byte, slot int) ([]byte, bool) {
+	off, length, ok := slotBounds(data, slot)
+	if !ok {
 		return nil, false
 	}
-	length := int(binary.LittleEndian.Uint16(data[so+2:]))
 	out := make([]byte, length)
 	copy(out, data[off:off+length])
 	return out, true
@@ -83,33 +107,24 @@ func pageReadRow(data []byte, slot int) ([]byte, bool) {
 // pageReadRowAppend appends the row in slot to buf, avoiding the
 // allocation pageReadRow pays for its fresh copy.
 func pageReadRowAppend(data []byte, slot int, buf []byte) ([]byte, bool) {
-	if slot < 0 || slot >= pageNumSlots(data) {
+	off, length, ok := slotBounds(data, slot)
+	if !ok {
 		return buf, false
 	}
-	so := pageHeaderSize + slotSize*slot
-	off := int(binary.LittleEndian.Uint16(data[so:]))
-	if off == deadOffset {
-		return buf, false
-	}
-	length := int(binary.LittleEndian.Uint16(data[so+2:]))
 	return append(buf, data[off:off+length]...), true
 }
 
 // pageUpdateRowInPlace overwrites a row if the new image fits in the
 // slot's existing space.
 func pageUpdateRowInPlace(data []byte, slot int, row []byte) bool {
-	if slot < 0 || slot >= pageNumSlots(data) {
+	off, length, ok := slotBounds(data, slot)
+	if !ok {
 		return false
 	}
-	so := pageHeaderSize + slotSize*slot
-	off := int(binary.LittleEndian.Uint16(data[so:]))
-	if off == deadOffset {
-		return false
-	}
-	length := int(binary.LittleEndian.Uint16(data[so+2:]))
 	if len(row) > length || len(row) == 0 {
 		return false
 	}
+	so := pageHeaderSize + slotSize*slot
 	copy(data[off:], row)
 	binary.LittleEndian.PutUint16(data[so+2:], uint16(len(row)))
 	return true
@@ -117,15 +132,57 @@ func pageUpdateRowInPlace(data []byte, slot int, row []byte) bool {
 
 // pageDeleteRow tombstones a slot. The space is not reclaimed.
 func pageDeleteRow(data []byte, slot int) bool {
-	if slot < 0 || slot >= pageNumSlots(data) {
+	if len(data) < pageHeaderSize || slot < 0 || slot >= pageNumSlots(data) {
 		return false
 	}
 	so := pageHeaderSize + slotSize*slot
+	if so+slotSize > len(data) {
+		return false
+	}
 	if binary.LittleEndian.Uint16(data[so:]) == deadOffset {
 		return false
 	}
 	binary.LittleEndian.PutUint16(data[so:], deadOffset)
 	return true
+}
+
+// pageCheck validates a page's structure: the slot directory must fit,
+// every live slot's extent must lie inside the page below the data
+// region, and live extents must not overlap. It is the page-level
+// invariant the torture harness audits after recovery.
+func pageCheck(data []byte) error {
+	if len(data) < pageHeaderSize {
+		return errors.New("storage: page smaller than header")
+	}
+	n := pageNumSlots(data)
+	ds := pageDataStart(data)
+	if pageHeaderSize+slotSize*n > ds || ds > len(data) {
+		return fmt.Errorf("storage: slot directory (n=%d) collides with data start %d", n, ds)
+	}
+	type extent struct{ off, end int }
+	var live []extent
+	for slot := 0; slot < n; slot++ {
+		so := pageHeaderSize + slotSize*slot
+		off := int(binary.LittleEndian.Uint16(data[so:]))
+		if off == deadOffset {
+			continue
+		}
+		length := int(binary.LittleEndian.Uint16(data[so+2:]))
+		if off < ds || off+length > len(data) {
+			return fmt.Errorf("storage: slot %d extent [%d,%d) outside data region [%d,%d)", slot, off, off+length, ds, len(data))
+		}
+		if length == 0 {
+			return fmt.Errorf("storage: slot %d live with zero length", slot)
+		}
+		live = append(live, extent{off, off + length})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].off < live[j].off })
+	for i := 1; i < len(live); i++ {
+		if live[i].off < live[i-1].end {
+			return fmt.Errorf("storage: row extents overlap at offset %d", live[i].off)
+		}
+	}
+	return nil
 }
 
 // maxRowSize is the largest row a page of the given size can hold.

@@ -1,0 +1,67 @@
+package torture
+
+import (
+	"testing"
+
+	"vats/internal/wal"
+)
+
+// TestTortureShort runs a bounded batch of seeded rounds. It is the
+// race-clean CI entry point (`make torture-short`); the full campaign
+// lives behind cmd/torture / `make torture`.
+func TestTortureShort(t *testing.T) {
+	rounds := 24
+	if testing.Short() {
+		rounds = 8
+	}
+	for i := 0; i < rounds; i++ {
+		seed := int64(1000 + i)
+		res := Run(FromSeed(seed))
+		if len(res.Violations) > 0 {
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			t.Fatalf("seed %d: %d violations\nREPRO: %s", seed, len(res.Violations), res.ReproCmd())
+		}
+	}
+}
+
+// TestRoundDeterminism re-runs the same seed and asserts the derived
+// config and the fault-schedule digest are byte-identical: the whole
+// round is a pure function of the seed, which is what makes a failing
+// seed a complete reproducer.
+func TestRoundDeterminism(t *testing.T) {
+	const seed = 424242
+	cfgA, cfgB := FromSeed(seed), FromSeed(seed)
+	if cfgA != cfgB {
+		t.Fatalf("FromSeed not deterministic:\n%+v\n%+v", cfgA, cfgB)
+	}
+	a, b := Run(cfgA), Run(cfgB)
+	if a.Digest != b.Digest {
+		t.Fatalf("fault-schedule digest diverged: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if len(a.Violations) > 0 || len(b.Violations) > 0 {
+		t.Fatalf("violations: %v / %v\nREPRO: %s", a.Violations, b.Violations, a.ReproCmd())
+	}
+}
+
+// TestCleanShutdownFullyDurable pins one clean-shutdown round per
+// policy: with no crash, every acked commit must be recoverable no
+// matter how lazy the flush policy is.
+func TestCleanShutdownFullyDurable(t *testing.T) {
+	for policy := 0; policy < 3; policy++ {
+		cfg := FromSeed(int64(7700 + policy))
+		cfg.CrashOp = 0 // force a clean round
+		cfg.Policy = wal.FlushPolicy(policy)
+		res := Run(cfg)
+		if res.Crashed {
+			t.Fatalf("policy %v: round crashed with CrashOp=0", cfg.Policy)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("policy %v: %v", cfg.Policy, res.Violations)
+		}
+		if res.Acked == 0 {
+			t.Fatalf("policy %v: workload acked nothing", cfg.Policy)
+		}
+	}
+}

@@ -20,12 +20,14 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vats/internal/disk"
+	"vats/internal/faultfs"
 	"vats/internal/obs"
 )
 
@@ -105,6 +107,10 @@ type batch struct {
 	first LSN    // LSN of record 0; records are dense through last()
 	data  []byte // concatenated payload bytes
 	ends  []int  // ends[i] = end offset of record i in data
+	// stream is the log stream whose device cache holds this batch's
+	// physical frame (-1 until written). Only meaningful in physical
+	// mode, where the fsync must go to the same device as the write.
+	stream int
 }
 
 func (b *batch) last() LSN  { return b.first + LSN(len(b.ends)) - 1 }
@@ -145,6 +151,15 @@ type Manager struct {
 	contig  LSN
 	ooo     []lsnRange
 	crashed bool
+	// truncLow is the highest Truncate bound applied so far: LSNs
+	// below it are durable-but-reclaimed (CheckInvariants uses it).
+	truncLow LSN
+
+	// phys: the log devices are fault-capable (disk.Config.Faults), so
+	// every claim is serialized into checksummed frames and written as
+	// real bytes through the device's cache/fsync model; recovery after
+	// a simulated crash decodes the devices' durable images (codec.go).
+	phys bool
 
 	appends atomic.Int64
 	flushes atomic.Int64
@@ -177,8 +192,18 @@ func New(cfg Config) *Manager {
 	m.met = obs.NewWALMetrics(cfg.Obs, len(cfg.Devices))
 	m.cond = sync.NewCond(&m.mu)
 	m.marks = make([]LSN, len(cfg.Devices))
+	recording := 0
 	for i, d := range cfg.Devices {
 		m.streams = append(m.streams, &stream{idx: i, dev: d})
+		if d.Recording() {
+			recording++
+		}
+	}
+	if recording > 0 {
+		if recording != len(cfg.Devices) {
+			panic("wal: either all log devices must be fault-capable or none")
+		}
+		m.phys = true
 	}
 	if cfg.Policy != EagerFlush {
 		m.stopFlusher = make(chan struct{})
@@ -191,7 +216,7 @@ func New(cfg Config) *Manager {
 // Append buffers one redo record for txn and returns its LSN. The record
 // is not durable until Commit (eager) or a background flush (lazy).
 func (m *Manager) Append(txn uint64, payload []byte) (LSN, error) {
-	bt := &batch{txn: txn, data: append([]byte(nil), payload...), ends: []int{len(payload)}}
+	bt := &batch{txn: txn, data: append([]byte(nil), payload...), ends: []int{len(payload)}, stream: -1}
 	return m.appendBatch(txn, bt, 1)
 }
 
@@ -209,7 +234,7 @@ func (m *Manager) AppendBatch(txn uint64, payloads [][]byte) (LSN, error) {
 	for _, p := range payloads {
 		total += len(p)
 	}
-	bt := &batch{txn: txn, data: make([]byte, 0, total), ends: make([]int, len(payloads))}
+	bt := &batch{txn: txn, data: make([]byte, 0, total), ends: make([]int, len(payloads)), stream: -1}
 	for i, p := range payloads {
 		bt.data = append(bt.data, p...)
 		bt.ends[i] = len(bt.data)
@@ -314,19 +339,38 @@ func (m *Manager) commitEager(txn uint64) error {
 		if m.met.FlushEnabled() {
 			flushStart = time.Now()
 		}
-		st.dev.WriteBytes(bytes)
-		st.dev.Fsync()
-		if !flushStart.IsZero() {
+		var ferr error
+		if m.phys {
+			ferr = physWriteSync(st, claim)
+		} else {
+			st.dev.WriteBytes(bytes)
+			st.dev.Fsync()
+		}
+		if ferr == nil && !flushStart.IsZero() {
 			m.met.FlushDone(time.Since(flushStart), recordCount(claim), bytes, st.idx)
 		}
 
 		m.mu.Lock()
-		if m.crashed {
-			// Crash raced with the flush; do not resurrect batches.
+		if m.crashed || errors.Is(ferr, faultfs.ErrCrashed) {
+			// Crash raced with (or was) the flush; do not resurrect
+			// batches — the devices' durable images are the truth now.
+			m.crashed = true
+			m.cond.Broadcast()
 			m.mu.Unlock()
 			st.mu.Unlock()
 			st.waiters.Add(-1)
 			return ErrCrashed
+		}
+		if ferr != nil {
+			// Transient I/O error: nothing durable happened. Resurrect
+			// the claim and retry; a duplicate frame from a write that
+			// preceded a failed fsync is deduplicated at decode time.
+			m.buffered = append(claim, m.buffered...)
+			m.bufferedBytes += bytes
+			m.mu.Unlock()
+			st.mu.Unlock()
+			st.waiters.Add(-1)
+			continue
 		}
 		m.completeLocked(claim, st.idx)
 		m.cond.Broadcast()
@@ -338,22 +382,38 @@ func (m *Manager) commitEager(txn uint64) error {
 	}
 }
 
+// physWriteSync frames a claim and pushes it through one device
+// write + fsync in physical mode.
+func physWriteSync(st *stream, claim []*batch) error {
+	var buf []byte
+	for _, bt := range claim {
+		buf = appendFrame(buf, bt)
+	}
+	if err := st.dev.WriteData(buf); err != nil {
+		return err
+	}
+	if err := st.dev.Sync(); err != nil {
+		return err
+	}
+	for _, bt := range claim {
+		bt.stream = st.idx
+	}
+	return nil
+}
+
 func (m *Manager) commitLazyFlush(txn uint64) error {
-	// The commit-path write lands in the OS page cache (a memcpy, not a
-	// device operation); only the background fsync touches the device,
-	// which is the whole point of the policy. The device transfer for
-	// these bytes is charged at flush time.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.crashed {
+		m.mu.Unlock()
 		return ErrCrashed
 	}
+	var moved []*batch
+	movedBytes := 0
 	kept := m.buffered[:0]
 	for _, bt := range m.buffered {
 		if bt.txn == txn {
-			m.written = append(m.written, bt)
-			m.writtenBytes += bt.bytes()
-			m.bufferedBytes -= bt.bytes()
+			moved = append(moved, bt)
+			movedBytes += bt.bytes()
 			continue
 		}
 		kept = append(kept, bt)
@@ -362,6 +422,65 @@ func (m *Manager) commitLazyFlush(txn uint64) error {
 		m.buffered[i] = nil
 	}
 	m.buffered = kept
+	m.bufferedBytes -= movedBytes
+	if !m.phys || len(moved) == 0 {
+		// The commit-path write lands in the OS page cache (a memcpy,
+		// not a device operation); only the background fsync touches the
+		// device, which is the whole point of the policy. The device
+		// transfer for these bytes is charged at flush time.
+		m.written = append(m.written, moved...)
+		m.writtenBytes += movedBytes
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	// Physical mode: the commit-path write pushes real frames into a
+	// device's volatile cache (no fsync — that is the flusher's job).
+	// The batches are in neither buffered nor written while the I/O is
+	// in flight, so a concurrent flusher pass cannot double-claim them.
+	var buf []byte
+	for _, bt := range moved {
+		buf = appendFrame(buf, bt)
+	}
+	st := m.pickStream()
+	for attempt := 0; ; attempt++ {
+		st.mu.Lock()
+		err := st.dev.WriteData(buf)
+		st.mu.Unlock()
+		if err == nil {
+			break
+		}
+		if errors.Is(err, faultfs.ErrCrashed) {
+			m.markCrashed()
+			return ErrCrashed
+		}
+		// Transient write error: retry with fresh plan ops. Bail only
+		// after an absurd run of failures (the plan would need
+		// IOErrorP ≈ 1) and hand the batches to the flusher.
+		if attempt >= 100 {
+			m.mu.Lock()
+			if m.crashed {
+				m.mu.Unlock()
+				return ErrCrashed
+			}
+			m.buffered = append(moved, m.buffered...)
+			m.bufferedBytes += movedBytes
+			m.mu.Unlock()
+			return err
+		}
+	}
+	m.mu.Lock()
+	if m.crashed {
+		m.mu.Unlock()
+		return ErrCrashed
+	}
+	for _, bt := range moved {
+		bt.stream = st.idx
+	}
+	m.written = append(m.written, moved...)
+	m.writtenBytes += movedBytes
+	m.mu.Unlock()
 	return nil
 }
 
@@ -513,6 +632,10 @@ func (m *Manager) Flush() {
 // write+fsync and completes them. Shared by the background flusher and
 // manual Flush.
 func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) {
+	if m.phys {
+		m.flushClaimsPhys(toWrite, toSync)
+		return
+	}
 	st := m.pickStream()
 	st.mu.Lock()
 	var flushStart time.Time
@@ -542,6 +665,104 @@ func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) {
 	m.mu.Unlock()
 }
 
+// flushClaimsPhys is the physical-mode flush pass. A written batch's
+// frame sits in the cache of one specific device, so the fsync must go
+// to that device: the claim is grouped by stream, still-buffered
+// batches (LazyWrite) are first written to the least-loaded stream, and
+// each involved stream gets one fsync. Transient errors resurrect the
+// affected batches for the next pass; a crash outcome kills the
+// manager and abandons the claim — the device images are the truth.
+func (m *Manager) flushClaimsPhys(toWrite, toSync []*batch) {
+	groups := make(map[int][]*batch)
+	for _, bt := range toSync {
+		groups[bt.stream] = append(groups[bt.stream], bt)
+	}
+	if len(toWrite) > 0 {
+		st := m.pickStream()
+		var buf []byte
+		for _, bt := range toWrite {
+			buf = appendFrame(buf, bt)
+		}
+		st.mu.Lock()
+		err := st.dev.WriteData(buf)
+		st.mu.Unlock()
+		switch {
+		case errors.Is(err, faultfs.ErrCrashed):
+			m.markCrashed()
+			return
+		case err != nil:
+			m.mu.Lock()
+			if !m.crashed {
+				m.buffered = append(toWrite, m.buffered...)
+				for _, bt := range toWrite {
+					m.bufferedBytes += bt.bytes()
+				}
+			}
+			m.mu.Unlock()
+		default:
+			for _, bt := range toWrite {
+				bt.stream = st.idx
+			}
+			groups[st.idx] = append(groups[st.idx], toWrite...)
+		}
+	}
+	idxs := make([]int, 0, len(groups))
+	for i := range groups {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		grp := groups[i]
+		st := m.streams[i]
+		st.mu.Lock()
+		err := st.dev.Sync()
+		st.mu.Unlock()
+		switch {
+		case errors.Is(err, faultfs.ErrCrashed):
+			m.markCrashed()
+			return
+		case err != nil:
+			// The frames are still in the device cache, so the batches
+			// go back on written unchanged: the next pass re-syncs the
+			// same stream without rewriting anything.
+			m.mu.Lock()
+			if !m.crashed {
+				m.written = append(grp, m.written...)
+				for _, bt := range grp {
+					m.writtenBytes += bt.bytes()
+				}
+			}
+			m.mu.Unlock()
+			continue
+		}
+		gbytes := 0
+		for _, bt := range grp {
+			gbytes += bt.bytes()
+		}
+		m.flushes.Add(1)
+		m.bytes.Add(int64(gbytes))
+		m.mu.Lock()
+		if m.crashed {
+			m.mu.Unlock()
+			return
+		}
+		m.completeLocked(grp, i)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// markCrashed transitions the manager to the crashed state and wakes
+// every waiting committer. Background goroutines are not joined here —
+// the caller may be the background flusher itself; Crash/Close own the
+// join.
+func (m *Manager) markCrashed() {
+	m.mu.Lock()
+	m.crashed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
 // Crash simulates a crash: all non-durable batches are lost and the
 // manager refuses further work. Use Recovered to inspect the surviving
 // prefix. The paper's Appendix B: lazy policies "risk losing forward
@@ -554,10 +775,25 @@ func (m *Manager) Crash() {
 	m.stopBackground()
 }
 
-// Close stops the flusher after a final flush (clean shutdown).
+// Close stops the flusher and flushes until nothing is pending (clean
+// shutdown). A single flush is not enough on fault-capable devices: a
+// transient write error resurrects the claimed batches into the buffer,
+// and returning at that point would strand acked lazy-policy commits in
+// memory forever — the torture harness caught exactly that. Close
+// therefore retries until the log drains, the device crashes, or a
+// generous retry bound trips (only reachable at error rates far beyond
+// the harness's worst case).
 func (m *Manager) Close() {
 	m.stopBackground()
-	m.Flush()
+	for attempt := 0; attempt < 1000; attempt++ {
+		m.Flush()
+		m.mu.Lock()
+		done := m.crashed || (len(m.buffered) == 0 && len(m.written) == 0)
+		m.mu.Unlock()
+		if done {
+			return
+		}
+	}
 }
 
 func (m *Manager) stopBackground() {
@@ -613,6 +849,9 @@ func (m *Manager) RecoveredEntries() []Entry {
 func (m *Manager) Truncate(before LSN) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if before > m.truncLow {
+		m.truncLow = before
+	}
 	kept := make([]*batch, 0, len(m.durable))
 	recs := 0
 	for _, bt := range m.durable {
@@ -682,6 +921,116 @@ func (m *Manager) StreamWatermarks() []LSN {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]LSN(nil), m.marks...)
+}
+
+// CheckInvariants audits the manager's bookkeeping and returns the
+// first violation found. The torture harness calls it after every
+// workload round and after recovery; it must hold at any quiescent
+// point regardless of policy, stream count, or injected faults.
+//
+// Invariants checked:
+//
+//   - durable batches are well-formed and non-overlapping in LSN space;
+//   - durableRecs equals the record count of the durable set;
+//   - every LSN in [max(1,truncate bound), DurableWatermark] is covered
+//     by exactly one durable batch (the watermark promise);
+//   - parked out-of-order ranges are sorted, disjoint, and strictly
+//     above the watermark with a real gap below them;
+//   - bufferedBytes/writtenBytes match their lists;
+//   - outstanding-batch counters are positive.
+func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sorted := m.sortedDurableLocked()
+	recs := 0
+	var prevLast LSN
+	for i, bt := range sorted {
+		if len(bt.ends) == 0 || bt.first == 0 {
+			return fmt.Errorf("wal: durable batch %d malformed (first=%d nrec=%d)", i, bt.first, len(bt.ends))
+		}
+		if i > 0 && bt.first <= prevLast {
+			return fmt.Errorf("wal: durable batches overlap: batch %d first=%d <= prev last=%d", i, bt.first, prevLast)
+		}
+		prevLast = bt.last()
+		recs += len(bt.ends)
+	}
+	if recs != m.durableRecs {
+		return fmt.Errorf("wal: durableRecs=%d but durable batches hold %d records", m.durableRecs, recs)
+	}
+	low := LSN(1)
+	if m.truncLow > low {
+		low = m.truncLow
+	}
+	if m.contig >= low {
+		want := low
+		for _, bt := range sorted {
+			if bt.last() < low {
+				continue
+			}
+			if bt.first > m.contig {
+				break
+			}
+			first := bt.first
+			if first < low {
+				first = low
+			}
+			if first != want {
+				return fmt.Errorf("wal: durable gap below watermark: want LSN %d, next batch starts at %d (watermark=%d)", want, first, m.contig)
+			}
+			want = bt.last() + 1
+			if want > m.contig {
+				break
+			}
+		}
+		if want <= m.contig {
+			return fmt.Errorf("wal: durable coverage ends at %d but watermark is %d", want-1, m.contig)
+		}
+	}
+	for i, r := range m.ooo {
+		if r.last < r.first {
+			return fmt.Errorf("wal: ooo range %d inverted (%d-%d)", i, r.first, r.last)
+		}
+		if r.first <= m.contig+1 {
+			return fmt.Errorf("wal: ooo range %d (%d-%d) should have merged into watermark %d", i, r.first, r.last, m.contig)
+		}
+		if i > 0 && r.first <= m.ooo[i-1].last {
+			return fmt.Errorf("wal: ooo ranges %d and %d overlap", i-1, i)
+		}
+	}
+	bb := 0
+	for _, bt := range m.buffered {
+		bb += bt.bytes()
+	}
+	if bb != m.bufferedBytes {
+		return fmt.Errorf("wal: bufferedBytes=%d, buffered batches sum to %d", m.bufferedBytes, bb)
+	}
+	wb := 0
+	for _, bt := range m.written {
+		wb += bt.bytes()
+	}
+	if wb != m.writtenBytes {
+		return fmt.Errorf("wal: writtenBytes=%d, written batches sum to %d", m.writtenBytes, wb)
+	}
+	for txn, n := range m.pending {
+		if n <= 0 {
+			return fmt.Errorf("wal: pending[%d]=%d, want > 0", txn, n)
+		}
+	}
+	return nil
+}
+
+// Devices returns the manager's log devices (for the torture harness
+// to reach the fault-capable byte images).
+func (m *Manager) Devices() []*disk.Device {
+	return append([]*disk.Device(nil), m.cfg.Devices...)
+}
+
+// Crashed reports whether the manager has observed a crash — either an
+// explicit Crash call or a crash outcome from a fault-capable device.
+func (m *Manager) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
 }
 
 // Stats returns a snapshot of counters.
