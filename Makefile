@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json bench-read-json bench-smoke repro torture torture-short
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-smoke repro torture torture-short
 
 all: build vet short
 
@@ -22,7 +22,8 @@ vet:
 # the sharded metrics registry and the stats accumulators it merges).
 race:
 	$(GO) test -race -short ./internal/btree/... ./internal/buffer/... \
-		./internal/storage/... ./internal/obs/... ./internal/stats/...
+		./internal/storage/... ./internal/obs/... ./internal/stats/... \
+		./internal/tprofiler/...
 
 # Observability overhead guardrail (see docs/OBSERVABILITY.md).
 bench:
@@ -32,6 +33,12 @@ bench:
 # pre-PR baseline for before/after comparison (see docs/PERF.md).
 bench-json:
 	sh scripts/bench_json.sh commit BENCH_PR2.json
+
+# Observability overhead suite -> BENCH_PR6.json: the disabled/enabled
+# metric paths plus the new span-capture, sampling-decision and
+# variance-attribution cases the PR-6 budget model is calibrated from.
+bench-obs-json:
+	sh scripts/bench_json.sh obs BENCH_PR6.json
 
 # Read hot-path benchmark suite at -cpu 1,8 -> BENCH_PR3.json (sharded
 # buffer pool, seqlock table reads, lock-free catalog; see docs/PERF.md).
@@ -44,7 +51,7 @@ bench-read-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
 		./internal/buffer/ ./internal/storage/ ./internal/engine/ \
-		./internal/lock/ ./internal/wal/
+		./internal/lock/ ./internal/wal/ ./internal/obs/
 
 repro:
 	$(GO) run ./cmd/repro -quick

@@ -24,22 +24,27 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quick   = flag.Bool("quick", false, "scaled-down counts for a fast pass")
-		seed    = flag.Int64("seed", 11, "random seed")
-		out     = flag.String("out", "", "also write the report to this file")
-		obsAddr = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quick     = flag.Bool("quick", false, "scaled-down counts for a fast pass")
+		seed      = flag.Int64("seed", 11, "random seed")
+		out       = flag.String("out", "", "also write the report to this file")
+		obsAddr   = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
+		sloP99    = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for the variance watchdog (0 = off)")
+		obsBudget = flag.Float64("obs-budget", 0.01, "span-capture overhead budget as a fraction of one core (negative = unlimited)")
 	)
 	flag.Parse()
 
 	if *obsAddr != "" {
+		ob := vats.Observability()
+		ob.Watchdog.SetSLO(vats.SLOConfig{P99TargetMs: *sloP99})
+		ob.Sampler.SetBudget(*obsBudget)
 		srv, err := vats.ServeObservability(*obsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: %s/metrics\n", srv.URL())
+		fmt.Printf("observability: %s/metrics /debug/variance /debug/anomalies\n", srv.URL())
 	}
 
 	ids := vats.ExperimentIDs()

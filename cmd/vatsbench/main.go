@@ -20,29 +20,34 @@ import (
 
 func main() {
 	var (
-		wlName  = flag.String("workload", "tpcc", "tpcc | seats | tatp | epinions | ycsb")
-		sched   = flag.String("sched", "FCFS", "FCFS | VATS | RS")
-		flush   = flag.String("flush", "eager", "eager | lazyflush | lazywrite")
-		lru     = flag.String("lru", "eager", "eager | lazy (LLU)")
-		par     = flag.Bool("parallel-log", false, "two-stream parallel logging")
-		clients = flag.Int("clients", 16, "concurrent terminals")
-		rate    = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
-		count   = flag.Int("count", 1000, "transactions to measure")
-		pages   = flag.Int("buffer", 4096, "buffer pool pages")
-		shards  = flag.Int("buffer-shards", 0, "buffer pool instances (0 = one)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		obsAddr = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
+		wlName    = flag.String("workload", "tpcc", "tpcc | seats | tatp | epinions | ycsb")
+		sched     = flag.String("sched", "FCFS", "FCFS | VATS | RS")
+		flush     = flag.String("flush", "eager", "eager | lazyflush | lazywrite")
+		lru       = flag.String("lru", "eager", "eager | lazy (LLU)")
+		par       = flag.Bool("parallel-log", false, "two-stream parallel logging")
+		clients   = flag.Int("clients", 16, "concurrent terminals")
+		rate      = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
+		count     = flag.Int("count", 1000, "transactions to measure")
+		pages     = flag.Int("buffer", 4096, "buffer pool pages")
+		shards    = flag.Int("buffer-shards", 0, "buffer pool instances (0 = one)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		obsAddr   = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
+		sloP99    = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for the variance watchdog (0 = off)")
+		obsBudget = flag.Float64("obs-budget", 0.01, "span-capture overhead budget as a fraction of one core (negative = unlimited)")
 	)
 	flag.Parse()
 
 	if *obsAddr != "" {
+		ob := vats.Observability()
+		ob.Watchdog.SetSLO(vats.SLOConfig{P99TargetMs: *sloP99})
+		ob.Sampler.SetBudget(*obsBudget)
 		srv, err := vats.ServeObservability(*obsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: %s/metrics\n", srv.URL())
+		fmt.Printf("observability: %s/metrics /debug/variance /debug/anomalies\n", srv.URL())
 	}
 
 	opts := vats.Options{
@@ -125,5 +130,35 @@ func main() {
 		db.Log().DurableWatermark(), strings.Join(sm, " "))
 	if ws.Flushes > 0 {
 		fmt.Printf("wal: records/flush=%.1f\n", float64(ws.Appends)/float64(ws.Flushes))
+	}
+
+	if *obsAddr != "" {
+		printAttribution(vats.Observability())
+	}
+}
+
+// printAttribution summarizes the live variance-attribution state after
+// the run: what the latency variance decomposed into over the recent
+// window horizon, what the sampling controller settled on, and any SLO
+// anomalies the watchdog raised.
+func printAttribution(ob *vats.Obs) {
+	snap := ob.Variance.Snapshot()
+	if snap.N == 0 {
+		return
+	}
+	fmt.Printf("\nvariance attribution (last %d window(s), %d txns): total %.3f ms², explained %.0f%%\n",
+		snap.Windows, snap.N, snap.Variance, 100*snap.ExplainedShare)
+	for _, f := range snap.TopFactors(5) {
+		fmt.Printf("  %-28s %10.4f ms²  %6.1f%% of total\n",
+			strings.Join(f.Functions, "+"), f.Value, 100*f.FracOfTotal)
+	}
+	st := ob.Sampler.State()
+	fmt.Printf("sampling: modulus=%d rate=%.0f txn/s est-overhead=%.3f%% (budget %.1f%%)\n",
+		st.Modulus, st.RateTxnS, 100*st.EstimatedFrac, 100*st.BudgetFrac)
+	if as := ob.Watchdog.Anomalies(5); len(as) > 0 {
+		fmt.Printf("anomalies (%d total, newest first):\n", ob.Watchdog.Total())
+		for _, a := range as {
+			fmt.Printf("  [%s] %s\n", a.Kind, a.Msg)
+		}
 	}
 }

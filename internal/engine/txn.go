@@ -148,6 +148,9 @@ func (tx *Txn) recordBufWaits() {
 	if io > 0 {
 		tx.tr.Add(obs.EvPageMiss, io, 0)
 	}
+	if lru > 0 {
+		tx.tr.Add(obs.EvLRUWait, lru, 0)
+	}
 }
 
 // Get reads the row under key with a shared lock, returning

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // BenchmarkObsOverhead is the overhead guardrail: the disabled hot path
 // must stay under ~10ns/op and an enabled counter increment under
@@ -53,6 +56,63 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				c.Inc()
+			}
+		})
+	})
+	// The span-capture path the sampling controller budgets: one traced
+	// transaction with a realistic event count, fed through span
+	// aggregation and the variance engine. Its ns/op is the CostNs
+	// calibration input (docs/OBSERVABILITY.md, SamplingConfig.CostNs).
+	b.Run("trace-span-enabled", func(b *testing.B) {
+		o := NewWith(Config{Sampling: SamplingConfig{Budget: -1}})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := o.Tracer.BeginTxn(uint64(i))
+			tr.Add(EvLockWait, 0, 1)
+			tr.Add(EvLockGrant, time.Millisecond, 1)
+			tr.Add(EvPageMiss, time.Millisecond, 0)
+			tr.Add(EvLogFlush, time.Millisecond, 0)
+			o.Tracer.End(tr, false)
+		}
+	})
+	b.Run("trace-disabled", func(b *testing.B) {
+		o := New()
+		o.SetEnabled(false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := o.Tracer.BeginTxn(uint64(i))
+			tr.Add(EvLockWait, 0, 1)
+			o.Tracer.End(tr, false)
+		}
+	})
+	// The per-begin cost of the sampling decision alone.
+	b.Run("sampler-admit", func(b *testing.B) {
+		s := NewSampler(SamplingConfig{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Admit()
+		}
+	})
+	// The variance engine's Record with pre-aggregated spans — the
+	// marginal cost of attribution once a trace is already captured.
+	b.Run("variance-record", func(b *testing.B) {
+		e := NewVarianceEngine(VarianceConfig{Window: time.Hour})
+		spans := map[string]float64{
+			FactorLockWait: 1.5, FactorBufIO: 0.5, FactorLogFlush: 1.0,
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Record(3.5, spans)
+		}
+	})
+	b.Run("variance-record-parallel", func(b *testing.B) {
+		e := NewVarianceEngine(VarianceConfig{Window: time.Hour})
+		spans := map[string]float64{
+			FactorLockWait: 1.5, FactorBufIO: 0.5, FactorLogFlush: 1.0,
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				e.Record(3.5, spans)
 			}
 		})
 	})

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -14,28 +15,39 @@ import (
 
 // Handler returns the observability mux for o:
 //
-//	/metrics      — Prometheus text exposition of every series
-//	/debug/txns   — JSON dump of the slow-transaction ring (slowest
-//	                first), each trace with its events and aggregated
-//	                spans; ?factors=k additionally replays the ring
-//	                into a fresh TProfiler and returns the top-k
-//	                ranked variance factors
-//	/debug/stats  — JSON map of live stats.Summary per histogram
+//	/metrics          — Prometheus text exposition of every registry
+//	                    series, the variance engine's attribution
+//	                    gauges, and the sampling controller's state
+//	/healthz          — liveness probe; 200 "ok" while serving
+//	/debug/txns       — JSON dump of the slow-transaction ring (slowest
+//	                    first), each trace with its events and
+//	                    aggregated spans; ?factors=k additionally
+//	                    replays the ring into a fresh TProfiler and
+//	                    returns the top-k ranked variance factors
+//	/debug/stats      — JSON map of live stats.Summary per histogram
+//	/debug/variance   — JSON variance-attribution snapshot over the
+//	                    live horizon; ?factors=k appends the top-k
+//	                    TProfiler-ranked factors; always includes the
+//	                    sampling controller state
+//	/debug/anomalies  — JSON SLO-watchdog anomaly ring, newest first;
+//	                    ?n= bounds the count
 func Handler(o *Obs) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o == nil {
+			return
+		}
 		o.Registry.WritePrometheus(w)
+		o.Variance.WritePrometheus(w)
+		writeSamplerProm(w, o.Sampler, o.Watchdog)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/txns", func(w http.ResponseWriter, r *http.Request) {
-		k := 0
-		if v := r.URL.Query().Get("factors"); v != "" {
-			k = defaultTopFactors
-			if n, err := strconv.Atoi(v); err == nil && n > 0 {
-				k = n
-			}
-		}
-		writeJSON(w, txnsPayload(o, k))
+		writeJSON(w, txnsPayload(o, factorsParam(r)))
 	})
 	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, _ *http.Request) {
 		var payload map[string]stats.Summary
@@ -44,14 +56,51 @@ func Handler(o *Obs) http.Handler {
 		}
 		writeJSON(w, payload)
 	})
+	mux.HandleFunc("/debug/variance", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, variancePayload(o, factorsParam(r)))
+	})
+	mux.HandleFunc("/debug/anomalies", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			if k, err := strconv.Atoi(v); err == nil && k > 0 {
+				n = k
+			}
+		}
+		writeJSON(w, anomaliesPayload(o, n))
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "vats observability\n\n/metrics\n/debug/txns\n/debug/stats\n")
+		fmt.Fprint(w, "vats observability\n\n/metrics\n/healthz\n/debug/txns\n/debug/stats\n/debug/variance\n/debug/anomalies\n")
 	})
 	return mux
+}
+
+// factorsParam parses ?factors=k (present-but-invalid falls back to
+// defaultTopFactors, absent means 0 = no factor ranking).
+func factorsParam(r *http.Request) int {
+	v := r.URL.Query().Get("factors")
+	if v == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(v); err == nil && n > 0 {
+		return n
+	}
+	return defaultTopFactors
+}
+
+// writeSamplerProm renders the sampling controller and watchdog gauges
+// Prometheus-side; they live outside the registry because their values
+// are derived, not accumulated.
+func writeSamplerProm(w io.Writer, s *Sampler, wd *Watchdog) {
+	st := s.State()
+	fmt.Fprintf(w, "# TYPE txn_trace_sampling_modulus gauge\ntxn_trace_sampling_modulus %d\n", st.Modulus)
+	fmt.Fprintf(w, "# TYPE txn_trace_sampling_rate_txn_s gauge\ntxn_trace_sampling_rate_txn_s %g\n", st.RateTxnS)
+	fmt.Fprintf(w, "# TYPE txn_trace_overhead_budget_frac gauge\ntxn_trace_overhead_budget_frac %g\n", st.BudgetFrac)
+	fmt.Fprintf(w, "# TYPE txn_trace_overhead_est_frac gauge\ntxn_trace_overhead_est_frac %g\n", st.EstimatedFrac)
+	fmt.Fprintf(w, "# TYPE slo_anomalies_total counter\nslo_anomalies_total %d\n", wd.Total())
 }
 
 // jsonEvent is the wire form of one trace event.
@@ -131,6 +180,59 @@ func txnsPayload(o *Obs, topK int) txnsResponse {
 			})
 		}
 	}
+	return resp
+}
+
+// varianceResponse is the /debug/variance payload: the merged
+// attribution snapshot plus controller state and, when requested, the
+// TProfiler-ranked factor list.
+type varianceResponse struct {
+	*VarianceSnapshot
+	Sampler SamplerState `json:"sampler"`
+	Ranked  []jsonFactor `json:"ranked_factors,omitempty"`
+}
+
+func variancePayload(o *Obs, topK int) varianceResponse {
+	if o == nil {
+		return varianceResponse{VarianceSnapshot: &VarianceSnapshot{Factors: []FactorStat{}}, Sampler: SamplerState{BudgetFrac: -1, Modulus: 1}}
+	}
+	resp := varianceResponse{
+		VarianceSnapshot: o.Variance.Snapshot(),
+		Sampler:          o.Sampler.State(),
+	}
+	if topK > 0 {
+		for _, f := range resp.VarianceSnapshot.TopFactors(topK) {
+			resp.Ranked = append(resp.Ranked, jsonFactor{
+				Functions:   f.Functions,
+				Value:       f.Value,
+				Score:       f.Score,
+				FracOfTotal: f.FracOfTotal,
+			})
+		}
+	}
+	return resp
+}
+
+type anomaliesResponse struct {
+	Total     int64     `json:"total"`
+	Retained  int       `json:"retained"`
+	SLO       SLOConfig `json:"slo"`
+	Anomalies []Anomaly `json:"anomalies"`
+}
+
+func anomaliesPayload(o *Obs, n int) anomaliesResponse {
+	resp := anomaliesResponse{Anomalies: []Anomaly{}}
+	if o == nil {
+		return resp
+	}
+	resp.Total = o.Watchdog.Total()
+	resp.SLO = o.Watchdog.SLO()
+	all := o.Watchdog.Anomalies(0)
+	resp.Retained = len(all)
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	resp.Anomalies = append(resp.Anomalies, all...)
 	return resp
 }
 

@@ -28,21 +28,59 @@ package obs
 
 import "sync/atomic"
 
-// Obs bundles the two collection surfaces: the metrics registry and
-// the transaction tracer. A nil *Obs is valid everywhere and collects
-// nothing.
+// Obs bundles the collection surfaces: the metrics registry, the
+// transaction tracer, the online variance-attribution engine with its
+// SLO watchdog, and the overhead-budgeted sampling controller. A nil
+// *Obs is valid everywhere and collects nothing.
 type Obs struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// Variance is the always-on variance-attribution engine fed by
+	// every committed, sampled transaction's span aggregation.
+	Variance *VarianceEngine
+	// Watchdog evaluates each closed variance window against SLO
+	// targets and retains ranked anomalies.
+	Watchdog *Watchdog
+	// Sampler duty-cycles span capture to keep instrumentation
+	// overhead inside its budget; counting always stays on.
+	Sampler *Sampler
 }
 
-// New returns an enabled Obs bundle with an empty registry and a
-// tracer retaining the DefaultSlowCap worst transactions.
-func New() *Obs {
-	return &Obs{
+// Config sizes an Obs bundle; the zero value gets the defaults New
+// uses.
+type Config struct {
+	// SlowCap is the worst-K slow-transaction ring size (default
+	// DefaultSlowCap).
+	SlowCap int
+	// MaxTraceBytes byte-bounds the slow ring (default
+	// DefaultMaxTraceBytes); see Tracer.
+	MaxTraceBytes int64
+	// Variance configures the attribution engine's windows.
+	Variance VarianceConfig
+	// SLO sets the watchdog targets.
+	SLO SLOConfig
+	// Sampling sets the span-capture overhead budget.
+	Sampling SamplingConfig
+}
+
+// New returns an enabled Obs bundle with default sizing.
+func New() *Obs { return NewWith(Config{}) }
+
+// NewWith returns an enabled Obs bundle with explicit sizing, wiring
+// the tracer into the variance engine and sampler, and the variance
+// engine's window rotation into the watchdog.
+func NewWith(cfg Config) *Obs {
+	o := &Obs{
 		Registry: NewRegistry(),
-		Tracer:   NewTracer(DefaultSlowCap),
+		Tracer:   NewTracerSized(cfg.SlowCap, cfg.MaxTraceBytes),
+		Variance: NewVarianceEngine(cfg.Variance),
+		Watchdog: NewWatchdog(cfg.SLO, 0),
+		Sampler:  NewSampler(cfg.Sampling),
 	}
+	o.Variance.onRotate = o.Watchdog.Observe
+	o.Tracer.variance = o.Variance
+	o.Tracer.sampler = o.Sampler
+	return o
 }
 
 // Default is the process-wide bundle, disabled until SetEnabled(true).
@@ -62,13 +100,15 @@ func OrDefault(o *Obs) *Obs {
 	return o
 }
 
-// SetEnabled flips collection for both the registry and the tracer.
+// SetEnabled flips collection for the registry, the tracer and the
+// variance engine together.
 func (o *Obs) SetEnabled(on bool) {
 	if o == nil {
 		return
 	}
 	o.Registry.SetEnabled(on)
 	o.Tracer.SetEnabled(on)
+	o.Variance.SetEnabled(on)
 }
 
 // Enabled reports whether the registry is collecting.

@@ -471,6 +471,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s_sum%s %g\n", m.name, promLabels(m.labels), s.Mean*float64(s.N))
 			fmt.Fprintf(w, "%s_count%s %d\n", m.name, promLabels(m.labels), s.N)
 			fmt.Fprintf(w, "%s_variance%s %g\n", m.name, promLabels(m.labels), s.Variance)
+			// Bucket-estimated quantiles as plain gauges so dashboards
+			// can read p50/p95/p99 without a histogram_quantile() step.
+			fmt.Fprintf(w, "%s_p50%s %g\n", m.name, promLabels(m.labels), s.Quantile(0.50))
+			fmt.Fprintf(w, "%s_p95%s %g\n", m.name, promLabels(m.labels), s.Quantile(0.95))
+			fmt.Fprintf(w, "%s_p99%s %g\n", m.name, promLabels(m.labels), s.Quantile(0.99))
 		}
 	}
 }

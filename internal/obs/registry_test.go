@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -212,5 +213,47 @@ func TestSummaries(t *testing.T) {
 	}
 	if s.N != 100 || math.Abs(s.Mean-49.5) > 1e-9 {
 		t.Fatalf("summary N=%d mean=%v, want 100/49.5", s.N, s.Mean)
+	}
+}
+
+func TestWritePrometheusQuantileGauges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms")
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%100) + 0.5)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	snap := h.Snapshot()
+	for _, tc := range []struct {
+		line string
+		q    float64
+	}{
+		{"lat_ms_p50 ", 0.50},
+		{"lat_ms_p95 ", 0.95},
+		{"lat_ms_p99 ", 0.99},
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, tc.line) {
+				continue
+			}
+			found = true
+			var v float64
+			if _, err := fmt.Sscanf(line[len(tc.line):], "%g", &v); err != nil {
+				t.Fatalf("unparseable %q: %v", line, err)
+			}
+			if want := snap.Quantile(tc.q); math.Abs(v-want) > 1e-9 {
+				t.Errorf("%s = %g, want %g (must match Snapshot().Quantile)", tc.line, v, want)
+			}
+		}
+		if !found {
+			t.Errorf("missing %q in exposition:\n%s", tc.line, out)
+		}
+	}
+	// Quantile gauges must be ordered and within the observed range.
+	if p50, p99 := snap.Quantile(0.5), snap.Quantile(0.99); !(p50 <= p99 && p99 <= snap.Max) {
+		t.Fatalf("quantiles not ordered: p50=%g p99=%g max=%g", p50, p99, snap.Max)
 	}
 }

@@ -21,6 +21,7 @@ const (
 	EvLogFlush
 	EvCommit
 	EvAbort
+	EvLRUWait
 )
 
 // String names the event type.
@@ -40,10 +41,22 @@ func (t EventType) String() string {
 		return "commit"
 	case EvAbort:
 		return "abort"
+	case EvLRUWait:
+		return "lru.wait"
 	default:
 		return "unknown"
 	}
 }
+
+// Canonical factor names: the leaves span aggregation produces and the
+// variance engine attributes. They match the offline profiler's leaf
+// names (Txn's span table) so live and offline decompositions line up.
+const (
+	FactorLockWait = "lock.wait"
+	FactorBufIO    = "buf.io"
+	FactorBufLRU   = "buf.pool_mutex"
+	FactorLogFlush = "log.flush"
+)
 
 // Event is one timestamped occurrence inside a transaction.
 type Event struct {
@@ -148,15 +161,17 @@ func (tr *TxnTrace) Spans() map[string]float64 {
 			pendingWait = append(pendingWait, ev.At)
 		case EvLockGrant:
 			if n := len(pendingWait); n > 0 {
-				spans["lock.wait"] += ms(ev.At - pendingWait[n-1])
+				spans[FactorLockWait] += ms(ev.At - pendingWait[n-1])
 				pendingWait = pendingWait[:n-1]
 			} else {
-				spans["lock.wait"] += ms(ev.Dur)
+				spans[FactorLockWait] += ms(ev.Dur)
 			}
 		case EvPageMiss:
-			spans["buf.io"] += ms(ev.Dur)
+			spans[FactorBufIO] += ms(ev.Dur)
 		case EvLogFlush:
-			spans["log.flush"] += ms(ev.Dur)
+			spans[FactorLogFlush] += ms(ev.Dur)
+		case EvLRUWait:
+			spans[FactorBufLRU] += ms(ev.Dur)
 		}
 	}
 	return spans
@@ -173,27 +188,73 @@ func (tr *TxnTrace) ReplayInto(p *tprofiler.Profiler) {
 }
 
 // Tracer hands out per-transaction traces and retains the worst
-// (highest-latency) completed ones in a bounded ring, so the p99+ tail
-// is always inspectable live without unbounded memory.
+// (highest-latency) completed ones in a ring bounded both by count and
+// by resident bytes, so the p99+ tail is always inspectable live
+// without unbounded memory — a pathological span-heavy or huge-tag
+// transaction cannot balloon the ring past its byte budget.
 type Tracer struct {
 	enabled atomic.Bool
 
-	mu     sync.Mutex
-	cap    int
-	slow   []*TxnTrace // unordered; minIdx tracks the cheapest slot
-	minIdx int
+	// variance, when set (by NewWith), receives every committed
+	// trace's span aggregation; sampler, when set, gates span capture
+	// in BeginTxn. sink is a test hook mirroring what variance sees.
+	variance *VarianceEngine
+	sampler  *Sampler
+	sink     func(totalMs float64, spans map[string]float64)
+
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	slow     []*TxnTrace // unordered; minIdx tracks the cheapest slot
+	minIdx   int
 }
 
+// DefaultMaxTraceBytes is the default slow-ring byte budget. The
+// default ring (32 traces × ~2.3 KiB fixed footprint) sits well under
+// it; the budget guards against large caps or large tags.
+const DefaultMaxTraceBytes = 256 << 10
+
 // NewTracer returns an enabled tracer retaining the slowCap worst
-// transactions (DefaultSlowCap if slowCap <= 0).
-func NewTracer(slowCap int) *Tracer {
+// transactions (DefaultSlowCap if slowCap <= 0) under the default
+// byte budget.
+func NewTracer(slowCap int) *Tracer { return NewTracerSized(slowCap, 0) }
+
+// NewTracerSized returns an enabled tracer bounded by both slowCap
+// traces (DefaultSlowCap if <= 0) and maxBytes resident trace bytes
+// (DefaultMaxTraceBytes if <= 0).
+func NewTracerSized(slowCap int, maxBytes int64) *Tracer {
 	if slowCap <= 0 {
 		slowCap = DefaultSlowCap
 	}
-	t := &Tracer{cap: slowCap}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxTraceBytes
+	}
+	t := &Tracer{cap: slowCap, maxBytes: maxBytes}
 	t.enabled.Store(true)
 	return t
 }
+
+// SetSink installs a mirror receiving every committed, sampled
+// transaction's (latency, spans) exactly as the variance engine does —
+// the differential tests use it to drive an offline profiler from the
+// identical stream.
+func (t *Tracer) SetSink(fn func(totalMs float64, spans map[string]float64)) {
+	if t == nil {
+		return
+	}
+	t.sink = fn
+}
+
+// footprint estimates a trace's resident bytes: the fixed struct (the
+// embedded event ring dominates) plus the tag string.
+func (tr *TxnTrace) footprint() int64 {
+	return traceFixedBytes + int64(len(tr.Tag))
+}
+
+// traceFixedBytes is sizeof(TxnTrace) rounded up: 64 events × 24 bytes
+// plus the header fields.
+const traceFixedBytes = int64(traceRingCap)*24 + 96
 
 // SetEnabled flips trace collection.
 func (t *Tracer) SetEnabled(on bool) {
@@ -207,9 +268,14 @@ func (t *Tracer) SetEnabled(on bool) {
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 
 // BeginTxn opens a trace for transaction id, or returns nil (a valid
-// no-op trace) when tracing is disabled.
+// no-op trace) when tracing is disabled or the sampling controller
+// duty-cycled this transaction out. Skipped transactions still count
+// in the sampler's rate estimate — only span capture is elided.
 func (t *Tracer) BeginTxn(id uint64) *TxnTrace {
 	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	if t.sampler != nil && !t.sampler.Admit() {
 		return nil
 	}
 	tr := &TxnTrace{ID: id, Begin: time.Now()}
@@ -218,9 +284,11 @@ func (t *Tracer) BeginTxn(id uint64) *TxnTrace {
 	return tr
 }
 
-// End finalizes the trace and offers it to the slow ring: it is
-// retained if the ring has room or its latency exceeds the ring's
-// current minimum (which it evicts).
+// End finalizes the trace, feeds the variance engine (committed traces
+// only — aborts have a different latency population), and offers it to
+// the slow ring: it is retained if the ring has room or its latency
+// exceeds the ring's current minimum (which it evicts). The ring then
+// sheds cheapest-first until it is back under its byte budget.
 func (t *Tracer) End(tr *TxnTrace, aborted bool) {
 	if t == nil || tr == nil {
 		return
@@ -232,18 +300,37 @@ func (t *Tracer) End(tr *TxnTrace, aborted bool) {
 	} else {
 		tr.Add(EvCommit, 0, 0)
 	}
+	t.sampler.NoteTraceEvents(tr.n)
+	if !aborted && (t.variance.Enabled() || t.sink != nil) {
+		totalMs := float64(tr.Latency) / float64(time.Millisecond)
+		spans := tr.Spans()
+		t.variance.Record(totalMs, spans)
+		if t.sink != nil {
+			t.sink(totalMs, spans)
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.slow) < t.cap {
 		t.slow = append(t.slow, tr)
-		t.reindexLocked()
-		return
+		t.bytes += tr.footprint()
+	} else {
+		if tr.Latency <= t.slow[t.minIdx].Latency {
+			return
+		}
+		t.bytes += tr.footprint() - t.slow[t.minIdx].footprint()
+		t.slow[t.minIdx] = tr
 	}
-	if tr.Latency <= t.slow[t.minIdx].Latency {
-		return
-	}
-	t.slow[t.minIdx] = tr
 	t.reindexLocked()
+	// Byte bound: evict the cheapest retained trace until under budget,
+	// but never the one just added past the point of emptying the ring.
+	for t.bytes > t.maxBytes && len(t.slow) > 1 {
+		t.bytes -= t.slow[t.minIdx].footprint()
+		last := len(t.slow) - 1
+		t.slow[t.minIdx] = t.slow[last]
+		t.slow = t.slow[:last]
+		t.reindexLocked()
+	}
 }
 
 func (t *Tracer) reindexLocked() {
@@ -253,6 +340,17 @@ func (t *Tracer) reindexLocked() {
 			t.minIdx = i
 		}
 	}
+}
+
+// RetainedBytes reports the slow ring's current estimated resident
+// bytes (always ≤ the tracer's byte budget).
+func (t *Tracer) RetainedBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
 }
 
 // Slow returns the retained traces, slowest first.
@@ -279,6 +377,7 @@ func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.slow = t.slow[:0]
 	t.minIdx = 0
+	t.bytes = 0
 	t.mu.Unlock()
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -157,5 +158,55 @@ func TestObsBundleEnableDisable(t *testing.T) {
 	nilObs.SetEnabled(true) // must not panic
 	if nilObs.Enabled() {
 		t.Fatal("nil bundle is never enabled")
+	}
+}
+
+func TestTracerByteBound(t *testing.T) {
+	// Budget fits ~4 tagless traces; the count cap (16) is far above it,
+	// so the byte bound is what binds.
+	budget := 4*traceFixedBytes + 10
+	tc := NewTracerSized(16, budget)
+	for i := 0; i < 12; i++ {
+		tr := tc.BeginTxn(uint64(i))
+		tr.Begin = time.Now().Add(-time.Duration(i+1) * time.Millisecond)
+		tc.End(tr, false)
+	}
+	if got := tc.RetainedBytes(); got > budget {
+		t.Fatalf("retained %d bytes, budget %d", got, budget)
+	}
+	slow := tc.Slow()
+	if len(slow) == 0 || len(slow) > 4 {
+		t.Fatalf("retained %d traces, want 1..4 under byte budget", len(slow))
+	}
+	// The byte bound evicts cheapest-first, so the slowest must survive.
+	if slow[0].ID != 11 {
+		t.Fatalf("slowest trace (id 11) evicted; got id %d", slow[0].ID)
+	}
+	// Large tags count against the budget.
+	tr := tc.BeginTxn(100)
+	tr.SetTag(strings.Repeat("x", int(budget)))
+	tr.Begin = time.Now().Add(-time.Hour) // slowest ever: must be admitted
+	tc.End(tr, false)
+	if got := len(tc.Slow()); got != 1 {
+		t.Fatalf("oversized-tag trace should have evicted the rest, ring has %d", got)
+	}
+	tc.Reset()
+	if tc.RetainedBytes() != 0 {
+		t.Fatal("Reset must zero the byte accounting")
+	}
+}
+
+func TestTracerSamplerGate(t *testing.T) {
+	o := NewWith(Config{Sampling: SamplingConfig{Budget: 0.01}})
+	o.Sampler.mod.Store(5)
+	traced := 0
+	for i := 0; i < 500; i++ {
+		if tr := o.Tracer.BeginTxn(uint64(i)); tr != nil {
+			traced++
+			o.Tracer.End(tr, false)
+		}
+	}
+	if traced < 90 || traced > 110 {
+		t.Fatalf("traced %d of 500 at modulus 5, want ~100", traced)
 	}
 }

@@ -1,0 +1,522 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/stats"
+	"vats/internal/tprofiler"
+)
+
+// VarianceEngine is the always-on variance-attribution engine: every
+// committed transaction's aggregated factor spans (lock.wait, buf.io,
+// log.flush, ...) feed streaming Welford/covariance accumulators, so
+// the system continuously knows which factors the latency variance
+// decomposes into — the same decomposition tprofiler computes offline
+// over a trace batch, but incremental and bounded-memory.
+//
+// The decomposition follows the paper's eq. 1: with X_f the per-txn
+// time in factor f (0 when absent), Var(Σ X_f) = Σ Var(X_f) +
+// 2 Σ Cov(X_f, X_g). The streaming state is *exact*: a factor that
+// first appears mid-stream is backfilled with zeros in O(1)
+// (stats.Welford.AddZeros), and a sibling-pair accumulator created late
+// is reconstructed from the present marginal (stats.CovWithZeroY —
+// the co-moment of any sequence against a constant is zero), so a
+// snapshot equals the batch computation over the same transactions up
+// to floating-point rounding. The differential tests assert this
+// against tprofiler.Profiler.
+//
+// Accumulators are sharded like the metrics registry (shard index from
+// a stack-address hash, merged on read) and rotate through bounded
+// time windows, so memory stays O(shards · windows · factors²) and a
+// snapshot reflects the recent horizon, not process lifetime.
+type VarianceEngine struct {
+	on  enabledFlag
+	cfg VarianceConfig
+
+	mu   sync.Mutex // guards rotation and the past ring
+	cur  atomic.Pointer[varWindow]
+	past []*varWindow // closed windows, oldest first
+
+	// onRotate, when set, receives the closed window's merged stats
+	// after each rotation — the SLO watchdog's feed.
+	onRotate func(closed *VarianceSnapshot)
+
+	// droppedFactors counts factor names discarded because a shard hit
+	// MaxFactors; nonzero means attribution is incomplete, surfaced in
+	// snapshots rather than silently truncated.
+	droppedFactors atomic.Int64
+}
+
+// VarianceConfig sizes the engine. The zero value gets defaults.
+type VarianceConfig struct {
+	// Window is the rotation period (default 2s). Windows rotate lazily
+	// on Record/Snapshot, so an idle engine does no background work.
+	Window time.Duration
+	// Retain is how many closed windows merge into snapshots alongside
+	// the live one (default 4, i.e. a ~10s horizon at the default
+	// window).
+	Retain int
+	// MaxFactors caps distinct factor names per shard (default 16);
+	// overflow is counted, not attributed.
+	MaxFactors int
+}
+
+func (c VarianceConfig) withDefaults() VarianceConfig {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Second
+	}
+	if c.Retain <= 0 {
+		c.Retain = 4
+	}
+	if c.MaxFactors <= 0 {
+		c.MaxFactors = 16
+	}
+	return c
+}
+
+// varWindow is one rotation period's accumulators, sharded to keep the
+// commit path off a global mutex.
+type varWindow struct {
+	start  time.Time
+	shards []*varShard
+}
+
+// latBuckets mirrors the registry histograms' log₂ layout (bounds
+// latLo·2^i) so window quantiles line up with /metrics.
+const (
+	latBuckets = defaultHistBuckets
+	latLo      = 0.001 // ms — ~1µs first bucket
+)
+
+type varShard struct {
+	mu      sync.Mutex
+	n       int64
+	total   stats.Welford
+	lat     [latBuckets]int64
+	latMax  float64
+	names   []string // factor creation order (stable for iteration)
+	factors map[string]*stats.Welford
+	covs    map[[2]string]*stats.Cov
+}
+
+func newVarWindow(start time.Time) *varWindow {
+	w := &varWindow{start: start, shards: make([]*varShard, numShards)}
+	for i := range w.shards {
+		w.shards[i] = &varShard{
+			factors: make(map[string]*stats.Welford, 8),
+			covs:    make(map[[2]string]*stats.Cov, 16),
+		}
+	}
+	return w
+}
+
+// NewVarianceEngine returns an enabled engine.
+func NewVarianceEngine(cfg VarianceConfig) *VarianceEngine {
+	e := &VarianceEngine{cfg: cfg.withDefaults()}
+	e.on.Store(true)
+	return e
+}
+
+// SetEnabled flips collection; a disabled Record costs one atomic load.
+func (e *VarianceEngine) SetEnabled(on bool) {
+	if e == nil {
+		return
+	}
+	e.on.Store(on)
+}
+
+// Enabled reports whether observations are being collected.
+func (e *VarianceEngine) Enabled() bool { return e != nil && e.on.Load() }
+
+// latBucketOf is Histogram.bucketOf for the fixed window layout.
+func latBucketOf(v float64) int {
+	if v <= latLo || math.IsNaN(v) {
+		return 0
+	}
+	i := math.Ilogb(v / latLo)
+	if i < 0 {
+		return 0
+	}
+	if math.Ldexp(latLo, i) < v {
+		i++
+	}
+	if i >= latBuckets {
+		return latBuckets - 1
+	}
+	return i
+}
+
+// Record folds one committed transaction into the live window: its
+// end-to-end latency (ms) and its per-factor span totals (ms, flat
+// names — the shape TxnTrace.Spans produces). Factors absent from a
+// transaction count as zero, keeping the decomposition consistent.
+// A nil engine or disabled engine no-ops.
+func (e *VarianceEngine) Record(totalMs float64, spans map[string]float64) {
+	if e == nil || !e.on.Load() {
+		return
+	}
+	now := time.Now()
+	w := e.cur.Load()
+	if w == nil || now.Sub(w.start) >= e.cfg.Window {
+		w = e.rotate(now)
+	}
+	s := w.shards[shardIdx(len(w.shards))]
+	s.mu.Lock()
+	s.n++
+	s.total.Add(totalMs)
+	s.lat[latBucketOf(totalMs)]++
+	if totalMs > s.latMax {
+		s.latMax = totalMs
+	}
+	// Create accumulators for factors this shard has not seen,
+	// backfilled with the shard's zero history so variance math stays
+	// exact (see package comment).
+	for name := range spans {
+		if _, ok := s.factors[name]; ok {
+			continue
+		}
+		if len(s.names) >= e.cfg.MaxFactors {
+			e.droppedFactors.Add(1)
+			continue
+		}
+		nw := &stats.Welford{}
+		nw.AddZeros(s.n - 1)
+		for _, other := range s.names {
+			a, b := name, other
+			if a > b {
+				a, b = b, a
+			}
+			// History so far: (other_i, 0) — reconstruct from the
+			// present marginal; swap when the new name sorts first.
+			c := stats.CovWithZeroY(*s.factors[other])
+			if a == name {
+				c = c.Swapped()
+			}
+			s.covs[[2]string{a, b}] = &c
+		}
+		s.factors[name] = nw
+		s.names = append(s.names, name)
+	}
+	for _, name := range s.names {
+		s.factors[name].Add(spans[name])
+	}
+	for key, c := range s.covs {
+		c.Add(spans[key[0]], spans[key[1]])
+	}
+	s.mu.Unlock()
+}
+
+// rotate closes the live window and opens a fresh one, feeding the
+// closed window's stats to the watchdog hook. Lazy: called from Record
+// and Snapshot when the live window's period has elapsed.
+func (e *VarianceEngine) rotate(now time.Time) *varWindow {
+	e.mu.Lock()
+	w := e.cur.Load()
+	if w != nil && now.Sub(w.start) < e.cfg.Window {
+		e.mu.Unlock()
+		return w
+	}
+	nw := newVarWindow(now)
+	e.cur.Store(nw)
+	if w != nil {
+		e.past = append(e.past, w)
+		if len(e.past) > e.cfg.Retain {
+			e.past = e.past[len(e.past)-e.cfg.Retain:]
+		}
+	}
+	hook := e.onRotate
+	e.mu.Unlock()
+	if w != nil && hook != nil {
+		// Merge outside the rotation lock; a straggler still writing
+		// through a stale window pointer is harmless (shard mutexes keep
+		// it race-free; its txn lands in the closed window's stats).
+		if snap := e.mergeWindows([]*varWindow{w}); snap.N > 0 {
+			hook(snap)
+		}
+	}
+	return nw
+}
+
+// FactorStat is one factor's contribution in a snapshot.
+type FactorStat struct {
+	Name     string  `json:"name"`
+	MeanMs   float64 `json:"mean_ms"`
+	Variance float64 `json:"variance_ms2"`
+	// Share is Variance / Var(txn) — the "percentage of overall
+	// variance" column of the paper's tables.
+	Share float64 `json:"share"`
+}
+
+// CovStat is one sibling-pair covariance term: Value is 2·Cov(A, B),
+// the pair's contribution to Var(txn) per eq. 1.
+type CovStat struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Value float64 `json:"value_ms2"`
+	Share float64 `json:"share"`
+}
+
+// VarianceSnapshot is a merged point-in-time view over the snapshot
+// horizon (live window + retained closed windows).
+type VarianceSnapshot struct {
+	Start     time.Time     `json:"window_start"`
+	WindowDur time.Duration `json:"-"`
+	Windows   int           `json:"windows_merged"`
+	N         int64         `json:"txns"`
+	MeanMs    float64       `json:"mean_ms"`
+	Variance  float64       `json:"variance_ms2"`
+	P50       float64       `json:"p50_ms"`
+	P95       float64       `json:"p95_ms"`
+	P99       float64       `json:"p99_ms"`
+	Max       float64       `json:"max_ms"`
+	// Factors are sorted by variance descending; Covs by |Value|.
+	Factors []FactorStat `json:"factors"`
+	Covs    []CovStat    `json:"covariances,omitempty"`
+	// ExplainedShare is (Σ factor variance + Σ 2cov) / Var(txn): how
+	// much of the observed variance the instrumented factors account
+	// for. The remainder is un-instrumented body time.
+	ExplainedShare float64 `json:"explained_share"`
+	// DroppedFactors counts factor names discarded at the MaxFactors
+	// cap since process start; nonzero flags incomplete attribution.
+	DroppedFactors int64 `json:"dropped_factors,omitempty"`
+}
+
+// Snapshot merges the live window and the retained closed windows.
+func (e *VarianceEngine) Snapshot() *VarianceSnapshot {
+	if e == nil {
+		return &VarianceSnapshot{Factors: []FactorStat{}}
+	}
+	now := time.Now()
+	if w := e.cur.Load(); w != nil && now.Sub(w.start) >= e.cfg.Window {
+		e.rotate(now)
+	}
+	e.mu.Lock()
+	windows := append([]*varWindow(nil), e.past...)
+	if w := e.cur.Load(); w != nil {
+		windows = append(windows, w)
+	}
+	e.mu.Unlock()
+	return e.mergeWindows(windows)
+}
+
+// mergeWindows produces exact merged statistics over the given windows
+// (see the package comment for why the merge is exact, not an
+// approximation).
+func (e *VarianceEngine) mergeWindows(windows []*varWindow) *VarianceSnapshot {
+	snap := &VarianceSnapshot{
+		WindowDur:      e.cfg.Window,
+		Windows:        len(windows),
+		Factors:        []FactorStat{},
+		DroppedFactors: e.droppedFactors.Load(),
+	}
+	if len(windows) > 0 {
+		snap.Start = windows[0].start
+	}
+
+	// Copy every shard's state under its mutex first, so the merge
+	// proper runs lock-free.
+	type src struct {
+		n       int64
+		total   stats.Welford
+		lat     [latBuckets]int64
+		latMax  float64
+		factors map[string]stats.Welford
+		covs    map[[2]string]stats.Cov
+	}
+	var sources []src
+	for _, w := range windows {
+		for _, s := range w.shards {
+			s.mu.Lock()
+			if s.n == 0 {
+				s.mu.Unlock()
+				continue
+			}
+			c := src{
+				n:       s.n,
+				total:   s.total,
+				lat:     s.lat,
+				latMax:  s.latMax,
+				factors: make(map[string]stats.Welford, len(s.factors)),
+				covs:    make(map[[2]string]stats.Cov, len(s.covs)),
+			}
+			for name, wf := range s.factors {
+				c.factors[name] = *wf
+			}
+			for key, cv := range s.covs {
+				c.covs[key] = *cv
+			}
+			s.mu.Unlock()
+			sources = append(sources, c)
+		}
+	}
+	if len(sources) == 0 {
+		return snap
+	}
+
+	var total stats.Welford
+	var lat [latBuckets]int64
+	names := map[string]bool{}
+	for _, s := range sources {
+		total.Merge(&s.total)
+		for i, c := range s.lat {
+			lat[i] += c
+		}
+		if s.latMax > snap.Max {
+			snap.Max = s.latMax
+		}
+		for name := range s.factors {
+			names[name] = true
+		}
+	}
+	snap.N = total.N()
+	snap.MeanMs = total.Mean()
+	snap.Variance = total.Variance()
+
+	// Quantiles from the merged log₂ buckets, via the histogram
+	// snapshot machinery so estimates match /metrics exactly.
+	hs := HistSnapshot{Bounds: make([]float64, latBuckets), Buckets: lat[:], N: snap.N, Max: snap.Max}
+	for i := range hs.Bounds {
+		hs.Bounds[i] = math.Ldexp(latLo, i)
+	}
+	snap.P50, snap.P95, snap.P99 = hs.Quantile(0.50), hs.Quantile(0.95), hs.Quantile(0.99)
+
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+
+	// Marginals: merge where present, pad the absent remainder with
+	// zeros (order-independent for Welford state).
+	explained := 0.0
+	merged := make(map[string]*stats.Welford, len(ordered))
+	for _, name := range ordered {
+		m := &stats.Welford{}
+		for _, s := range sources {
+			if wf, ok := s.factors[name]; ok {
+				m.Merge(&wf)
+			} else {
+				m.AddZeros(s.n)
+			}
+		}
+		merged[name] = m
+		v := m.Variance()
+		explained += v
+		snap.Factors = append(snap.Factors, FactorStat{
+			Name:     name,
+			MeanMs:   m.Mean(),
+			Variance: v,
+			Share:    safeFrac(v, snap.Variance),
+		})
+	}
+	sort.SliceStable(snap.Factors, func(i, j int) bool {
+		return snap.Factors[i].Variance > snap.Factors[j].Variance
+	})
+
+	// Pairs: a source that saw only one member contributes (x_i, 0)
+	// pairs — exactly CovWithZeroY of the present marginal; a source
+	// that saw neither contributes (0, 0) pairs.
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			a, b := ordered[i], ordered[j]
+			var m stats.Cov
+			for _, s := range sources {
+				if cv, ok := s.covs[[2]string{a, b}]; ok {
+					m.Merge(&cv)
+					continue
+				}
+				wa, hasA := s.factors[a]
+				wb, hasB := s.factors[b]
+				switch {
+				case hasA:
+					cv := stats.CovWithZeroY(wa)
+					m.Merge(&cv)
+				case hasB:
+					cv := stats.CovWithZeroY(wb).Swapped()
+					m.Merge(&cv)
+				default:
+					m.AddZeros(s.n)
+				}
+			}
+			v := 2 * m.Covariance()
+			explained += v
+			if v == 0 {
+				continue
+			}
+			snap.Covs = append(snap.Covs, CovStat{
+				A: a, B: b,
+				Value: v,
+				Share: safeFrac(v, snap.Variance),
+			})
+		}
+	}
+	sort.SliceStable(snap.Covs, func(i, j int) bool {
+		return math.Abs(snap.Covs[i].Value) > math.Abs(snap.Covs[j].Value)
+	})
+	snap.ExplainedShare = safeFrac(explained, snap.Variance)
+	return snap
+}
+
+// TopFactors ranks the snapshot's factors with the same scoring the
+// offline profiler uses (tprofiler.RankFactors): flat leaves at height
+// 0 under the transaction root, positive pair covariances included.
+func (s *VarianceSnapshot) TopFactors(k int) []tprofiler.Factor {
+	if s == nil {
+		return nil
+	}
+	nodes := make([]tprofiler.NodeStat, 0, len(s.Factors))
+	for _, f := range s.Factors {
+		nodes = append(nodes, tprofiler.NodeStat{Path: f.Name, Variance: f.Variance})
+	}
+	pairs := make([]tprofiler.PairStat, 0, len(s.Covs))
+	for _, c := range s.Covs {
+		pairs = append(pairs, tprofiler.PairStat{A: c.A, B: c.B, Value: c.Value})
+	}
+	return tprofiler.RankFactors(s.Variance, 1, nodes, pairs, k)
+}
+
+// Share returns the named factor's variance share, or 0.
+func (s *VarianceSnapshot) Share(name string) float64 {
+	for _, f := range s.Factors {
+		if f.Name == name {
+			return f.Share
+		}
+	}
+	return 0
+}
+
+// WritePrometheus renders the snapshot horizon as gauges: per-factor
+// variance shares, the decomposition totals and the window quantiles.
+func (e *VarianceEngine) WritePrometheus(w io.Writer) {
+	if e == nil {
+		return
+	}
+	s := e.Snapshot()
+	fmt.Fprintf(w, "# TYPE txn_variance_share gauge\n")
+	for _, f := range s.Factors {
+		fmt.Fprintf(w, "txn_variance_share{factor=%q} %g\n", f.Name, f.Share)
+	}
+	fmt.Fprintf(w, "# TYPE txn_window_variance_ms2 gauge\ntxn_window_variance_ms2 %g\n", s.Variance)
+	fmt.Fprintf(w, "# TYPE txn_window_mean_ms gauge\ntxn_window_mean_ms %g\n", s.MeanMs)
+	fmt.Fprintf(w, "# TYPE txn_window_txns gauge\ntxn_window_txns %d\n", s.N)
+	fmt.Fprintf(w, "# TYPE txn_window_explained_share gauge\ntxn_window_explained_share %g\n", s.ExplainedShare)
+	fmt.Fprintf(w, "# TYPE txn_window_p50_ms gauge\ntxn_window_p50_ms %g\n", s.P50)
+	fmt.Fprintf(w, "# TYPE txn_window_p95_ms gauge\ntxn_window_p95_ms %g\n", s.P95)
+	fmt.Fprintf(w, "# TYPE txn_window_p99_ms gauge\ntxn_window_p99_ms %g\n", s.P99)
+	if s.DroppedFactors > 0 {
+		fmt.Fprintf(w, "# TYPE txn_variance_dropped_factors gauge\ntxn_variance_dropped_factors %d\n", s.DroppedFactors)
+	}
+}
+
+func safeFrac(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

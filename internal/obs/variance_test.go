@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vats/internal/tprofiler"
+)
+
+// synthTrace is one synthetic committed transaction for the
+// differential tests: a latency plus factor spans, with factors
+// appearing and disappearing across the stream.
+type synthTrace struct {
+	totalMs float64
+	spans   map[string]float64
+}
+
+// genTraces produces a seeded trace stream in which lock.wait dominates
+// the variance, log.flush is steady, and buf.io only appears after the
+// first third — exercising the late-factor backfill path.
+func genTraces(seed int64, n int) []synthTrace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]synthTrace, 0, n)
+	for i := 0; i < n; i++ {
+		spans := map[string]float64{}
+		wait := rng.ExpFloat64() * 4 // heavy-tailed
+		spans[FactorLockWait] = wait
+		flush := 1 + 0.1*rng.Float64()
+		spans[FactorLogFlush] = flush
+		body := 0.5 + 0.2*rng.Float64()
+		total := wait + flush + body
+		if i > n/3 {
+			io := rng.Float64() * 2
+			spans[FactorBufIO] = io
+			total += io
+		}
+		if i%7 == 0 {
+			delete(spans, FactorLockWait) // factor absent some txns
+			total -= wait
+		}
+		out = append(out, synthTrace{totalMs: total, spans: spans})
+	}
+	return out
+}
+
+// TestVarianceOnlineMatchesOfflineProfiler is the differential test the
+// package comment promises: the streaming engine fed one trace at a
+// time must agree with a batch tprofiler.Profiler over the identical
+// stream — total variance, per-factor ranking, and variance shares —
+// to within floating-point tolerance, because the streaming math is
+// exact, not approximate.
+func TestVarianceOnlineMatchesOfflineProfiler(t *testing.T) {
+	traces := genTraces(42, 900)
+	e := NewVarianceEngine(VarianceConfig{Window: time.Hour})
+	p := tprofiler.New()
+	for _, tr := range traces {
+		e.Record(tr.totalMs, tr.spans)
+		p.AddTrace(tr.totalMs, tr.spans)
+	}
+	compareOnlineOffline(t, e, p, int64(len(traces)), 1e-9)
+}
+
+// TestVarianceMergeAcrossGoroutines repeats the differential check with
+// the stream spread over many goroutines (hence shards): the
+// shard-merge rules (pair present / only-A / only-B / neither) must
+// reproduce the batch result no matter how the stream is partitioned.
+func TestVarianceMergeAcrossGoroutines(t *testing.T) {
+	traces := genTraces(7, 600)
+	e := NewVarianceEngine(VarianceConfig{Window: time.Hour})
+	p := tprofiler.New()
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(traces); i += workers {
+				e.Record(traces[i].totalMs, traces[i].spans)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, tr := range traces {
+		p.AddTrace(tr.totalMs, tr.spans)
+	}
+	// Looser tolerance: merge order differs from insertion order, so
+	// rounding differs in the last few bits.
+	compareOnlineOffline(t, e, p, int64(len(traces)), 1e-6)
+}
+
+func compareOnlineOffline(t *testing.T, e *VarianceEngine, p *tprofiler.Profiler, wantN int64, tol float64) {
+	t.Helper()
+	snap := e.Snapshot()
+	if snap.N != wantN {
+		t.Fatalf("snapshot N = %d, want %d", snap.N, wantN)
+	}
+	if !within(snap.Variance, p.RootVariance(), tol) {
+		t.Fatalf("total variance: online %.12g offline %.12g", snap.Variance, p.RootVariance())
+	}
+	if !within(snap.MeanMs, p.RootMean(), tol) {
+		t.Fatalf("mean: online %.12g offline %.12g", snap.MeanMs, p.RootMean())
+	}
+	on := snap.TopFactors(8)
+	off := p.TopFactors(8)
+	if len(on) != len(off) {
+		t.Fatalf("factor counts differ: online %d offline %d\non: %+v\noff: %+v", len(on), len(off), on, off)
+	}
+	for i := range on {
+		if strings.Join(on[i].Functions, "+") != strings.Join(off[i].Functions, "+") {
+			t.Fatalf("rank %d: online %v offline %v", i, on[i].Functions, off[i].Functions)
+		}
+		if !within(on[i].Value, off[i].Value, tol) || !within(on[i].FracOfTotal, off[i].FracOfTotal, tol) {
+			t.Fatalf("rank %d (%v): value online %.12g offline %.12g, frac online %.12g offline %.12g",
+				i, on[i].Functions, on[i].Value, off[i].Value, on[i].FracOfTotal, off[i].FracOfTotal)
+		}
+	}
+}
+
+func within(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*math.Max(scale, 1)
+}
+
+// TestVarianceExplainedShare checks the decomposition identity: when
+// the spans sum exactly to the total latency, factor variances plus
+// pair covariances must reconstruct the total variance (explained
+// share 1).
+func TestVarianceExplainedShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := NewVarianceEngine(VarianceConfig{Window: time.Hour})
+	for i := 0; i < 400; i++ {
+		a := rng.ExpFloat64()
+		b := rng.Float64() * 2
+		e.Record(a+b, map[string]float64{"a": a, "b": b})
+	}
+	snap := e.Snapshot()
+	if !within(snap.ExplainedShare, 1, 1e-9) {
+		t.Fatalf("explained share = %.12g, want 1 (spans sum to total)", snap.ExplainedShare)
+	}
+}
+
+// TestVarianceWindowRotation checks that closed windows feed the
+// rotation hook and retention is bounded.
+func TestVarianceWindowRotation(t *testing.T) {
+	e := NewVarianceEngine(VarianceConfig{Window: 10 * time.Millisecond, Retain: 2})
+	var mu sync.Mutex
+	var closed []*VarianceSnapshot
+	e.onRotate = func(s *VarianceSnapshot) {
+		mu.Lock()
+		closed = append(closed, s)
+		mu.Unlock()
+	}
+	deadline := time.Now().Add(80 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		e.Record(1+rand.Float64(), map[string]float64{"a": 0.5})
+		time.Sleep(time.Millisecond)
+	}
+	e.Record(1, map[string]float64{"a": 0.5}) // ensure a final rotation candidate
+	mu.Lock()
+	n := len(closed)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("no closed windows observed after several window periods")
+	}
+	snap := e.Snapshot()
+	if snap.Windows > 3 { // Retain(2) + live
+		t.Fatalf("snapshot merged %d windows, want <= 3 (retain 2 + live)", snap.Windows)
+	}
+}
+
+// TestVarianceRotationRace hammers Record/Snapshot/rotate concurrently
+// with a tiny window; run under -race this is the rotation-safety test.
+func TestVarianceRotationRace(t *testing.T) {
+	e := NewVarianceEngine(VarianceConfig{Window: time.Millisecond, Retain: 2})
+	var wg sync.WaitGroup
+	stop := time.Now().Add(50 * time.Millisecond)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(stop) {
+				e.Record(rng.ExpFloat64(), map[string]float64{
+					FactorLockWait: rng.Float64(),
+					FactorLogFlush: rng.Float64(),
+				})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(stop) {
+			s := e.Snapshot()
+			if s.N < 0 {
+				t.Error("negative N")
+				return
+			}
+			_ = s.TopFactors(4)
+		}
+	}()
+	wg.Wait()
+}
+
+// TestVarianceMaxFactorsCap checks overflow factors are counted, not
+// silently dropped.
+func TestVarianceMaxFactorsCap(t *testing.T) {
+	e := NewVarianceEngine(VarianceConfig{Window: time.Hour, MaxFactors: 2})
+	e.Record(1, map[string]float64{"a": 0.1, "b": 0.2})
+	e.Record(1, map[string]float64{"a": 0.1, "c": 0.2, "d": 0.3})
+	snap := e.Snapshot()
+	if snap.DroppedFactors == 0 {
+		t.Fatal("over-cap factors must increment DroppedFactors")
+	}
+	if len(snap.Factors) > 2 {
+		t.Fatalf("snapshot has %d factors, cap was 2", len(snap.Factors))
+	}
+}
+
+// TestVarianceDisabledAndNil checks the always-compiled-in contract.
+func TestVarianceDisabledAndNil(t *testing.T) {
+	var nilE *VarianceEngine
+	nilE.Record(1, map[string]float64{"a": 1}) // must not panic
+	nilE.SetEnabled(true)
+	if nilE.Enabled() {
+		t.Fatal("nil engine is never enabled")
+	}
+	if s := nilE.Snapshot(); s == nil || s.N != 0 {
+		t.Fatal("nil engine snapshot must be empty, not nil")
+	}
+	e := NewVarianceEngine(VarianceConfig{})
+	e.SetEnabled(false)
+	e.Record(1, map[string]float64{"a": 1})
+	if s := e.Snapshot(); s.N != 0 {
+		t.Fatal("disabled engine must not record")
+	}
+}
+
+// --- Watchdog ---
+
+func snapFor(n int64, meanMs, variance, p99 float64, factors ...FactorStat) *VarianceSnapshot {
+	return &VarianceSnapshot{
+		Start: time.Unix(0, 0), N: n, MeanMs: meanMs, Variance: variance,
+		P99: p99, Factors: factors,
+	}
+}
+
+func TestWatchdogP99AndCoV(t *testing.T) {
+	w := NewWatchdog(SLOConfig{P99TargetMs: 10, CoVTarget: 1}, 0)
+	w.Observe(snapFor(100, 2, 100, 50)) // p99 5x target, CoV = 10/2 = 5
+	as := w.Anomalies(0)
+	if len(as) != 2 {
+		t.Fatalf("got %d anomalies, want 2 (p99 + CoV): %+v", len(as), as)
+	}
+	// Severity-ranked within the window: p99 severity 5, CoV severity 5
+	// — both present, kinds distinct.
+	kinds := map[string]bool{}
+	for _, a := range as {
+		kinds[a.Kind] = true
+		if a.Severity < 1 {
+			t.Fatalf("anomaly severity %v < 1: %+v", a.Severity, a)
+		}
+	}
+	if !kinds[AnomalyP99] || !kinds[AnomalyCoV] {
+		t.Fatalf("missing kinds: %+v", kinds)
+	}
+}
+
+func TestWatchdogShareShift(t *testing.T) {
+	w := NewWatchdog(SLOConfig{}, 0)
+	w.Observe(snapFor(100, 5, 4, 8, FactorStat{Name: FactorLockWait, Share: 0.12}))
+	w.Observe(snapFor(100, 5, 4, 8, FactorStat{Name: FactorLockWait, Share: 0.41}))
+	as := w.Anomalies(0)
+	if len(as) != 1 {
+		t.Fatalf("got %d anomalies, want 1 share shift: %+v", len(as), as)
+	}
+	a := as[0]
+	if a.Kind != AnomalyShare || a.Factor != FactorLockWait {
+		t.Fatalf("unexpected anomaly: %+v", a)
+	}
+	if !strings.Contains(a.Msg, "12%→41%") {
+		t.Fatalf("message should carry the share movement, got %q", a.Msg)
+	}
+}
+
+func TestWatchdogVarianceSpikeAndMinTxns(t *testing.T) {
+	w := NewWatchdog(SLOConfig{MinTxns: 50}, 0)
+	w.Observe(snapFor(100, 5, 1, 8))
+	w.Observe(snapFor(10, 5, 100, 8)) // under MinTxns: ignored entirely
+	w.Observe(snapFor(100, 5, 10, 8)) // 10x the previous evaluated window
+	as := w.Anomalies(0)
+	if len(as) != 1 || as[0].Kind != AnomalyVarSpike {
+		t.Fatalf("want exactly one variance-spike anomaly, got %+v", as)
+	}
+}
+
+func TestWatchdogRingBound(t *testing.T) {
+	w := NewWatchdog(SLOConfig{P99TargetMs: 1}, 4)
+	for i := 0; i < 20; i++ {
+		w.Observe(snapFor(100, 5, 4, 10))
+	}
+	if got := len(w.Anomalies(0)); got != 4 {
+		t.Fatalf("ring retained %d, want cap 4", got)
+	}
+	if w.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", w.Total())
+	}
+	if got := len(w.Anomalies(2)); got != 2 {
+		t.Fatalf("Anomalies(2) returned %d", got)
+	}
+}
+
+// --- Sampler ---
+
+func TestSamplerUnlimitedAdmitsAll(t *testing.T) {
+	s := NewSampler(SamplingConfig{Budget: -1})
+	for i := 0; i < 1000; i++ {
+		if !s.Admit() {
+			t.Fatal("negative budget must admit every transaction")
+		}
+	}
+	if s.Modulus() != 1 {
+		t.Fatalf("modulus = %d, want 1", s.Modulus())
+	}
+}
+
+func TestSamplerRetarget(t *testing.T) {
+	s := NewSampler(SamplingConfig{Budget: 0.01, CostNs: 1000, EventCostNs: 0})
+	// 100k txn/s at 1µs each = 0.1 cores; 1% budget → modulus 10.
+	s.retarget(100_000)
+	if m := s.Modulus(); m != 10 {
+		t.Fatalf("modulus = %d, want 10", m)
+	}
+	// Light load snaps back to tracing everything.
+	s.retarget(100)
+	if m := s.Modulus(); m != 1 {
+		t.Fatalf("modulus after load drop = %d, want 1", m)
+	}
+	// Zero budget: effectively off.
+	s.SetBudget(0)
+	s.retarget(100_000)
+	if m := s.Modulus(); m < math.MaxInt32 {
+		t.Fatalf("zero budget modulus = %d, want MaxInt32", m)
+	}
+}
+
+func TestSamplerModulusDutyCycle(t *testing.T) {
+	s := NewSampler(SamplingConfig{Budget: 0.01})
+	s.mod.Store(4)
+	admitted := 0
+	for i := 0; i < 400; i++ {
+		if s.Admit() {
+			admitted++
+		}
+	}
+	// Interval rollover may retarget once mid-loop; accept a small band
+	// around 1-in-4.
+	if admitted < 90 || admitted > 110 {
+		t.Fatalf("admitted %d of 400 at modulus 4, want ~100", admitted)
+	}
+}
+
+func TestSamplerCostEWMA(t *testing.T) {
+	s := NewSampler(SamplingConfig{CostNs: 1000, EventCostNs: 100})
+	base := s.CostPerTraceNs()
+	if base != 1000 {
+		t.Fatalf("initial cost = %d, want 1000 (no events observed)", base)
+	}
+	for i := 0; i < 64; i++ {
+		s.NoteTraceEvents(20)
+	}
+	got := s.CostPerTraceNs()
+	if got < 2500 || got > 3000 {
+		t.Fatalf("cost after EWMA convergence = %d, want ~3000 (1000 + 20*100)", got)
+	}
+	st := s.State()
+	if st.CostPerTrace != got || st.Modulus != 1 {
+		t.Fatalf("State mismatch: %+v", st)
+	}
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	if !s.Admit() {
+		t.Fatal("nil sampler must admit")
+	}
+	s.NoteTraceEvents(5)
+	s.SetBudget(0.5)
+	if s.Modulus() != 1 || s.CostPerTraceNs() != 0 || s.Rate() != 0 || s.EstimatedOverhead() != 0 {
+		t.Fatal("nil sampler accessors must return zeros")
+	}
+}
+
+// TestTracerFeedsVarianceAndSink checks the End → variance/sink plumbing
+// the bundle wires up: committed traces land in both, aborts in neither.
+func TestTracerFeedsVarianceAndSink(t *testing.T) {
+	o := NewWith(Config{Variance: VarianceConfig{Window: time.Hour}, Sampling: SamplingConfig{Budget: -1}})
+	var mirrored []synthTrace
+	o.Tracer.SetSink(func(totalMs float64, spans map[string]float64) {
+		mirrored = append(mirrored, synthTrace{totalMs: totalMs, spans: spans})
+	})
+	for i := 0; i < 10; i++ {
+		tr := o.Tracer.BeginTxn(uint64(i))
+		tr.AddAt(EvLogFlush, time.Millisecond, time.Millisecond, 0)
+		tr.Begin = time.Now().Add(-5 * time.Millisecond)
+		o.Tracer.End(tr, i == 9) // last one aborts
+	}
+	if len(mirrored) != 9 {
+		t.Fatalf("sink saw %d traces, want 9 (aborts excluded)", len(mirrored))
+	}
+	snap := o.Variance.Snapshot()
+	if snap.N != 9 {
+		t.Fatalf("variance engine N = %d, want 9", snap.N)
+	}
+	found := false
+	for _, f := range snap.Factors {
+		if f.Name == FactorLogFlush {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log.flush factor missing: %+v", snap.Factors)
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog tracks per-window latency and variance against configured
+// SLO targets and emits ranked anomaly annotations into a bounded,
+// queryable ring. It is fed by the variance engine's rotation hook, so
+// a predictability regression is visible the window it happens — e.g.
+// "lock.wait variance share jumped 12%→41%" — without anyone
+// remembering to run an offline profile.
+type Watchdog struct {
+	cfg atomic.Pointer[SLOConfig]
+
+	mu   sync.Mutex
+	prev *VarianceSnapshot // last evaluated window
+	ring []Anomaly         // newest last
+	cap  int
+	seq  atomic.Uint64
+	// total counts anomalies ever emitted (the ring is bounded).
+	total atomic.Int64
+}
+
+// SLOConfig holds the watchdog's targets. Zero fields disable the
+// corresponding check; the zero value still detects share shifts and
+// variance spikes with the default thresholds.
+type SLOConfig struct {
+	// P99TargetMs flags windows whose p99 latency exceeds the target.
+	P99TargetMs float64 `json:"p99_target_ms,omitempty"`
+	// CoVTarget flags windows whose coefficient of variation
+	// (stddev/mean) exceeds the target — the paper's §2 dispersion
+	// measure.
+	CoVTarget float64 `json:"cov_target,omitempty"`
+	// ShareJump is the absolute per-factor variance-share change
+	// between consecutive windows that raises an anomaly (default
+	// 0.15, i.e. 15 points).
+	ShareJump float64 `json:"share_jump"`
+	// VarSpikeFactor flags a window whose total variance exceeds the
+	// previous window's by this factor (default 4; <= 1 disables).
+	VarSpikeFactor float64 `json:"var_spike_factor"`
+	// MinTxns is the minimum transactions per window to evaluate at
+	// all (default 20) — tiny windows produce noise, not signal.
+	MinTxns int64 `json:"min_txns"`
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.ShareJump <= 0 {
+		c.ShareJump = 0.15
+	}
+	if c.VarSpikeFactor == 0 {
+		c.VarSpikeFactor = 4
+	}
+	if c.MinTxns <= 0 {
+		c.MinTxns = 20
+	}
+	return c
+}
+
+// Anomaly kinds.
+const (
+	AnomalyP99      = "p99_slo"
+	AnomalyCoV      = "cov_slo"
+	AnomalyShare    = "share_shift"
+	AnomalyVarSpike = "variance_spike"
+)
+
+// Anomaly is one ranked annotation: what moved, by how much, and when.
+type Anomaly struct {
+	Seq    uint64    `json:"seq"`
+	At     time.Time `json:"at"`
+	Window time.Time `json:"window_start"`
+	Kind   string    `json:"kind"`
+	// Factor names the variance factor involved (share shifts only).
+	Factor string  `json:"factor,omitempty"`
+	Msg    string  `json:"msg"`
+	Before float64 `json:"before"`
+	After  float64 `json:"after"`
+	// Severity orders anomalies within a window: the relative excess
+	// over the threshold or target (1.0 = exactly at it).
+	Severity float64 `json:"severity"`
+}
+
+// DefaultAnomalyCap bounds the anomaly ring.
+const DefaultAnomalyCap = 128
+
+// NewWatchdog returns a watchdog with the given targets and ring size
+// (DefaultAnomalyCap when ringCap <= 0).
+func NewWatchdog(cfg SLOConfig, ringCap int) *Watchdog {
+	if ringCap <= 0 {
+		ringCap = DefaultAnomalyCap
+	}
+	w := &Watchdog{cap: ringCap}
+	w.SetSLO(cfg)
+	return w
+}
+
+// SetSLO replaces the targets at runtime (atomic; safe mid-traffic).
+func (w *Watchdog) SetSLO(cfg SLOConfig) {
+	if w == nil {
+		return
+	}
+	c := cfg.withDefaults()
+	w.cfg.Store(&c)
+}
+
+// SLO returns the active targets.
+func (w *Watchdog) SLO() SLOConfig {
+	if w == nil {
+		return SLOConfig{}
+	}
+	return *w.cfg.Load()
+}
+
+// Observe evaluates one closed window against the targets and the
+// previous window, appending ranked anomalies to the ring. The
+// variance engine calls it on rotation; tests may call it directly.
+func (w *Watchdog) Observe(win *VarianceSnapshot) {
+	if w == nil || win == nil {
+		return
+	}
+	cfg := *w.cfg.Load()
+	if win.N < cfg.MinTxns {
+		return
+	}
+	var found []Anomaly
+	now := time.Now()
+	mk := func(kind, factor, msg string, before, after, severity float64) {
+		found = append(found, Anomaly{
+			At: now, Window: win.Start, Kind: kind, Factor: factor,
+			Msg: msg, Before: before, After: after, Severity: severity,
+		})
+	}
+
+	if cfg.P99TargetMs > 0 && win.P99 > cfg.P99TargetMs {
+		mk(AnomalyP99, "",
+			fmt.Sprintf("window p99 %.3fms exceeds SLO target %.3fms", win.P99, cfg.P99TargetMs),
+			cfg.P99TargetMs, win.P99, win.P99/cfg.P99TargetMs)
+	}
+	cov := 0.0
+	if win.MeanMs > 0 {
+		cov = math.Sqrt(win.Variance) / win.MeanMs
+	}
+	if cfg.CoVTarget > 0 && cov > cfg.CoVTarget {
+		mk(AnomalyCoV, "",
+			fmt.Sprintf("window CoV %.2f exceeds target %.2f", cov, cfg.CoVTarget),
+			cfg.CoVTarget, cov, cov/cfg.CoVTarget)
+	}
+
+	w.mu.Lock()
+	prev := w.prev
+	w.prev = win
+	w.mu.Unlock()
+
+	if prev != nil && prev.N >= cfg.MinTxns {
+		if cfg.VarSpikeFactor > 1 && prev.Variance > 0 &&
+			win.Variance > cfg.VarSpikeFactor*prev.Variance {
+			mk(AnomalyVarSpike, "",
+				fmt.Sprintf("txn latency variance spiked %.3g→%.3g ms² (%.1fx)",
+					prev.Variance, win.Variance, win.Variance/prev.Variance),
+				prev.Variance, win.Variance, win.Variance/(cfg.VarSpikeFactor*prev.Variance))
+		}
+		// Per-factor share shifts, both directions: a factor taking
+		// over the variance budget and one collapsing are both news.
+		seen := map[string]bool{}
+		for _, f := range win.Factors {
+			seen[f.Name] = true
+			before := prev.Share(f.Name)
+			if d := math.Abs(f.Share - before); d > cfg.ShareJump {
+				mk(AnomalyShare, f.Name,
+					fmt.Sprintf("%s variance share jumped %.0f%%→%.0f%%", f.Name, 100*before, 100*f.Share),
+					before, f.Share, d/cfg.ShareJump)
+			}
+		}
+		for _, f := range prev.Factors {
+			if seen[f.Name] {
+				continue
+			}
+			if f.Share > cfg.ShareJump {
+				mk(AnomalyShare, f.Name,
+					fmt.Sprintf("%s variance share dropped %.0f%%→0%%", f.Name, 100*f.Share),
+					f.Share, 0, f.Share/cfg.ShareJump)
+			}
+		}
+	}
+	if len(found) == 0 {
+		return
+	}
+	// Rank within the window: most severe first, then append in that
+	// order so the ring reads newest-last, severest-first per window.
+	for i := 1; i < len(found); i++ {
+		for j := i; j > 0 && found[j].Severity > found[j-1].Severity; j-- {
+			found[j], found[j-1] = found[j-1], found[j]
+		}
+	}
+	w.mu.Lock()
+	for i := range found {
+		found[i].Seq = w.seq.Add(1)
+		w.total.Add(1)
+		w.ring = append(w.ring, found[i])
+	}
+	if len(w.ring) > w.cap {
+		w.ring = append(w.ring[:0], w.ring[len(w.ring)-w.cap:]...)
+	}
+	w.mu.Unlock()
+}
+
+// Anomalies returns up to n retained anomalies, newest first (n <= 0
+// returns all retained).
+func (w *Watchdog) Anomalies(n int) []Anomaly {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Anomaly, 0, len(w.ring))
+	for i := len(w.ring) - 1; i >= 0; i-- {
+		out = append(out, w.ring[i])
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Total returns how many anomalies were ever emitted (the ring only
+// retains the most recent DefaultAnomalyCap).
+func (w *Watchdog) Total() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.total.Load()
+}

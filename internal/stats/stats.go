@@ -85,6 +85,17 @@ func (w *Welford) Merge(o *Welford) {
 	w.n, w.mean, w.m2 = n, mean, m2
 }
 
+// AddZeros folds k zero observations into w in O(1) (a Merge with a
+// zero-run accumulator). Streaming variance attribution uses it to
+// backfill a factor that first appears mid-stream: absent observations
+// count as 0, keeping Var/Cov consistent across transactions.
+func (w *Welford) AddZeros(k int64) {
+	if k <= 0 {
+		return
+	}
+	w.Merge(&Welford{n: k})
+}
+
 // Cov accumulates the covariance of a stream of (x, y) pairs using a
 // stable online update. The zero value is ready to use.
 type Cov struct {
@@ -109,6 +120,59 @@ func (c *Cov) Add(x, y float64) {
 
 // N returns the number of pairs seen.
 func (c *Cov) N() int64 { return c.n }
+
+// Merge combines another covariance accumulator into c (the pairwise
+// co-moment merge, the bivariate analogue of Welford.Merge).
+func (c *Cov) Merge(o *Cov) {
+	if o.n == 0 {
+		return
+	}
+	if c.n == 0 {
+		*c = *o
+		return
+	}
+	n := c.n + o.n
+	dx := o.meanX - c.meanX
+	dy := o.meanY - c.meanY
+	c.coMom += o.coMom + dx*dy*float64(c.n)*float64(o.n)/float64(n)
+	c.meanX += dx * float64(o.n) / float64(n)
+	c.meanY += dy * float64(o.n) / float64(n)
+	c.n = n
+	c.varAcX.Merge(&o.varAcX)
+	c.varAcY.Merge(&o.varAcY)
+}
+
+// AddZeros folds k (0, 0) pairs into c in O(1); see Welford.AddZeros.
+func (c *Cov) AddZeros(k int64) {
+	if k <= 0 {
+		return
+	}
+	var z Cov
+	z.n = k
+	z.varAcX.AddZeros(k)
+	z.varAcY.AddZeros(k)
+	c.Merge(&z)
+}
+
+// CovWithZeroY returns a covariance accumulator equivalent to having
+// added the pair (x_i, 0) for every observation folded into wx: the
+// co-moment of any sequence against a constant is zero, so the whole
+// pair history is reconstructible from the marginal accumulator alone.
+// Streaming variance attribution uses this to create a sibling-pair
+// accumulator exactly when the second factor first appears.
+func CovWithZeroY(wx Welford) Cov {
+	var y Welford
+	y.AddZeros(wx.n)
+	return Cov{n: wx.n, meanX: wx.mean, varAcX: wx, varAcY: y}
+}
+
+// Swapped returns the accumulator with the roles of x and y exchanged.
+// Covariance is symmetric, so only the marginals move.
+func (c Cov) Swapped() Cov {
+	c.meanX, c.meanY = c.meanY, c.meanX
+	c.varAcX, c.varAcY = c.varAcY, c.varAcX
+	return c
+}
 
 // Covariance returns the population covariance of the pairs seen so far.
 func (c *Cov) Covariance() float64 {

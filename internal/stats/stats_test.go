@@ -421,3 +421,86 @@ func TestHistogramBoundsCopied(t *testing.T) {
 		t.Fatal("histogram aliases caller's bounds slice")
 	}
 }
+
+func TestWelfordAddZeros(t *testing.T) {
+	// Adding k zeros via AddZeros must equal adding them one by one.
+	var a, b Welford
+	for _, x := range []float64{3, 7, 1} {
+		a.Add(x)
+		b.Add(x)
+	}
+	a.AddZeros(5)
+	for i := 0; i < 5; i++ {
+		b.Add(0)
+	}
+	if a.N() != b.N() || !almostEqual(a.Mean(), b.Mean(), 1e-12) || !almostEqual(a.Variance(), b.Variance(), 1e-12) {
+		t.Fatalf("AddZeros: got n=%d mean=%v var=%v, want n=%d mean=%v var=%v",
+			a.N(), a.Mean(), a.Variance(), b.N(), b.Mean(), b.Variance())
+	}
+	// Leading zeros into an empty accumulator.
+	var c Welford
+	c.AddZeros(3)
+	c.Add(6)
+	var d Welford
+	for _, x := range []float64{0, 0, 0, 6} {
+		d.Add(x)
+	}
+	if !almostEqual(c.Variance(), d.Variance(), 1e-12) {
+		t.Fatalf("leading AddZeros variance = %v, want %v", c.Variance(), d.Variance())
+	}
+}
+
+func TestCovMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var whole Cov
+	var left, right Cov
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64() * 3
+		y := 0.5*x + rng.NormFloat64()
+		whole.Add(x, y)
+		if i < 180 {
+			left.Add(x, y)
+		} else {
+			right.Add(x, y)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", left.N(), whole.N())
+	}
+	if !almostEqual(left.Covariance(), whole.Covariance(), 1e-9) {
+		t.Errorf("merged covariance = %v, want %v", left.Covariance(), whole.Covariance())
+	}
+	if !almostEqual(left.Correlation(), whole.Correlation(), 1e-9) {
+		t.Errorf("merged correlation = %v, want %v", left.Correlation(), whole.Correlation())
+	}
+
+	// Merge into empty and merge of empty are identities.
+	var empty Cov
+	empty.Merge(&whole)
+	if !almostEqual(empty.Covariance(), whole.Covariance(), 1e-12) {
+		t.Error("merge into empty lost state")
+	}
+	before := whole.Covariance()
+	var none Cov
+	whole.Merge(&none)
+	if whole.Covariance() != before {
+		t.Error("merge of empty changed state")
+	}
+}
+
+func TestCovAddZeros(t *testing.T) {
+	var a, b Cov
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		a.Add(x, 2*x)
+		b.Add(x, 2*x)
+	}
+	a.AddZeros(7)
+	for i := 0; i < 7; i++ {
+		b.Add(0, 0)
+	}
+	if a.N() != b.N() || !almostEqual(a.Covariance(), b.Covariance(), 1e-9) {
+		t.Fatalf("AddZeros: cov = %v (n=%d), want %v (n=%d)", a.Covariance(), a.N(), b.Covariance(), b.N())
+	}
+}

@@ -1,0 +1,121 @@
+package tprofiler
+
+import "sort"
+
+// This file is the reusable core of TProfiler's factor ranking: the
+// pure math that turns per-node variance statistics and sibling
+// covariances into the paper's ranked factor list (eqs. 1–3). The
+// offline Profiler feeds it from its trace-replay analysis
+// (analyzeLocked); the live observability layer (internal/obs) feeds it
+// from streaming Welford/Cov accumulators. Both produce identical
+// rankings for identical inputs, which is what the differential tests
+// assert.
+
+// NodeStat is one call-path node's variance statistics, the per-node
+// input to RankFactors. Path is slash-separated; the last segment is
+// the function name factors aggregate under (variance summed across
+// call sites, like the paper's per-function scoring).
+type NodeStat struct {
+	Path     string
+	Height   int // max depth of subtree beneath (0 = leaf)
+	Variance float64
+}
+
+// PairStat is one sibling pair's covariance contribution. Value is the
+// pair's term in eq. 1, i.e. 2·Cov(A, B). Height is the taller of the
+// two nodes' subtree heights.
+type PairStat struct {
+	A, B   string // paths
+	Height int
+	Value  float64
+}
+
+// RankFactors scores and ranks variance factors exactly as
+// Profiler.TopFactors does: per-function variance (aggregated across
+// call sites by last path segment), positive sibling-pair covariance
+// contributions, score = specificity · value with
+// specificity = (treeHeight − height)², sorted by score, truncated to
+// k (k <= 0 keeps all). rootVar normalizes FracOfTotal.
+func RankFactors(rootVar float64, treeHeight int, nodes []NodeStat, pairs []PairStat, k int) []Factor {
+	specificity := func(height int) float64 {
+		d := float64(treeHeight - height)
+		return d * d
+	}
+
+	// Aggregate variance and height per function name across call sites.
+	type agg struct {
+		value  float64
+		height int
+	}
+	byFunc := make(map[string]*agg, len(nodes))
+	order := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		name := lastSegment(n.Path)
+		a := byFunc[name]
+		if a == nil {
+			a = &agg{}
+			byFunc[name] = a
+			order = append(order, name)
+		}
+		a.value += n.Variance
+		if n.Height > a.height {
+			a.height = n.Height
+		}
+	}
+
+	var factors []Factor
+	for _, name := range order {
+		a := byFunc[name]
+		factors = append(factors, Factor{
+			Kind:        VarianceFactor,
+			Functions:   []string{name},
+			Value:       a.value,
+			Score:       specificity(a.height) * a.value,
+			FracOfTotal: frac(a.value, rootVar),
+		})
+	}
+
+	// Covariance factors, aggregated per function-name pair.
+	type pairAgg struct {
+		value  float64
+		height int
+	}
+	byPair := make(map[[2]string]*pairAgg, len(pairs))
+	pairOrder := make([][2]string, 0, len(pairs))
+	for _, p := range pairs {
+		a, b := lastSegment(p.A), lastSegment(p.B)
+		if a > b {
+			a, b = b, a
+		}
+		pk := [2]string{a, b}
+		pa := byPair[pk]
+		if pa == nil {
+			pa = &pairAgg{}
+			byPair[pk] = pa
+			pairOrder = append(pairOrder, pk)
+		}
+		pa.value += p.Value
+		if p.Height > pa.height {
+			pa.height = p.Height
+		}
+	}
+	for _, pk := range pairOrder {
+		pa := byPair[pk]
+		if pa.value <= 0 {
+			continue // negative covariance reduces variance; not a culprit
+		}
+		factors = append(factors, Factor{
+			Kind:        CovarianceFactor,
+			Functions:   []string{pk[0], pk[1]},
+			Value:       pa.value,
+			Score:       specificity(pa.height) * pa.value,
+			FracOfTotal: frac(pa.value, rootVar),
+		})
+	}
+
+	sort.SliceStable(factors, func(i, j int) bool { return factors[i].Score > factors[j].Score })
+	if k > 0 && len(factors) > k {
+		factors = factors[:k]
+	}
+	return factors
+}

@@ -123,7 +123,9 @@ func (f Factor) String() string {
 
 // TopFactors ranks factors by score and returns the best k, mirroring
 // the paper's top-k selection. The root is excluded (its variance is the
-// quantity being explained).
+// quantity being explained). The scoring itself lives in RankFactors so
+// the live observability layer can rank its streaming accumulators with
+// the identical math.
 func (p *Profiler) TopFactors(k int) []Factor {
 	if p == nil {
 		return nil
@@ -132,99 +134,40 @@ func (p *Profiler) TopFactors(k int) []Factor {
 	defer p.mu.Unlock()
 	p.analyzeLocked()
 
-	rootVar := p.txns.Variance()
 	treeHeight := 0
 	for _, n := range p.nodes {
 		if n.depth > treeHeight {
 			treeHeight = n.depth
 		}
 	}
-
-	// Aggregate variance and height per function name across call sites.
-	type agg struct {
-		value  float64
-		height int
-	}
-	byFunc := make(map[string]*agg)
+	nodes := make([]NodeStat, 0, len(p.nodes))
 	for path, n := range p.nodes {
 		if path == "txn" {
 			continue
 		}
-		name := lastSegment(path)
-		a := byFunc[name]
-		if a == nil {
-			a = &agg{}
-			byFunc[name] = a
-		}
-		a.value += n.acc.Variance()
-		if n.height > a.height {
-			a.height = n.height
-		}
+		nodes = append(nodes, NodeStat{Path: path, Height: n.height, Variance: n.acc.Variance()})
 	}
-
-	var factors []Factor
-	specificity := func(height int) float64 {
-		d := float64(treeHeight - height)
-		return d * d
-	}
-	for name, a := range byFunc {
-		factors = append(factors, Factor{
-			Kind:        VarianceFactor,
-			Functions:   []string{name},
-			Value:       a.value,
-			Score:       specificity(a.height) * a.value,
-			FracOfTotal: frac(a.value, rootVar),
-		})
-	}
-
-	// Covariance factors, aggregated per function-name pair.
-	type pairAgg struct {
-		value  float64
-		height int
-	}
-	byPair := make(map[[2]string]*pairAgg)
+	pairs := make([]PairStat, 0, len(p.covs))
 	for key, c := range p.covs {
 		na, nb := p.nodes[key[0]], p.nodes[key[1]]
 		if na == nil || nb == nil {
 			continue
 		}
-		a, b := lastSegment(key[0]), lastSegment(key[1])
-		if a > b {
-			a, b = b, a
-		}
-		pk := [2]string{a, b}
-		pa := byPair[pk]
-		if pa == nil {
-			pa = &pairAgg{}
-			byPair[pk] = pa
-		}
-		pa.value += 2 * c.Covariance() // contribution per eq. 1
 		h := na.height
 		if nb.height > h {
 			h = nb.height
 		}
-		if h > pa.height {
-			pa.height = h
+		pairs = append(pairs, PairStat{A: key[0], B: key[1], Height: h, Value: 2 * c.Covariance()})
+	}
+	// Deterministic input order: map iteration must not perturb ties.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Path < nodes[j].Path })
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
 		}
-	}
-	for pk, pa := range byPair {
-		if pa.value <= 0 {
-			continue // negative covariance reduces variance; not a culprit
-		}
-		factors = append(factors, Factor{
-			Kind:        CovarianceFactor,
-			Functions:   []string{pk[0], pk[1]},
-			Value:       pa.value,
-			Score:       specificity(pa.height) * pa.value,
-			FracOfTotal: frac(pa.value, rootVar),
-		})
-	}
-
-	sort.Slice(factors, func(i, j int) bool { return factors[i].Score > factors[j].Score })
-	if k > 0 && len(factors) > k {
-		factors = factors[:k]
-	}
-	return factors
+		return pairs[i].B < pairs[j].B
+	})
+	return RankFactors(p.txns.Variance(), treeHeight, nodes, pairs, k)
 }
 
 // Report renders the variance tree as indented text with per-node

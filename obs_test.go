@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"vats"
 )
@@ -85,6 +87,122 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	if len(sums) == 0 {
 		t.Fatal("/debug/stats returned no histogram summaries")
+	}
+}
+
+// TestVarianceAttributionEndToEnd is the PR's acceptance check: drive a
+// seeded run with live variance attribution on, mirror the identical
+// committed-transaction stream into an offline TProfiler via the tracer
+// sink, and require /debug/variance's top-3 contributors and shares to
+// match the offline replay within 5%. Also exercises /healthz,
+// /debug/anomalies, and the new /metrics series.
+func TestVarianceAttributionEndToEnd(t *testing.T) {
+	// Hour-long window so nothing rotates out mid-test and negative
+	// sampling budget so every transaction is captured — the online and
+	// offline sides then see byte-identical streams.
+	ob := vats.NewObservabilityWith(vats.ObsConfig{
+		Variance: vats.VarianceConfig{Window: time.Hour},
+		Sampling: vats.SamplingConfig{Budget: -1},
+	})
+	offline := vats.NewProfiler()
+	ob.Tracer.SetSink(offline.AddTrace)
+	srv, err := ob.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	db, err := vats.Open(vats.Options{Scheduler: vats.VATS, Obs: ob, BufferPages: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wl, err := vats.NewWorkload("tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vats.RunBenchmark(db, wl, vats.BenchConfig{
+		Clients: 8, Count: 400, Warmup: 40, Seed: 11,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var vr struct {
+		Txns     int64   `json:"txns"`
+		Variance float64 `json:"variance_ms2"`
+		P99      float64 `json:"p99_ms"`
+		Factors  []struct {
+			Name  string  `json:"name"`
+			Share float64 `json:"share"`
+		} `json:"factors"`
+		Sampler struct {
+			Modulus int64 `json:"modulus"`
+		} `json:"sampler"`
+		Ranked []struct {
+			Functions   []string `json:"functions"`
+			FracOfTotal float64  `json:"frac_of_total"`
+		} `json:"ranked_factors"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL()+"/debug/variance?factors=3")), &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Txns == 0 || vr.Variance <= 0 {
+		t.Fatalf("variance snapshot empty: txns=%d variance=%g", vr.Txns, vr.Variance)
+	}
+	if vr.Sampler.Modulus != 1 {
+		t.Fatalf("unlimited budget must trace everything, modulus=%d", vr.Sampler.Modulus)
+	}
+
+	// The offline profiler saw the same stream through the sink; total
+	// counts must be identical and the top-3 decomposition must agree.
+	if got, want := offline.TxnCount(), vr.Txns; got != want {
+		t.Fatalf("offline replay saw %d txns, online %d", got, want)
+	}
+	off := offline.TopFactors(3)
+	if len(vr.Ranked) == 0 || len(off) == 0 {
+		t.Fatalf("no ranked factors: online %d offline %d", len(vr.Ranked), len(off))
+	}
+	if len(vr.Ranked) != len(off) {
+		t.Fatalf("top-3 lengths differ: online %d offline %d", len(vr.Ranked), len(off))
+	}
+	for i := range off {
+		onName := strings.Join(vr.Ranked[i].Functions, "+")
+		offName := strings.Join(off[i].Functions, "+")
+		if onName != offName {
+			t.Errorf("rank %d contributor: online %q offline %q", i, onName, offName)
+			continue
+		}
+		if d := math.Abs(vr.Ranked[i].FracOfTotal - off[i].FracOfTotal); d > 0.05 {
+			t.Errorf("rank %d (%s) share: online %.4f offline %.4f (Δ %.4f > 5%%)",
+				i, onName, vr.Ranked[i].FracOfTotal, off[i].FracOfTotal, d)
+		}
+	}
+
+	// Liveness probe and anomaly endpoint respond.
+	if body := httpGet(t, srv.URL()+"/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q, want ok", body)
+	}
+	var ar struct {
+		Total     int64          `json:"total"`
+		Anomalies []vats.Anomaly `json:"anomalies"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL()+"/debug/anomalies?n=5")), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Anomalies) > 5 {
+		t.Fatalf("?n=5 returned %d anomalies", len(ar.Anomalies))
+	}
+
+	// New exposition series: per-factor shares, window quantile gauges,
+	// and the sampling controller state.
+	metrics := httpGet(t, srv.URL()+"/metrics")
+	for _, series := range []string{
+		"txn_variance_share", "txn_window_variance_ms2", "txn_window_p99_ms",
+		"txn_latency_ms_p99", "txn_trace_sampling_modulus",
+	} {
+		if !hasNonZeroSeries(metrics, series) {
+			t.Errorf("/metrics has no non-zero %s series:\n%s", series, grepLines(metrics, series))
+		}
 	}
 }
 

@@ -73,11 +73,27 @@ type (
 	Experiment = harness.Experiment
 	// AgeSample is one (age, remaining-time) lock-wait observation.
 	AgeSample = engine.AgeSample
-	// Obs is a live observability bundle: a sharded metrics registry
-	// plus the slow-transaction tracer (see internal/obs).
+	// Obs is a live observability bundle: a sharded metrics registry,
+	// the slow-transaction tracer, the online variance-attribution
+	// engine with its SLO watchdog, and the overhead-budgeted sampling
+	// controller (see internal/obs).
 	Obs = obs.Obs
+	// ObsConfig sizes an observability bundle (NewObservabilityWith).
+	ObsConfig = obs.Config
 	// ObsServer is a running /metrics + /debug HTTP endpoint.
 	ObsServer = obs.Server
+	// VarianceSnapshot is a merged live variance-attribution view (the
+	// /debug/variance payload core).
+	VarianceSnapshot = obs.VarianceSnapshot
+	// VarianceConfig sizes the online attribution engine's windows.
+	VarianceConfig = obs.VarianceConfig
+	// SLOConfig holds the variance watchdog's targets.
+	SLOConfig = obs.SLOConfig
+	// Anomaly is one SLO-watchdog annotation (the /debug/anomalies
+	// payload element).
+	Anomaly = obs.Anomaly
+	// SamplingConfig sets the span-capture overhead budget.
+	SamplingConfig = obs.SamplingConfig
 )
 
 // NewRowReader wraps a row image for decoding.
@@ -99,6 +115,10 @@ func Observability() *Obs { return obs.Default }
 // pass in Options.Obs when one engine should be observed in isolation
 // from the global default. Serve the bundle with its Serve method.
 func NewObservability() *Obs { return obs.New() }
+
+// NewObservabilityWith returns a fresh bundle with explicit sizing —
+// variance windows, SLO targets, sampling budget, slow-ring bounds.
+func NewObservabilityWith(cfg ObsConfig) *Obs { return obs.NewWith(cfg) }
 
 // ServeObservability starts the /metrics + /debug/txns + /debug/stats
 // HTTP endpoint on addr (e.g. ":9090", or "127.0.0.1:0" for an
