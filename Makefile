@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-smoke repro torture torture-short
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-smoke repro torture torture-short
 
 all: build vet short
 
@@ -23,7 +23,8 @@ vet:
 race:
 	$(GO) test -race -short ./internal/btree/... ./internal/buffer/... \
 		./internal/storage/... ./internal/obs/... ./internal/stats/... \
-		./internal/tprofiler/...
+		./internal/tprofiler/... ./internal/mvcc/... ./internal/exec/... \
+		./internal/engine/...
 
 # Observability overhead guardrail (see docs/OBSERVABILITY.md).
 bench:
@@ -45,13 +46,21 @@ bench-obs-json:
 bench-read-json:
 	sh scripts/bench_json.sh read BENCH_PR3.json
 
+# MVCC scan-path suite -> BENCH_PR7.json: writer commit p50/p99 with and
+# without a sustained snapshot scan, snapshot scan throughput under
+# writers, iterator composition vs closure scans, plan-cache hit/miss
+# (see docs/PERF.md).
+bench-scan-json:
+	sh scripts/bench_json.sh scan BENCH_PR7.json
+
 # One-iteration benchmark compile-and-run pass over the hot-path
 # packages: catches benchmarks that no longer build or panic without
 # paying for a measurement run (CI runs this).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
 		./internal/buffer/ ./internal/storage/ ./internal/engine/ \
-		./internal/lock/ ./internal/wal/ ./internal/obs/
+		./internal/lock/ ./internal/wal/ ./internal/obs/ ./internal/exec/ \
+		./internal/mvcc/
 
 repro:
 	$(GO) run ./cmd/repro -quick

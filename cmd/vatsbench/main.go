@@ -14,6 +14,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"vats"
 )
@@ -34,6 +36,8 @@ func main() {
 		obsAddr   = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
 		sloP99    = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for the variance watchdog (0 = off)")
 		obsBudget = flag.Float64("obs-budget", 0.01, "span-capture overhead budget as a fraction of one core (negative = unlimited)")
+		scanners  = flag.Int("scanners", 0, "concurrent full-table snapshot scanners running alongside the workload (the HTAP scan-under-writers mode)")
+		scanIso   = flag.String("scan-isolation", "readcommitted", "readcommitted | snapshot: isolation for Txn.Scan/IndexScan inside workload transactions")
 	)
 	flag.Parse()
 
@@ -71,6 +75,14 @@ func main() {
 	if strings.ToLower(*lru) == "lazy" {
 		opts.LRU = vats.LazyLRU
 	}
+	switch strings.ToLower(*scanIso) {
+	case "readcommitted":
+	case "snapshot":
+		opts.ScanIsolation = vats.SnapshotScans
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scan-isolation %q\n", *scanIso)
+		os.Exit(2)
+	}
 
 	wl, err := vats.NewWorkload(*wlName)
 	if err != nil {
@@ -84,6 +96,15 @@ func main() {
 	}
 	defer db.Close()
 
+	// The scan-under-writers mode: -scanners N runs N goroutines that
+	// loop lock-free full-table snapshot scans over every workload
+	// table for the duration of the benchmark, so the reported writer
+	// latencies are measured under sustained analytic load.
+	var stopScan func() (rows, rounds int64)
+	if *scanners > 0 {
+		stopScan = startScanners(db, *scanners)
+	}
+
 	res, err := vats.RunBenchmark(db, wl, vats.BenchConfig{
 		Clients: *clients,
 		Rate:    *rate,
@@ -94,6 +115,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	var scanRows, scanRounds int64
+	if stopScan != nil {
+		scanRows, scanRounds = stopScan()
 	}
 
 	fmt.Printf("workload=%s scheduler=%s flush=%s lru=%s clients=%d rate=%.0f\n",
@@ -131,9 +157,54 @@ func main() {
 	if ws.Flushes > 0 {
 		fmt.Printf("wal: records/flush=%.1f\n", float64(ws.Appends)/float64(ws.Flushes))
 	}
+	if *scanners > 0 {
+		fmt.Printf("scanners: n=%d rounds=%d rows=%d\n", *scanners, scanRounds, scanRows)
+		var versions, walks int64
+		for _, t := range db.Tables() {
+			st := t.MVCCStats()
+			versions += st.Versions
+			walks += st.ChainWalks
+		}
+		fmt.Printf("mvcc: live-versions=%d chain-walks=%d low-water=%d\n",
+			versions, walks, db.Clock().LowWater())
+	}
 
 	if *obsAddr != "" {
 		printAttribution(vats.Observability())
+	}
+}
+
+// startScanners launches n goroutines that loop full-table snapshot
+// scans over every table until the returned stop function is called;
+// it reports total rows visited and complete all-table rounds.
+func startScanners(db *vats.DB, n int) func() (rows, rounds int64) {
+	var stop atomic.Bool
+	var rows, rounds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.NewSession()
+			for !stop.Load() {
+				for _, t := range db.Tables() {
+					snap := s.BeginSnapshot()
+					seen := 0
+					snap.Scan(t, 0, ^uint64(0), func(uint64, []byte) bool {
+						seen++
+						return !stop.Load()
+					})
+					snap.Close()
+					rows.Add(int64(seen))
+				}
+				rounds.Add(1)
+			}
+		}()
+	}
+	return func() (int64, int64) {
+		stop.Store(true)
+		wg.Wait()
+		return rows.Load(), rounds.Load()
 	}
 }
 

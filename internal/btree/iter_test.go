@@ -1,0 +1,100 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectIter drains a RangeIter into a key slice.
+func collectIter(it RangeIter[int]) []uint64 {
+	var out []uint64
+	for {
+		k, _, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+// collectRange drains AscendRange into a key slice (the oracle).
+func collectRange(t *Tree[int], lo, hi uint64) []uint64 {
+	var out []uint64
+	t.AscendRange(lo, hi, func(k uint64, _ int) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+func TestRangeIterMatchesAscendRange(t *testing.T) {
+	for _, order := range []int{4, 8, DefaultOrder} {
+		rng := rand.New(rand.NewSource(int64(order)))
+		tr := New[int](order)
+		keys := rng.Perm(5000)
+		for _, k := range keys {
+			tr.Insert(uint64(k)*3+1, k)
+		}
+		// Randomly delete a third to exercise rebalanced shapes.
+		for _, k := range keys[:len(keys)/3] {
+			tr.Delete(uint64(k)*3 + 1)
+		}
+		bounds := []struct{ lo, hi uint64 }{
+			{0, ^uint64(0)},
+			{0, 0},
+			{1, 1},
+			{100, 50}, // inverted: empty
+			{4999 * 3, 5001 * 3},
+			{7, 7000},
+		}
+		for i := 0; i < 40; i++ {
+			lo := uint64(rng.Intn(16000))
+			bounds = append(bounds, struct{ lo, hi uint64 }{lo, lo + uint64(rng.Intn(4000))})
+		}
+		for _, b := range bounds {
+			got := collectIter(tr.NewRangeIter(b.lo, b.hi))
+			want := collectRange(tr, b.lo, b.hi)
+			if len(got) != len(want) {
+				t.Fatalf("order %d [%d,%d]: iter %d keys, oracle %d", order, b.lo, b.hi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("order %d [%d,%d]: key %d differs: %d vs %d", order, b.lo, b.hi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRangeIterSnapshot verifies the iterator pins the root it was
+// created from: mutations made after construction are invisible.
+func TestRangeIterSnapshot(t *testing.T) {
+	tr := New[int](4)
+	for k := uint64(1); k <= 100; k++ {
+		tr.Insert(k, int(k))
+	}
+	it := tr.NewRangeIter(0, ^uint64(0))
+	for k := uint64(1); k <= 100; k++ {
+		tr.Delete(k)
+	}
+	tr.Insert(999, 1)
+	if got := collectIter(it); len(got) != 100 {
+		t.Fatalf("snapshot iter saw %d keys, want the frozen 100", len(got))
+	}
+}
+
+func TestRangeIterNextZeroAlloc(t *testing.T) {
+	tr := New[int](DefaultOrder)
+	for k := uint64(1); k <= 4096; k++ {
+		tr.Insert(k, int(k))
+	}
+	it := tr.NewRangeIter(0, ^uint64(0))
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, _, ok := it.Next(); !ok {
+			it = tr.NewRangeIter(0, ^uint64(0))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per Next, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"vats/internal/buffer"
 	"vats/internal/disk"
 	"vats/internal/lock"
+	"vats/internal/mvcc"
 	"vats/internal/obs"
 	"vats/internal/storage"
 	"vats/internal/tprofiler"
@@ -86,9 +88,35 @@ type Config struct {
 	// C.2 data.
 	SampleAgeRemaining bool
 
+	// MVCCGCInterval is the period of the background version-store GC
+	// (0 = the 25ms default, negative disables; call RunGC manually).
+	MVCCGCInterval time.Duration
+
+	// ScanIsolation selects the isolation level Txn.Scan and
+	// Txn.IndexScan run at: ReadCommitted (default, the historical
+	// behavior) or SnapshotScans, under which every scan in a
+	// transaction reads the committed state frozen at the transaction's
+	// first scan.
+	ScanIsolation IsolationLevel
+
 	// Seed seeds default devices.
 	Seed int64
 }
+
+// IsolationLevel selects what Txn.Scan/IndexScan read (point reads are
+// always protected by record locks; this knob only governs scans).
+type IsolationLevel int
+
+const (
+	// ReadCommitted scans stream the newest committed state without a
+	// frozen timestamp: rows committed mid-scan may or may not appear.
+	ReadCommitted IsolationLevel = iota
+	// SnapshotScans gives every scan in a transaction a shared read
+	// timestamp frozen at its first scan: the scan sees exactly the
+	// state committed at that timestamp — and therefore does NOT see
+	// the transaction's own uncommitted writes.
+	SnapshotScans
+)
 
 // AgeSample is one (age, remaining-time) observation at a lock
 // scheduling decision, both in milliseconds.
@@ -105,6 +133,13 @@ type DB struct {
 	log   *wal.Manager
 	obs   *obs.Obs
 	met   *obs.EngineMetrics
+	mvmet *obs.MVCCMetrics
+
+	// clock is the commit-timestamp clock every table stamps versions
+	// from; its contiguous watermark is the snapshot-read frontier.
+	clock  *mvcc.Clock
+	gcStop chan struct{}
+	gcWG   sync.WaitGroup
 
 	// cat is the immutable catalog snapshot: per-statement name and
 	// space resolution read it with one atomic load and no lock. DDL
@@ -162,9 +197,11 @@ func Open(cfg Config) *DB {
 	}
 	ob := obs.OrDefault(cfg.Obs)
 	db := &DB{
-		cfg: cfg,
-		obs: ob,
-		met: obs.NewEngineMetrics(ob),
+		cfg:   cfg,
+		obs:   ob,
+		met:   obs.NewEngineMetrics(ob),
+		mvmet: obs.NewMVCCMetrics(ob),
+		clock: mvcc.NewClock(),
 	}
 	db.cat.Store(&catalog{
 		tables:  make(map[string]*storage.Table),
@@ -193,16 +230,72 @@ func Open(cfg Config) *DB {
 		FlushInterval: cfg.LogFlushInterval,
 		Obs:           ob,
 	})
+	gcEvery := cfg.MVCCGCInterval
+	if gcEvery == 0 {
+		gcEvery = 25 * time.Millisecond
+	}
+	if gcEvery > 0 {
+		db.gcStop = make(chan struct{})
+		db.gcWG.Add(1)
+		go db.gcLoop(gcEvery)
+	}
 	return db
 }
+
+// gcLoop periodically reclaims versions unreachable below the low-water
+// read timestamp across all tables.
+func (db *DB) gcLoop(every time.Duration) {
+	defer db.gcWG.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-db.gcStop:
+			return
+		case <-tick.C:
+			db.RunGC()
+		}
+	}
+}
+
+// RunGC runs one version-store GC pass over every table, freeing
+// versions unreachable at the clock's low-water read timestamp, and
+// refreshes the arena gauges. Returns the number of versions freed.
+func (db *DB) RunGC() int {
+	lw := db.clock.LowWater()
+	start := time.Now()
+	freed := 0
+	var versions, bytes int64
+	for _, t := range db.cat.Load().tables {
+		freed += t.GC(lw)
+		st := t.MVCCStats()
+		versions += st.Versions
+		bytes += st.ArenaBytes
+	}
+	db.mvmet.GCDone(time.Since(start), freed)
+	db.mvmet.SetArena(versions, bytes)
+	return freed
+}
+
+// Clock exposes the commit-timestamp clock (snapshot experiments,
+// torture audits).
+func (db *DB) Clock() *mvcc.Clock { return db.clock }
 
 // Close shuts the engine down cleanly (final log flush, detector stop).
 func (db *DB) Close() {
 	if db.closed.Swap(true) {
 		return
 	}
+	db.stopGC()
 	db.log.Close()
 	db.locks.Close()
+}
+
+func (db *DB) stopGC() {
+	if db.gcStop != nil {
+		close(db.gcStop)
+		db.gcWG.Wait()
+	}
 }
 
 // Crash simulates a crash: the log stops at its durable prefix and the
@@ -212,6 +305,7 @@ func (db *DB) Crash() {
 	if db.closed.Swap(true) {
 		return
 	}
+	db.stopGC()
 	db.log.Crash()
 	db.locks.Close()
 }
@@ -232,7 +326,7 @@ func (db *DB) CreateTable(name string) (*storage.Table, error) {
 		return nil, fmt.Errorf("engine: table %q exists", name)
 	}
 	db.nextSpace++
-	t := storage.NewTable(name, db.nextSpace, db.pool)
+	t := storage.NewTableWithClock(name, db.nextSpace, db.pool, db.clock, db.mvmet)
 	next := &catalog{
 		tables:  make(map[string]*storage.Table, len(old.tables)+1),
 		bySpace: make(map[uint32]*storage.Table, len(old.bySpace)+1),
@@ -259,6 +353,18 @@ func (db *DB) Table(name string) (*storage.Table, bool) {
 func (db *DB) tableBySpace(space uint32) (*storage.Table, bool) {
 	t, ok := db.cat.Load().bySpace[space]
 	return t, ok
+}
+
+// Tables returns every table in the catalog, sorted by name. Lock-free,
+// like Table.
+func (db *DB) Tables() []*storage.Table {
+	cat := db.cat.Load()
+	out := make([]*storage.Table, 0, len(cat.tables))
+	for _, t := range cat.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name() < out[b].Name() })
+	return out
 }
 
 // Pool exposes the buffer pool (stats, experiments).

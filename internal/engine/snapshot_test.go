@@ -1,0 +1,380 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"vats/internal/storage"
+)
+
+// TestScanIsolationLevels is the PR's explicit isolation assertion:
+// under the default ReadCommitted a transaction's scans see its own
+// uncommitted writes; under SnapshotScans they see exactly the state
+// committed at the transaction's first scan — not its own writes, and
+// not writes committed after that first scan.
+func TestScanIsolationLevels(t *testing.T) {
+	scanKeys := func(tx *Txn, tab *storage.Table) []uint64 {
+		var ks []uint64
+		if err := tx.Scan(tab, 0, ^uint64(0), func(k uint64, _ []byte) bool {
+			ks = append(ks, k)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return ks
+	}
+
+	t.Run("ReadCommitted", func(t *testing.T) {
+		db := openFast(t)
+		tab, _ := db.CreateTable("t")
+		s := db.NewSession()
+		tx := s.Begin()
+		if err := tx.Insert(tab, 1, row("mine")); err != nil {
+			t.Fatal(err)
+		}
+		if got := scanKeys(tx, tab); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("RC scan = %v, want own uncommitted write [1]", got)
+		}
+		tx.Rollback()
+	})
+
+	t.Run("SnapshotScans", func(t *testing.T) {
+		cfg := fastCfg()
+		cfg.ScanIsolation = SnapshotScans
+		db := Open(cfg)
+		t.Cleanup(db.Close)
+		tab, _ := db.CreateTable("t")
+		s := db.NewSession()
+
+		setup := s.Begin()
+		setup.Insert(tab, 1, row("base"))
+		if err := setup.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		tx := s.Begin()
+		if err := tx.Insert(tab, 2, row("mine")); err != nil {
+			t.Fatal(err)
+		}
+		// First scan freezes the timestamp; own write key 2 is invisible.
+		if got := scanKeys(tx, tab); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("snapshot scan = %v, want committed state [1] (own writes invisible)", got)
+		}
+		// A commit from another session after the first scan stays
+		// invisible to later scans in this transaction.
+		s2 := db.NewSession()
+		other := s2.Begin()
+		other.Insert(tab, 3, row("later"))
+		if err := other.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if got := scanKeys(tx, tab); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("second scan = %v, want still [1] (frozen timestamp)", got)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh transaction's scan sees everything.
+		tx2 := s.Begin()
+		if got := scanKeys(tx2, tab); len(got) != 3 {
+			t.Fatalf("fresh scan = %v, want 3 keys", got)
+		}
+		tx2.Rollback()
+	})
+}
+
+// TestSnapshotScanAcquiresNoLocks pins the tentpole's zero-lock
+// guarantee through the lock manager's own counters: a full snapshot
+// scan plus point reads move the acquire count by exactly zero.
+func TestSnapshotScanAcquiresNoLocks(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	for k := uint64(1); k <= 200; k++ {
+		if err := tx.Insert(tab, k, row(fmt.Sprintf("r%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := db.Locks().Stats().Acquires
+	snap := s.BeginSnapshot()
+	n := 0
+	if err := snap.Scan(tab, 0, ^uint64(0), func(uint64, []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 50; k++ {
+		if _, err := snap.Get(tab, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap.Close()
+	after := db.Locks().Stats().Acquires
+	if n != 200 {
+		t.Fatalf("scan saw %d rows, want 200", n)
+	}
+	if after != before {
+		t.Fatalf("snapshot reads acquired %d locks, want 0", after-before)
+	}
+}
+
+// TestSnapshotReadersDoNotBlockWriters: with a snapshot scan parked
+// mid-iteration, writers commit freely (no shared state blocks them).
+func TestSnapshotReadersDoNotBlockWriters(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("t")
+	s := db.NewSession()
+	tx := s.Begin()
+	for k := uint64(1); k <= 100; k++ {
+		tx.Insert(tab, k, row("x"))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := s.BeginSnapshot()
+	it := snap.TableIter(tab, 0, ^uint64(0))
+	it.Next() // parked mid-scan, holding the frozen root
+
+	s2 := db.NewSession()
+	for i := 0; i < 50; i++ {
+		if err := s2.RunTxn(3, func(tx *Txn) error {
+			return tx.Update(tab, uint64(i%100)+1, row("y"))
+		}); err != nil {
+			t.Fatalf("writer blocked by parked snapshot scan: %v", err)
+		}
+	}
+	seen := 1
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		seen++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 100 {
+		t.Fatalf("parked scan saw %d rows, want 100", seen)
+	}
+	snap.Close()
+}
+
+// loggedOp is one mutation in a committed transaction, for replay.
+type loggedOp struct {
+	op  byte // redoInsert / redoUpdate / redoDelete
+	key uint64
+	img string
+}
+
+// TestDifferentialSnapshotConsistency is the PR's differential test:
+// seeded TPC-C-style writers run concurrently with repeated full-table
+// snapshot scans, and EVERY scan must equal the serial replay of the
+// commit log filtered to commit timestamps <= that scan's read
+// timestamp. 1k+ scan rounds.
+func TestDifferentialSnapshotConsistency(t *testing.T) {
+	db := openFast(t)
+	tab, _ := db.CreateTable("acct")
+
+	const (
+		writers   = 4
+		txnsPer   = 200
+		keySpace  = 160
+		scanGoros = 2
+	)
+	scanRounds := 600 // per scanner; 2 scanners = 1200 rounds
+	if testing.Short() {
+		scanRounds = 100
+	}
+
+	var logMu sync.Mutex
+	commitLog := make(map[uint64][]loggedOp) // cts -> ops in statement order
+
+	// Seed rows 1..keySpace/2 in one committed transaction.
+	s0 := db.NewSession()
+	setup := s0.Begin()
+	var setupOps []loggedOp
+	for k := uint64(1); k <= keySpace/2; k++ {
+		img := fmt.Sprintf("init-%d", k)
+		if err := setup.Insert(tab, k, row(img)); err != nil {
+			t.Fatal(err)
+		}
+		setupOps = append(setupOps, loggedOp{op: redoInsert, key: k, img: img})
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	commitLog[setup.CommitTS()] = setupOps
+
+	// attempt runs one randomized TPC-C-ish unit (1-3 upsert/delete ops,
+	// keys ascending to keep deadlocks rare) inside tx, returning the
+	// op list to log if tx commits.
+	attempt := func(tx *Txn, rng *rand.Rand) ([]loggedOp, error) {
+		var ops []loggedOp
+		nops := 1 + rng.Intn(3)
+		keys := make([]uint64, 0, nops)
+		for len(keys) < nops {
+			k := uint64(rng.Intn(keySpace)) + 1
+			dup := false
+			for _, e := range keys {
+				if e == k {
+					dup = true
+				}
+			}
+			if !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			img := fmt.Sprintf("v-%d", rng.Uint64()%1_000_000)
+			if rng.Intn(10) == 0 { // delete if present
+				err := tx.Delete(tab, k)
+				if errors.Is(err, storage.ErrKeyNotFound) {
+					continue
+				}
+				if err != nil {
+					return nil, err
+				}
+				ops = append(ops, loggedOp{op: redoDelete, key: k})
+				continue
+			}
+			// Upsert. The Update's X lock is held either way, so the
+			// not-found -> Insert step cannot race another writer.
+			err := tx.Update(tab, k, row(img))
+			if errors.Is(err, storage.ErrKeyNotFound) {
+				if err = tx.Insert(tab, k, row(img)); err != nil {
+					return nil, err
+				}
+				ops = append(ops, loggedOp{op: redoInsert, key: k, img: img})
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, loggedOp{op: redoUpdate, key: k, img: img})
+		}
+		return ops, nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			sess := db.NewSession()
+			for i := 0; i < txnsPer; i++ {
+				// Open-coded retry loop (not RunTxn) so the committed Txn —
+				// and with it CommitTS — stays in hand for the log.
+				for {
+					tx := sess.Begin()
+					ops, err := attempt(tx, rng)
+					if err == nil {
+						err = tx.Commit()
+						if err == nil {
+							logMu.Lock()
+							commitLog[tx.CommitTS()] = ops
+							logMu.Unlock()
+							break
+						}
+					} else {
+						tx.Rollback()
+					}
+					if !IsRetryable(err) {
+						t.Errorf("writer: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Scanners run concurrently with the writers: each round freezes a
+	// snapshot, drains the table, and records (readTS, contents).
+	type scanResult struct {
+		readTS uint64
+		rows   map[uint64]string
+	}
+	results := make([][]scanResult, scanGoros)
+	var swg sync.WaitGroup
+	for g := 0; g < scanGoros; g++ {
+		swg.Add(1)
+		go func(g int) {
+			defer swg.Done()
+			sess := db.NewSession()
+			for i := 0; i < scanRounds; i++ {
+				snap := sess.BeginSnapshot()
+				got := make(map[uint64]string)
+				err := snap.Scan(tab, 0, ^uint64(0), func(k uint64, r []byte) bool {
+					got[k] = rowStr(t, r)
+					return true
+				})
+				rts := snap.ReadTS()
+				snap.Close()
+				if err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				results[g] = append(results[g], scanResult{readTS: rts, rows: got})
+			}
+		}(g)
+	}
+	wg.Wait()
+	swg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Verify: every scan equals the serial replay of the commit log
+	// filtered to cts <= readTS.
+	ctss := make([]uint64, 0, len(commitLog))
+	for cts := range commitLog {
+		ctss = append(ctss, cts)
+	}
+	sort.Slice(ctss, func(a, b int) bool { return ctss[a] < ctss[b] })
+	replayAt := func(readTS uint64) map[uint64]string {
+		state := make(map[uint64]string)
+		for _, cts := range ctss {
+			if cts > readTS {
+				break
+			}
+			for _, op := range commitLog[cts] {
+				switch op.op {
+				case redoInsert, redoUpdate:
+					state[op.key] = op.img
+				case redoDelete:
+					delete(state, op.key)
+				}
+			}
+		}
+		return state
+	}
+	checked := 0
+	for g := range results {
+		for _, sr := range results[g] {
+			want := replayAt(sr.readTS)
+			if len(sr.rows) != len(want) {
+				t.Fatalf("scan@%d: %d rows, replay has %d", sr.readTS, len(sr.rows), len(want))
+			}
+			for k, v := range want {
+				if sr.rows[k] != v {
+					t.Fatalf("scan@%d key %d = %q, replay says %q", sr.readTS, k, sr.rows[k], v)
+				}
+			}
+			checked++
+		}
+	}
+	if min := scanGoros * scanRounds; checked != min {
+		t.Fatalf("verified %d scans, want %d", checked, min)
+	}
+	t.Logf("verified %d snapshot scans against serial replay (%d committed txns)", checked, len(commitLog))
+}

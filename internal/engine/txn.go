@@ -41,6 +41,16 @@ type Txn struct {
 	redo     []byte
 	redoEnds []int
 
+	// cts is the commit timestamp stamped onto this transaction's
+	// versions (0 until Commit, and forever for read-only transactions).
+	cts uint64
+
+	// snapTS is the frozen scan timestamp under Config.SnapshotScans
+	// (registered with the clock at the first scan, released at finish);
+	// snapReg records the registration.
+	snapTS  uint64
+	snapReg bool
+
 	tag        string
 	waitEvents []waitEvent // only when Config.SampleAgeRemaining
 }
@@ -80,6 +90,12 @@ var (
 
 // ID returns the transaction id.
 func (tx *Txn) ID() uint64 { return uint64(tx.id) }
+
+// CommitTS returns the commit timestamp this transaction's writes were
+// stamped with: 0 before Commit and for read-only transactions. Two
+// committed writers' timestamps order their effects; a snapshot read at
+// timestamp r sees exactly the transactions with CommitTS <= r.
+func (tx *Txn) CommitTS() uint64 { return tx.cts }
 
 // Birth returns the transaction's start time (the VATS age basis).
 func (tx *Txn) Birth() time.Time { return tx.birth }
@@ -202,7 +218,7 @@ func (tx *Txn) Insert(t *storage.Table, key uint64, row []byte) error {
 		return err
 	}
 	rtok := tx.tc.Enter("row.ins_clust_index")
-	err := t.Insert(tx.s.h, key, row)
+	err := t.InsertTxn(tx.s.h, uint64(tx.id), key, row)
 	tx.recordBufWaits()
 	tx.tc.Exit(rtok)
 	if err != nil {
@@ -229,7 +245,7 @@ func (tx *Txn) Update(t *storage.Table, key uint64, row []byte) error {
 		return err
 	}
 	rtok := tx.tc.Enter("row.update")
-	err = t.Update(tx.s.h, key, row)
+	err = t.UpdateTxn(tx.s.h, uint64(tx.id), key, row)
 	tx.recordBufWaits()
 	tx.tc.Exit(rtok)
 	if err != nil {
@@ -256,7 +272,7 @@ func (tx *Txn) Delete(t *storage.Table, key uint64) error {
 		return err
 	}
 	rtok := tx.tc.Enter("row.delete")
-	err = t.Delete(tx.s.h, key)
+	err = t.DeleteTxn(tx.s.h, uint64(tx.id), key)
 	tx.recordBufWaits()
 	tx.tc.Exit(rtok)
 	if err != nil {
@@ -267,28 +283,75 @@ func (tx *Txn) Delete(t *storage.Table, key uint64) error {
 	return nil
 }
 
-// Scan iterates keys in [lo, hi] at read-committed isolation (no range
-// locks; each row image is latch-consistent).
+// scanTS returns the frozen read timestamp for this transaction's scans
+// under Config.SnapshotScans, registering it with the clock on first
+// use (released when the transaction finishes).
+func (tx *Txn) scanTS() uint64 {
+	if !tx.snapReg {
+		tx.snapTS = tx.s.db.clock.BeginRead()
+		tx.snapReg = true
+	}
+	return tx.snapTS
+}
+
+func (tx *Txn) endSnapshot() {
+	if tx.snapReg {
+		tx.s.db.clock.EndRead(tx.snapTS)
+		tx.snapReg = false
+	}
+}
+
+// Scan iterates keys in [lo, hi] ascending. It takes no range locks, so
+// it never blocks writers and phantoms are possible across scans.
+//
+// Its isolation is Config.ScanIsolation:
+//
+//   - ReadCommitted (default): the scan streams the newest state with
+//     no frozen timestamp. Each row image is individually
+//     latch-consistent, but rows committed, deleted, or moved mid-scan
+//     may or may not appear — the scan as a whole is NOT a single
+//     point-in-time view. The transaction's own prior writes ARE
+//     visible (as are, because the scan takes no locks, other
+//     transactions' not-yet-committed writes).
+//   - SnapshotScans: the scan reads exactly the state committed at the
+//     transaction's scan timestamp (frozen at its first scan). The
+//     transaction's own uncommitted writes are NOT visible to the scan.
 func (tx *Txn) Scan(t *storage.Table, lo, hi uint64, fn func(key uint64, row []byte) bool) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
 	tok := tx.tc.Enter("exec.scan")
 	defer tx.tc.Exit(tok)
-	err := t.Scan(tx.s.h, lo, hi, fn)
+	var err error
+	if tx.s.db.cfg.ScanIsolation == SnapshotScans {
+		err = t.SnapshotScan(tx.s.h, lo, hi, tx.scanTS(), fn)
+	} else {
+		err = t.Scan(tx.s.h, lo, hi, fn)
+	}
 	tx.recordBufWaits()
 	return err
 }
 
-// IndexScan iterates rows via a secondary index in [lo, hi] by index
-// key, at read-committed isolation (like Scan).
+// IndexScan iterates rows whose secondary key (per the named index)
+// falls in [lo, hi], ascending by secondary key. Isolation follows
+// Config.ScanIsolation exactly as for Scan, with one extra caveat under
+// SnapshotScans: a row whose index key was CHANGED by a transaction
+// that committed after the scan timestamp but before the scan started
+// can be missed under its old key (the posting was already removed);
+// false positives never occur (keys are re-derived from the visible
+// version).
 func (tx *Txn) IndexScan(t *storage.Table, index string, lo, hi uint64, fn func(pk uint64, row []byte) bool) error {
 	if err := tx.check(); err != nil {
 		return err
 	}
 	tok := tx.tc.Enter("exec.scan")
 	defer tx.tc.Exit(tok)
-	err := t.IndexScan(tx.s.h, index, lo, hi, fn)
+	var err error
+	if tx.s.db.cfg.ScanIsolation == SnapshotScans {
+		err = t.SnapshotIndexScan(tx.s.h, index, lo, hi, tx.scanTS(), fn)
+	} else {
+		err = t.IndexScan(tx.s.h, index, lo, hi, fn)
+	}
 	tx.recordBufWaits()
 	return err
 }
@@ -346,7 +409,22 @@ func (tx *Txn) Commit() error {
 			views[i] = nil
 		}
 		tx.s.spareViews = views[:0]
+		// Stamp every written version with the commit timestamp. This
+		// runs after the WAL decided the transaction's fate but even on a
+		// WAL error, because the data changes stay applied (historical
+		// semantics) and a leaked uncommitted marker would pin chain walks
+		// forever. Stamping precedes Complete, so no snapshot reader can
+		// hold a read timestamp >= cts while any marker remains; it also
+		// precedes lock release, so the keys are still exclusively ours.
+		cts := tx.s.db.clock.Allocate()
+		for i := range tx.undo {
+			u := &tx.undo[i]
+			u.t.StampCommit(uint64(tx.id), u.key, cts)
+		}
+		tx.s.db.clock.Complete(cts)
+		tx.cts = cts
 	}
+	tx.endSnapshot()
 	tx.releaseRedo()
 	tx.s.db.locks.ReleaseAll(tx.id)
 	tx.flushWaitSamples()
@@ -369,18 +447,27 @@ func (tx *Txn) Rollback() {
 	}
 	tx.done = true
 	// Apply undo in reverse. We still hold exclusive locks on every
-	// written key, so these compensating writes are isolated.
+	// written key, so these compensating writes are isolated. The undo
+	// writes run under the transaction's own write marker (no commit
+	// timestamps are ever allocated for an abort), then StampAbort pops
+	// each key's chain head — the pre-transaction version — back inline.
+	wid := uint64(tx.id)
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
 		switch u.op {
 		case redoInsert:
-			_ = u.t.Delete(tx.s.h, u.key)
+			_ = u.t.DeleteTxn(tx.s.h, wid, u.key)
 		case redoUpdate:
-			_ = u.t.Update(tx.s.h, u.key, u.old)
+			_ = u.t.UpdateTxn(tx.s.h, wid, u.key, u.old)
 		case redoDelete:
-			_ = u.t.Insert(tx.s.h, u.key, u.old)
+			_ = u.t.InsertTxn(tx.s.h, wid, u.key, u.old)
 		}
 	}
+	for i := range tx.undo {
+		u := &tx.undo[i]
+		u.t.StampAbort(wid, u.key)
+	}
+	tx.endSnapshot()
 	tx.releaseRedo()
 	tx.s.db.locks.ReleaseAll(tx.id)
 	tx.tc.End()

@@ -1,0 +1,253 @@
+// Package exec is a streaming (pull-based) scan executor over MVCC
+// snapshots. Operators compose into single-use pipelines: each Next
+// call pulls one row through the whole chain, so a LIMIT 10 over a
+// million-row table touches ~10 rows, and no operator materializes its
+// input. Every source reads at a frozen snapshot timestamp and takes no
+// locks, so an executor pipeline never blocks writers.
+package exec
+
+import (
+	"vats/internal/engine"
+	"vats/internal/storage"
+)
+
+// Row is one row flowing through a pipeline. Key is the primary key;
+// Data is the row image, valid ONLY until the next Next call (sources
+// reuse the buffer — operators that hold rows across calls must copy).
+type Row struct {
+	Key  uint64
+	Data []byte
+}
+
+// Iterator is a single-use row stream. After ok=false the iterator is
+// exhausted; Err distinguishes clean exhaustion (nil) from failure.
+type Iterator interface {
+	Next() (Row, bool)
+	Err() error
+}
+
+// Pred decides whether a row passes a filter.
+type Pred func(r Row) bool
+
+// Proj rewrites a row image. dst is a scratch buffer to append into
+// (may be nil); the result must not alias r.Data beyond the call.
+type Proj func(dst []byte, r Row) []byte
+
+// TableScan streams a table's rows in primary-key order as of the
+// snapshot. The [lo, hi] bound is pushed into the B+-tree descent: the
+// iterator descends directly to lo and stops structurally at hi.
+type TableScan struct {
+	it *storage.SnapIter
+}
+
+// NewTableScan builds a snapshot table scan over [lo, hi].
+func NewTableScan(tx *engine.SnapshotTxn, t *storage.Table, lo, hi uint64) *TableScan {
+	return &TableScan{it: tx.TableIter(t, lo, hi)}
+}
+
+// Next pulls the next visible row.
+func (s *TableScan) Next() (Row, bool) {
+	k, row, ok := s.it.Next()
+	if !ok {
+		return Row{}, false
+	}
+	return Row{Key: k, Data: row}, true
+}
+
+// Err reports the first storage error.
+func (s *TableScan) Err() error { return s.it.Err() }
+
+// IndexScan streams rows in secondary-key order as of the snapshot.
+type IndexScan struct {
+	it  *storage.SnapIndexIter
+	err error
+}
+
+// NewIndexScan builds a snapshot index scan over secondary keys in
+// [lo, hi]. An unknown index name surfaces from Err on first Next.
+func NewIndexScan(tx *engine.SnapshotTxn, t *storage.Table, index string, lo, hi uint64) *IndexScan {
+	it, err := tx.IndexIter(t, index, lo, hi)
+	return &IndexScan{it: it, err: err}
+}
+
+// Next pulls the next visible row.
+func (s *IndexScan) Next() (Row, bool) {
+	if s.err != nil {
+		return Row{}, false
+	}
+	pk, row, ok := s.it.Next()
+	if !ok {
+		return Row{}, false
+	}
+	return Row{Key: pk, Data: row}, true
+}
+
+// Err reports the first error (bad index name or storage failure).
+func (s *IndexScan) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.it.Err()
+}
+
+// FilterIter drops rows failing a predicate.
+type FilterIter struct {
+	in   Iterator
+	pred Pred
+}
+
+// Filter wraps in, yielding only rows pred accepts.
+func Filter(in Iterator, pred Pred) *FilterIter {
+	return &FilterIter{in: in, pred: pred}
+}
+
+// Next pulls until a row passes the predicate.
+func (f *FilterIter) Next() (Row, bool) {
+	for {
+		r, ok := f.in.Next()
+		if !ok {
+			return Row{}, false
+		}
+		if f.pred(r) {
+			return r, true
+		}
+	}
+}
+
+// Err reports the input's error.
+func (f *FilterIter) Err() error { return f.in.Err() }
+
+// ProjectIter rewrites each row image through a projection.
+type ProjectIter struct {
+	in   Iterator
+	proj Proj
+	buf  []byte
+}
+
+// Project wraps in, applying proj to every row. The projected image is
+// valid only until the next Next call (the scratch buffer is reused).
+func Project(in Iterator, proj Proj) *ProjectIter {
+	return &ProjectIter{in: in, proj: proj}
+}
+
+// Next pulls one row and projects it.
+func (p *ProjectIter) Next() (Row, bool) {
+	r, ok := p.in.Next()
+	if !ok {
+		return Row{}, false
+	}
+	p.buf = p.proj(p.buf[:0], r)
+	r.Data = p.buf
+	return r, true
+}
+
+// Err reports the input's error.
+func (p *ProjectIter) Err() error { return p.in.Err() }
+
+// LimitIter stops after n rows. Because the pipeline is pull-based, the
+// upstream does no work for rows beyond the limit.
+type LimitIter struct {
+	in   Iterator
+	left int
+}
+
+// Limit wraps in, yielding at most n rows.
+func Limit(in Iterator, n int) *LimitIter {
+	return &LimitIter{in: in, left: n}
+}
+
+// Next pulls one row while the budget lasts.
+func (l *LimitIter) Next() (Row, bool) {
+	if l.left <= 0 {
+		return Row{}, false
+	}
+	r, ok := l.in.Next()
+	if !ok {
+		return Row{}, false
+	}
+	l.left--
+	return r, true
+}
+
+// Err reports the input's error.
+func (l *LimitIter) Err() error { return l.in.Err() }
+
+// MergeIter merges already-key-ordered inputs into one key-ordered
+// stream (ties yield lower-numbered inputs first). With inputs from
+// different tables at one snapshot this is a streaming union; rows are
+// copied into a private buffer per input so heads can be held across
+// the inputs' buffer reuse.
+type MergeIter struct {
+	ins   []Iterator
+	heads []Row
+	bufs  [][]byte
+	live  []bool
+	out   []byte
+	err   error
+}
+
+// Merge combines key-ordered iterators.
+func Merge(ins ...Iterator) *MergeIter {
+	m := &MergeIter{
+		ins:   ins,
+		heads: make([]Row, len(ins)),
+		bufs:  make([][]byte, len(ins)),
+		live:  make([]bool, len(ins)),
+	}
+	for i := range ins {
+		m.advance(i)
+	}
+	return m
+}
+
+func (m *MergeIter) advance(i int) {
+	r, ok := m.ins[i].Next()
+	if !ok {
+		m.live[i] = false
+		if err := m.ins[i].Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		return
+	}
+	m.bufs[i] = append(m.bufs[i][:0], r.Data...)
+	r.Data = m.bufs[i]
+	m.heads[i], m.live[i] = r, true
+}
+
+// Next yields the smallest-keyed head.
+func (m *MergeIter) Next() (Row, bool) {
+	if m.err != nil {
+		return Row{}, false
+	}
+	best := -1
+	for i, ok := range m.live {
+		if ok && (best < 0 || m.heads[i].Key < m.heads[best].Key) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Row{}, false
+	}
+	r := m.heads[best]
+	// Move the winning head into the output buffer BEFORE advancing its
+	// input, which reuses that input's head buffer.
+	m.out = append(m.out[:0], r.Data...)
+	r.Data = m.out
+	m.advance(best)
+	return r, true
+}
+
+// Err reports the first error any input hit.
+func (m *MergeIter) Err() error { return m.err }
+
+// Collect drains it, copying every row (for tests and small results).
+func Collect(it Iterator) ([]Row, error) {
+	var out []Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out, it.Err()
+		}
+		out = append(out, Row{Key: r.Key, Data: append([]byte(nil), r.Data...)})
+	}
+}

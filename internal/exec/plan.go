@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"sync"
+
+	"vats/internal/engine"
+	"vats/internal/storage"
+)
+
+// PredShape identifies a predicate's structure (not its constants) for
+// plan-cache keying: two queries differing only in bound values share a
+// shape and therefore a cached plan. 0 means no predicate.
+type PredShape uint64
+
+// planKey is the plan-cache key: which table, which access path, and
+// the predicate shape. Bound CONSTANTS are deliberately excluded — they
+// parameterize a cached plan, they don't select one.
+type planKey struct {
+	table string
+	index string // "" = clustered primary-key scan
+	shape PredShape
+}
+
+// Plan is a compiled, reusable scan recipe: the chosen access path plus
+// the operator chain to stack on it. Bind it to a snapshot and bounds
+// to get a runnable iterator. Plans are immutable and safe to share.
+type Plan struct {
+	key   planKey
+	pred  Pred // nil = no filter stage
+	proj  Proj // nil = no projection stage
+	limit int  // <=0 = no limit stage
+}
+
+// Bind instantiates the plan against a snapshot and key bounds,
+// returning the runnable pipeline.
+func (p *Plan) Bind(tx *engine.SnapshotTxn, t *storage.Table, lo, hi uint64) Iterator {
+	var it Iterator
+	if p.key.index != "" {
+		it = NewIndexScan(tx, t, p.key.index, lo, hi)
+	} else {
+		it = NewTableScan(tx, t, lo, hi)
+	}
+	if p.pred != nil {
+		it = Filter(it, p.pred)
+	}
+	if p.proj != nil {
+		it = Project(it, p.proj)
+	}
+	if p.limit > 0 {
+		it = Limit(it, p.limit)
+	}
+	return it
+}
+
+// Planner builds scan pipelines, memoizing compiled plans in a tiny
+// LRU keyed by (table, index, predicate shape). The cache exists to
+// skip recompilation (operator-chain assembly and any per-shape
+// predicate specialization), not to skip binding — bounds and the
+// snapshot are per-execution.
+type Planner struct {
+	mu     sync.Mutex
+	cap    int
+	cache  map[planKey]*planNode
+	head   *planNode // most recent
+	tail   *planNode // least recent
+	hits   int64
+	misses int64
+}
+
+type planNode struct {
+	plan       *Plan
+	prev, next *planNode
+}
+
+// DefaultPlanCap is the default plan-cache capacity. Plan shapes per
+// workload are few; the cache is deliberately tiny.
+const DefaultPlanCap = 64
+
+// NewPlanner builds a planner with the given cache capacity (0 = the
+// default).
+func NewPlanner(capacity int) *Planner {
+	if capacity <= 0 {
+		capacity = DefaultPlanCap
+	}
+	return &Planner{cap: capacity, cache: make(map[planKey]*planNode, capacity)}
+}
+
+// Spec describes the scan to plan. Pred/Proj/Limit are the pipeline
+// stages; Shape must identify the predicate+projection STRUCTURE — the
+// caller guarantees two specs with equal (Table.Name, Index, Shape)
+// are interchangeable up to bound constants.
+type Spec struct {
+	Table *storage.Table
+	Index string // "" = primary-key order
+	Shape PredShape
+	Pred  Pred
+	Proj  Proj
+	Limit int
+}
+
+// Plan returns the cached plan for the spec's shape, compiling and
+// caching on miss.
+func (p *Planner) Plan(spec Spec) *Plan {
+	key := planKey{table: spec.Table.Name(), index: spec.Index, shape: spec.Shape}
+	p.mu.Lock()
+	if n, ok := p.cache[key]; ok {
+		p.hits++
+		p.moveFront(n)
+		pl := n.plan
+		p.mu.Unlock()
+		return pl
+	}
+	p.misses++
+	pl := &Plan{key: key, pred: spec.Pred, proj: spec.Proj, limit: spec.Limit}
+	n := &planNode{plan: pl}
+	p.cache[key] = n
+	p.pushFront(n)
+	if len(p.cache) > p.cap {
+		ev := p.tail
+		p.unlink(ev)
+		delete(p.cache, ev.plan.key)
+	}
+	p.mu.Unlock()
+	return pl
+}
+
+// Run plans the spec and binds it to the snapshot in one call.
+func (p *Planner) Run(tx *engine.SnapshotTxn, spec Spec, lo, hi uint64) Iterator {
+	return p.Plan(spec).Bind(tx, spec.Table, lo, hi)
+}
+
+// Stats returns the cache's lifetime hit/miss counts and current size.
+func (p *Planner) Stats() (hits, misses int64, size int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, len(p.cache)
+}
+
+func (p *Planner) pushFront(n *planNode) {
+	n.prev, n.next = nil, p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *Planner) unlink(n *planNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (p *Planner) moveFront(n *planNode) {
+	if p.head == n {
+		return
+	}
+	p.unlink(n)
+	p.pushFront(n)
+}

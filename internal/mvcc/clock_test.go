@@ -1,0 +1,93 @@
+package mvcc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestClockContiguousWatermark(t *testing.T) {
+	c := NewClock()
+	if got := c.ReadTS(); got != 0 {
+		t.Fatalf("fresh clock ReadTS = %d, want 0", got)
+	}
+	a, b, d := c.Allocate(), c.Allocate(), c.Allocate()
+	if a != 1 || b != 2 || d != 3 {
+		t.Fatalf("allocation not dense: %d %d %d", a, b, d)
+	}
+	// Completing out of order must not advance past the gap.
+	c.Complete(d)
+	c.Complete(b)
+	if got := c.ReadTS(); got != 0 {
+		t.Fatalf("ReadTS = %d with ts 1 incomplete, want 0", got)
+	}
+	c.Complete(a)
+	if got := c.ReadTS(); got != 3 {
+		t.Fatalf("ReadTS = %d after all complete, want 3", got)
+	}
+	if !c.Quiesced() {
+		t.Fatal("clock not quiesced after all completions")
+	}
+}
+
+func TestClockReadersAndLowWater(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 5; i++ {
+		c.Complete(c.Allocate())
+	}
+	r1 := c.BeginRead() // 5
+	for i := 0; i < 3; i++ {
+		c.Complete(c.Allocate())
+	}
+	r2 := c.BeginRead() // 8
+	if r1 != 5 || r2 != 8 {
+		t.Fatalf("read timestamps %d, %d; want 5, 8", r1, r2)
+	}
+	if lw := c.LowWater(); lw != 5 {
+		t.Fatalf("LowWater = %d, want 5 (oldest reader)", lw)
+	}
+	c.EndRead(r1)
+	if lw := c.LowWater(); lw != 8 {
+		t.Fatalf("LowWater = %d, want 8", lw)
+	}
+	c.EndRead(r2)
+	if lw := c.LowWater(); lw != 8 {
+		t.Fatalf("LowWater = %d with no readers, want watermark 8", lw)
+	}
+	if n := c.ActiveReaders(); n != 0 {
+		t.Fatalf("ActiveReaders = %d, want 0", n)
+	}
+}
+
+// TestClockConcurrent hammers the clock from many goroutines and checks
+// the watermark only ever exposes fully-completed prefixes.
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				ts := c.Allocate()
+				if rng.Intn(4) == 0 {
+					r := c.BeginRead()
+					if r > c.ReadTS() {
+						t.Errorf("BeginRead %d above watermark", r)
+					}
+					c.EndRead(r)
+				}
+				c.Complete(ts)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := c.ReadTS(); got != workers*perWorker {
+		t.Fatalf("final ReadTS = %d, want %d", got, workers*perWorker)
+	}
+	if !c.Quiesced() {
+		t.Fatal("clock not quiesced after all workers done")
+	}
+}

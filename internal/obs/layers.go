@@ -317,3 +317,71 @@ func (m *EngineMetrics) Abort(d time.Duration) {
 	m.aborts.Inc()
 	m.latency.ObserveDuration(d)
 }
+
+// MVCCMetrics instruments the version store: chain-walk frequency and
+// depth (snapshot reads that left the newest-version-inline fast path),
+// GC pass latency and reclamation, and arena occupancy gauges.
+type MVCCMetrics struct {
+	walks     *Counter
+	walkSteps *Counter
+	walkHist  *Histogram
+	gcHist    *Histogram
+	gcFreed   *Counter
+	versions  *Gauge
+	arenaB    *Gauge
+	snaps     *Counter
+}
+
+// NewMVCCMetrics registers the MVCC series.
+func NewMVCCMetrics(o *Obs) *MVCCMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	return &MVCCMetrics{
+		walks:     r.Counter("mvcc_chain_walks_total"),
+		walkSteps: r.Counter("mvcc_chain_steps_total"),
+		walkHist:  r.Histogram("mvcc_chain_walk_ms"),
+		gcHist:    r.Histogram("mvcc_gc_ms"),
+		gcFreed:   r.Counter("mvcc_gc_freed_total"),
+		versions:  r.Gauge("mvcc_versions"),
+		arenaB:    r.Gauge("mvcc_arena_bytes"),
+		snaps:     r.Counter("mvcc_snapshots_total"),
+	}
+}
+
+// Walk records one chain walk: the entries inspected and its duration.
+func (m *MVCCMetrics) Walk(steps int64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.walks.Inc()
+	m.walkSteps.Add(steps)
+	m.walkHist.ObserveDuration(d)
+}
+
+// GCDone records one garbage-collection pass over a table.
+func (m *MVCCMetrics) GCDone(d time.Duration, freed int) {
+	if m == nil {
+		return
+	}
+	m.gcHist.ObserveDuration(d)
+	m.gcFreed.Add(int64(freed))
+}
+
+// SetArena updates the live-version and arena-byte gauges.
+func (m *MVCCMetrics) SetArena(versions, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.versions.Set(versions)
+	m.arenaB.Set(bytes)
+}
+
+// Snapshot counts a snapshot-transaction begin.
+func (m *MVCCMetrics) Snapshot() {
+	if m == nil {
+		return
+	}
+	m.snaps.Inc()
+}

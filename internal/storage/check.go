@@ -34,24 +34,58 @@ func (t *Table) CheckInvariants(h *buffer.Handle) error {
 		}
 	}
 
-	// Every clustered-index entry resolves to a live row; collect the
-	// rows for the secondary-index audit.
+	// Every live clustered-index entry resolves to a live row; collect
+	// the rows for the secondary-index audit. Along the way audit the
+	// version store: chains must be committed-timestamp-monotone with
+	// intact row images, and the arena gauges must equal what is
+	// reachable (chains plus limbo).
 	rows := make(map[uint64][]byte, t.index.Len())
+	reachable := 0
 	var walkErr error
-	t.index.Ascend(func(pk uint64, rid RID) bool {
-		row, err := t.readRID(h, rid)
-		if err != nil {
-			walkErr = fmt.Errorf("%s: key %d -> %v: %w", t.name, pk, rid, err)
-			return false
+	t.index.Ascend(func(pk uint64, meta rowMeta) bool {
+		if !meta.tomb {
+			row, err := t.readRID(h, meta.rid)
+			if err != nil {
+				walkErr = fmt.Errorf("%s: key %d -> %v: %w", t.name, pk, meta.rid, err)
+				return false
+			}
+			rows[pk] = row
 		}
-		rows[pk] = row
+		if meta.older != 0 || meta.tomb {
+			if _, ok := t.hist[pk]; !ok {
+				walkErr = fmt.Errorf("%s: key %d has history but is not on the GC worklist", t.name, pk)
+				return false
+			}
+		}
+		prev := meta.ts
+		for idx := meta.older; idx != 0; {
+			v := t.arena.get(idx)
+			reachable++
+			if !tsCommitted(v.ts) {
+				walkErr = fmt.Errorf("%s: key %d chain holds uncommitted marker %#x", t.name, pk, v.ts)
+				return false
+			}
+			if tsCommitted(prev) && v.ts >= prev {
+				walkErr = fmt.Errorf("%s: key %d chain not descending: %d then %d", t.name, pk, prev, v.ts)
+				return false
+			}
+			if !v.tomb && v.row == nil {
+				walkErr = fmt.Errorf("%s: key %d chain version ts=%d has freed row image", t.name, pk, v.ts)
+				return false
+			}
+			prev = v.ts
+			idx = v.older.Load()
+		}
 		return true
 	})
 	if walkErr != nil {
 		return walkErr
 	}
-	if len(rows) != t.index.Len() {
-		return fmt.Errorf("%s: index Len()=%d but walk saw %d keys", t.name, t.index.Len(), len(rows))
+	if len(rows) != int(t.live.Load()) {
+		return fmt.Errorf("%s: Len()=%d but walk saw %d live keys", t.name, t.live.Load(), len(rows))
+	}
+	if got := t.arena.live.Load(); int(got) != reachable+len(t.limbo) {
+		return fmt.Errorf("%s: arena holds %d live versions, reachable %d + limbo %d", t.name, got, reachable, len(t.limbo))
 	}
 
 	// Each secondary index holds exactly the postings the heap implies:

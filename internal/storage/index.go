@@ -71,9 +71,12 @@ func (t *Table) CreateIndex(h *buffer.Handle, name string, keyOf IndexKeyFunc) e
 	// no table lock) and keeps the backfill atomic with respect to
 	// writers.
 	var err error
-	t.index.Ascend(func(pk uint64, rid RID) bool {
+	t.index.Ascend(func(pk uint64, meta rowMeta) bool {
+		if meta.tomb {
+			return true
+		}
 		var row []byte
-		row, err = t.readRID(h, rid)
+		row, err = t.readRID(h, meta.rid)
 		if err != nil {
 			return false
 		}
@@ -134,11 +137,11 @@ func (t *Table) IndexScan(h *buffer.Handle, name string, lo, hi uint64, fn func(
 	}
 	ix.tree.AscendRange(lo, hi, func(_ uint64, pks []uint64) bool {
 		for _, pk := range pks {
-			rid, ok := t.index.Get(pk)
-			if !ok {
+			meta, ok := t.index.Get(pk)
+			if !ok || meta.tomb {
 				continue
 			}
-			row, err := t.readRID(h, rid)
+			row, err := t.readRID(h, meta.rid)
 			if err != nil {
 				continue // deleted or relocated since the snapshot
 			}

@@ -1,0 +1,629 @@
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/btree"
+	"vats/internal/buffer"
+)
+
+// Multi-version concurrency: every key's NEWEST version stays inlined in
+// its slotted-page row (so the PR-3 lock-free point-read fast path is
+// untouched), and each write pushes the superseded inline image into an
+// append-only per-table version arena. The clustered index value
+// (rowMeta) carries the version timestamp and the head of the chain of
+// older versions.
+//
+// Timestamps come from the table's mvcc.Clock. A committed version's ts
+// is its commit timestamp; an in-flight transactional write holds a
+// marker (uncommittedBit | txnID) until StampCommit/StampAbort resolves
+// it. Visibility at snapshot timestamp r is a pure comparison: the
+// newest version with committed ts <= r. The clock's contiguous
+// watermark guarantees that any r handed to a reader covers only
+// fully-stamped commits, so snapshot reads take no locks and never
+// block (or are blocked by) writers.
+//
+// Garbage collection is epoch-based: versions superseded at or below the
+// low-water read timestamp (min over active snapshot readers) are
+// unreachable by every present and future reader and are freed in
+// place; fully-dead arena chunks are dropped wholesale.
+
+// uncommittedBit marks a rowMeta timestamp as an in-flight writer's
+// marker; the low bits then carry the writer (transaction) id.
+const uncommittedBit = 1 << 63
+
+func tsCommitted(ts uint64) bool { return ts&uncommittedBit == 0 }
+
+// writeMarker is the meta timestamp an in-flight transactional write
+// installs until commit stamps it.
+func writeMarker(wid uint64) uint64 { return uncommittedBit | wid }
+
+// rowMeta is the clustered-index value: where the newest version lives,
+// its (commit or marker) timestamp, whether it is a deletion tombstone,
+// and the arena index (1-based; 0 = none) of the next-older version.
+type rowMeta struct {
+	rid   RID
+	ts    uint64
+	older uint32
+	tomb  bool
+}
+
+// version is one superseded row image in the arena. All fields except
+// older are immutable after publication; older is truncated (to 0) by
+// GC on the boundary version and is read by aborting transactions and
+// chain walks, hence atomic.
+type version struct {
+	ts    uint64
+	older atomic.Uint32
+	row   []byte
+	tomb  bool
+}
+
+const (
+	versionChunkBits = 8
+	versionChunkSize = 1 << versionChunkBits
+	versionChunkMask = versionChunkSize - 1
+)
+
+type versionChunk [versionChunkSize]version
+
+// versionArena is the append-only store for superseded versions.
+// Appends and frees happen under the table mutex; readers resolve
+// indexes lock-free through the atomically-published chunk list (a
+// version index obtained from a published rowMeta is always covered:
+// the arena write happens-before the index publication).
+type versionArena struct {
+	chunks atomic.Pointer[[]*versionChunk]
+
+	// Writer-owned bookkeeping (table mutex).
+	n          uint32   // versions ever appended
+	chunkFreed []uint16 // freed slots per chunk, to drop dead chunks
+
+	// Gauges, readable without the table mutex.
+	live  atomic.Int64 // appended minus freed
+	bytes atomic.Int64 // sum of live row bytes
+}
+
+// push appends a version and returns its 1-based index. Caller holds
+// the table mutex; row must be an exclusively-owned copy.
+func (a *versionArena) push(ts uint64, row []byte, tomb bool, older uint32) uint32 {
+	ci, off := int(a.n>>versionChunkBits), int(a.n&versionChunkMask)
+	var chunks []*versionChunk
+	if p := a.chunks.Load(); p != nil {
+		chunks = *p
+	}
+	if ci == len(chunks) {
+		next := make([]*versionChunk, len(chunks)+1)
+		copy(next, chunks)
+		next[ci] = new(versionChunk)
+		a.chunks.Store(&next)
+		chunks = next
+		a.chunkFreed = append(a.chunkFreed, 0)
+	}
+	v := &chunks[ci][off]
+	v.ts, v.row, v.tomb = ts, row, tomb
+	v.older.Store(older)
+	a.n++
+	a.live.Add(1)
+	a.bytes.Add(int64(len(row)))
+	return a.n
+}
+
+// get resolves a 1-based version index. Safe lock-free for indexes
+// reached through published metadata.
+func (a *versionArena) get(idx uint32) *version {
+	idx--
+	chunks := *a.chunks.Load()
+	return &chunks[idx>>versionChunkBits][idx&versionChunkMask]
+}
+
+// free releases one unreachable version. Caller holds the table mutex.
+func (a *versionArena) free(idx uint32) {
+	v := a.get(idx)
+	a.bytes.Add(-int64(len(v.row)))
+	v.row = nil
+	a.live.Add(-1)
+	ci := (idx - 1) >> versionChunkBits
+	a.chunkFreed[ci]++
+	if a.chunkFreed[ci] == versionChunkSize {
+		// Every slot in the chunk is dead: drop the chunk pointer so the
+		// whole block becomes collectible. Readers holding the old list
+		// never dereference freed slots, so a copy-on-write nil suffices.
+		old := *a.chunks.Load()
+		next := make([]*versionChunk, len(old))
+		copy(next, old)
+		next[ci] = nil
+		a.chunks.Store(&next)
+	}
+}
+
+// limboRef parks a version popped off a chain by an aborting
+// transaction: the version itself stays readable by scans that froze
+// the pre-abort index root, so it can only be freed once every reader
+// registered at or below safeAt has finished.
+type limboRef struct {
+	idx    uint32
+	safeAt uint64
+}
+
+// MVCCStats is a point-in-time summary of a table's version store.
+type MVCCStats struct {
+	Versions   int64 // live arena versions (including limbo)
+	ArenaBytes int64 // live arena row bytes
+	ChainWalks int64 // snapshot reads that left the inline fast path
+	ChainSteps int64 // total chain entries inspected by those walks
+	Limbo      int   // versions parked by aborts, awaiting reclaim
+	GCRuns     int64
+	GCFreed    int64 // versions freed over the table's lifetime
+}
+
+// MVCCStats returns version-store gauges. Lock-free except Limbo.
+func (t *Table) MVCCStats() MVCCStats {
+	t.mu.RLock()
+	limbo := len(t.limbo)
+	t.mu.RUnlock()
+	return MVCCStats{
+		Versions:   t.arena.live.Load(),
+		ArenaBytes: t.arena.bytes.Load(),
+		ChainWalks: t.walks.Load(),
+		ChainSteps: t.walkSteps.Load(),
+		Limbo:      limbo,
+		GCRuns:     t.gcRuns.Load(),
+		GCFreed:    t.gcFreed.Load(),
+	}
+}
+
+// noteHistoryLocked records that key now has history (a chain or a
+// tombstone) so GC will visit it. Caller holds t.mu.
+func (t *Table) noteHistoryLocked(key uint64) {
+	if t.hist == nil {
+		t.hist = make(map[uint64]struct{})
+	}
+	t.hist[key] = struct{}{}
+}
+
+// pushVersionLocked moves the current inline version of meta onto the
+// arena chain, reading its row image first. Caller holds t.mu. Returns
+// the updated meta (older now points at the pushed copy).
+func (t *Table) pushVersionLocked(h *buffer.Handle, key uint64, meta rowMeta, row []byte) rowMeta {
+	cp := append([]byte(nil), row...)
+	meta.older = t.arena.push(meta.ts, cp, false, meta.older)
+	t.noteHistoryLocked(key)
+	return meta
+}
+
+// StampCommit resolves key's write marker to commit timestamp cts. The
+// engine calls it for every written key after the WAL made the
+// transaction durable and before the clock completes cts; idempotent
+// (a key the transaction did not leave a marker on is untouched).
+func (t *Table) StampCommit(wid, key, cts uint64) {
+	m := writeMarker(wid)
+	t.mu.Lock()
+	meta, ok := t.index.Get(key)
+	if ok && meta.ts == m {
+		meta.ts = cts
+		t.index.Insert(key, meta)
+	}
+	t.mu.Unlock()
+}
+
+// StampAbort restores key's pre-transaction version metadata after the
+// engine's undo pass rewrote the row image back. The chain head (the
+// version the transaction's first write pushed) is popped back inline;
+// the popped arena slot is parked in limbo until no scan that could
+// still reach it through a frozen index root remains.
+func (t *Table) StampAbort(wid, key uint64) {
+	m := writeMarker(wid)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	meta, ok := t.index.Get(key)
+	if !ok || meta.ts != m {
+		return
+	}
+	if meta.older == 0 {
+		// An aborted fresh insert. The engine's undo pass deletes these
+		// before stamping, so this is defensive: drop the dangling key.
+		t.seq.Add(1)
+		t.index.Delete(key)
+		t.seq.Add(1)
+		if !meta.tomb {
+			t.live.Add(-1)
+		}
+		delete(t.hist, key)
+		return
+	}
+	v := t.arena.get(meta.older)
+	restored := rowMeta{rid: meta.rid, ts: v.ts, older: v.older.Load(), tomb: v.tomb}
+	t.index.Insert(key, restored)
+	t.limbo = append(t.limbo, limboRef{idx: meta.older, safeAt: t.clock.ReadTS()})
+	if restored.older == 0 && !restored.tomb {
+		delete(t.hist, key)
+	}
+}
+
+// resolveSnapshot returns the row image visible at readTS for key,
+// appended to buf. hint (haveHint) is the enumerated meta from a frozen
+// index snapshot; a committed hint at or below readTS is authoritative
+// for WHICH version is visible (nothing newer at or below readTS can
+// exist once readTS was readable), only the bytes need locating. found
+// is false when the key has no visible non-tombstone version.
+func (t *Table) resolveSnapshot(h *buffer.Handle, key uint64, hint rowMeta, haveHint bool, readTS uint64, buf []byte) (out []byte, found bool, err error) {
+	base := len(buf)
+	if haveHint && tsCommitted(hint.ts) && hint.ts <= readTS {
+		if hint.tomb {
+			return buf, false, nil
+		}
+		// Fast path: the inline slot still holds this exact version.
+		fr, ferr := h.Fetch(hint.rid.Page)
+		if ferr == nil {
+			fr.Latch()
+			got, ok := pageReadRowAppend(fr.Data(), hint.rid.Slot, buf[:base])
+			fr.Unlatch()
+			fr.Release()
+			if ok {
+				cur, curOK := t.index.Get(key)
+				if curOK && cur.ts == hint.ts && cur.rid == hint.rid {
+					return got, true, nil
+				}
+			}
+		}
+		// The slot moved on (overwritten, relocated, or tombstoned by a
+		// newer write): the visible version now lives on the chain.
+		cur, ok := t.index.Get(key)
+		if !ok {
+			// Only GC of an old committed tombstone removes keys, which
+			// contradicts a committed visible hint; resolve under the lock.
+			return t.resolveSnapshotSlow(h, key, readTS, buf[:base])
+		}
+		return t.walkChain(key, cur, readTS, buf[:base])
+	}
+
+	// No usable hint: resolve through the current meta.
+	for attempt := 0; attempt < optimisticRetries; attempt++ {
+		cur, ok := t.index.Get(key)
+		if !ok {
+			return buf, false, nil
+		}
+		if !tsCommitted(cur.ts) || cur.ts > readTS {
+			return t.walkChain(key, cur, readTS, buf[:base])
+		}
+		if cur.tomb {
+			return buf, false, nil
+		}
+		fr, ferr := h.Fetch(cur.rid.Page)
+		if ferr != nil {
+			return buf, false, fmt.Errorf("storage %s: %w", t.name, ferr)
+		}
+		fr.Latch()
+		got, ok := pageReadRowAppend(fr.Data(), cur.rid.Slot, buf[:base])
+		fr.Unlatch()
+		fr.Release()
+		if !ok {
+			continue // relocated or tombstoned between lookup and read
+		}
+		cur2, ok2 := t.index.Get(key)
+		if ok2 && cur2.ts == cur.ts && cur2.rid == cur.rid {
+			return got, true, nil
+		}
+		// The meta changed under the read; replay.
+	}
+	return t.resolveSnapshotSlow(h, key, readTS, buf[:base])
+}
+
+// resolveSnapshotSlow re-resolves under the shared lock, which excludes
+// every writer (all write paths hold t.mu exclusively).
+func (t *Table) resolveSnapshotSlow(h *buffer.Handle, key uint64, readTS uint64, buf []byte) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur, ok := t.index.Get(key)
+	if !ok {
+		return buf, false, nil
+	}
+	if tsCommitted(cur.ts) && cur.ts <= readTS {
+		if cur.tomb {
+			return buf, false, nil
+		}
+		fr, err := h.Fetch(cur.rid.Page)
+		if err != nil {
+			return buf, false, fmt.Errorf("storage %s: %w", t.name, err)
+		}
+		fr.Latch()
+		got, ok := pageReadRowAppend(fr.Data(), cur.rid.Slot, buf)
+		fr.Unlatch()
+		fr.Release()
+		if !ok {
+			return buf, false, fmt.Errorf("storage %s: key %d: visible version has dead slot", t.name, key)
+		}
+		return got, true, nil
+	}
+	return t.walkChain(key, cur, readTS, buf)
+}
+
+// walkChain finds the newest chain version at or below readTS, starting
+// from cur's older pointer. Chain entries are immutable and the walk
+// never reaches a GC-freed slot: every entry it inspects has ts above
+// the low-water mark (readTS >= low water for any registered reader),
+// and GC only frees strictly below the per-chain keep boundary.
+func (t *Table) walkChain(key uint64, cur rowMeta, readTS uint64, buf []byte) ([]byte, bool, error) {
+	start := time.Now()
+	steps := int64(0)
+	idx := cur.older
+	var out []byte
+	found := false
+	for idx != 0 {
+		v := t.arena.get(idx)
+		steps++
+		if v.ts <= readTS {
+			if !v.tomb {
+				out, found = append(buf, v.row...), true
+			}
+			break
+		}
+		idx = v.older.Load()
+	}
+	t.walks.Add(1)
+	t.walkSteps.Add(steps)
+	t.mv.Walk(steps, time.Since(start))
+	if !found {
+		return buf, false, nil
+	}
+	return out, true, nil
+}
+
+// SnapshotGet returns a copy of the row visible at readTS.
+func (t *Table) SnapshotGet(h *buffer.Handle, key, readTS uint64) ([]byte, error) {
+	out, err := t.SnapshotGetInto(h, key, readTS, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SnapshotGetInto appends the row visible at readTS to buf. It takes no
+// locks on the fast path (the newest-version-inline case is the same
+// lock-free page read GetInto does), never blocks writers, and returns
+// ErrKeyNotFound when the key has no visible version. readTS must come
+// from the table clock's BeginRead (or be <= its ReadTS watermark).
+func (t *Table) SnapshotGetInto(h *buffer.Handle, key, readTS uint64, buf []byte) ([]byte, error) {
+	out, found, err := t.resolveSnapshot(h, key, rowMeta{}, false, readTS, buf)
+	if err != nil {
+		return buf, err
+	}
+	if !found {
+		return buf, ErrKeyNotFound
+	}
+	return out, nil
+}
+
+// SnapIter streams the rows visible at a snapshot timestamp over a key
+// range, in key order. It is single-use and not safe for concurrent
+// use; the row slice returned by Next is reused across calls. It holds
+// no locks between or during calls — writers are never blocked.
+type SnapIter struct {
+	t      *Table
+	h      *buffer.Handle
+	readTS uint64
+	it     btree.RangeIter[rowMeta]
+	buf    []byte
+	err    error
+}
+
+// NewSnapshotIter returns an iterator over the rows with keys in
+// [lo, hi] visible at readTS. The key enumeration is frozen at the
+// index root published now; version resolution is per-row (versions at
+// or below readTS are immutable, so the result equals the state at
+// readTS regardless of concurrent writers).
+func (t *Table) NewSnapshotIter(h *buffer.Handle, lo, hi, readTS uint64) *SnapIter {
+	return &SnapIter{t: t, h: h, readTS: readTS, it: t.index.NewRangeIter(lo, hi)}
+}
+
+// Next returns the next visible row. The returned slice is only valid
+// until the following Next call. ok=false ends the scan; check Err.
+func (it *SnapIter) Next() (key uint64, row []byte, ok bool) {
+	if it.err != nil {
+		return 0, nil, false
+	}
+	for {
+		k, meta, more := it.it.Next()
+		if !more {
+			return 0, nil, false
+		}
+		out, found, err := it.t.resolveSnapshot(it.h, k, meta, true, it.readTS, it.buf[:0])
+		if err != nil {
+			it.err = err
+			return 0, nil, false
+		}
+		if !found {
+			continue
+		}
+		it.buf = out
+		return k, out, true
+	}
+}
+
+// Err returns the first error the scan hit (nil on clean exhaustion).
+func (it *SnapIter) Err() error { return it.err }
+
+// SnapshotScan calls fn for every key in [lo, hi] visible at readTS,
+// ascending, until fn returns false. Row images are only valid during
+// the callback. Unlike Scan (read-committed), the result is exactly the
+// committed state at readTS.
+func (t *Table) SnapshotScan(h *buffer.Handle, lo, hi, readTS uint64, fn func(key uint64, row []byte) bool) error {
+	it := t.NewSnapshotIter(h, lo, hi, readTS)
+	for {
+		k, row, ok := it.Next()
+		if !ok {
+			return it.Err()
+		}
+		if !fn(k, row) {
+			return nil
+		}
+	}
+}
+
+// SnapIndexIter streams rows visible at a snapshot timestamp via a
+// secondary index. Postings are enumerated from a frozen snapshot of
+// the secondary tree; each candidate primary key is resolved to its
+// visible version, and the secondary key is re-derived from that
+// version so a posting left by a newer (invisible) write never yields a
+// false positive. A posting REMOVED by a write that committed after
+// readTS but before the scan froze the secondary tree is missed — the
+// documented (rare, bounded) staleness of snapshot index scans.
+type SnapIndexIter struct {
+	t        *Table
+	h        *buffer.Handle
+	ix       *secondaryIndex
+	readTS   uint64
+	it       btree.RangeIter[[]uint64]
+	key      uint64
+	postings []uint64
+	pos      int
+	buf      []byte
+	err      error
+}
+
+// NewSnapshotIndexIter returns an iterator over rows whose visible
+// version's secondary key (per index name) lies in [lo, hi].
+func (t *Table) NewSnapshotIndexIter(h *buffer.Handle, name string, lo, hi, readTS uint64) (*SnapIndexIter, error) {
+	ix, ok := t.indexByName(name)
+	if !ok {
+		return nil, fmt.Errorf("storage %s: no index %q", t.name, name)
+	}
+	return &SnapIndexIter{t: t, h: h, ix: ix, readTS: readTS, it: ix.tree.NewRangeIter(lo, hi)}, nil
+}
+
+// Next returns the next visible row in secondary-key order (ties in
+// primary-key order). The row slice is reused across calls.
+func (it *SnapIndexIter) Next() (pk uint64, row []byte, ok bool) {
+	if it.err != nil {
+		return 0, nil, false
+	}
+	for {
+		for it.pos >= len(it.postings) {
+			k, pks, more := it.it.Next()
+			if !more {
+				return 0, nil, false
+			}
+			it.key, it.postings, it.pos = k, pks, 0
+		}
+		pk = it.postings[it.pos]
+		it.pos++
+		out, found, err := it.t.resolveSnapshot(it.h, pk, rowMeta{}, false, it.readTS, it.buf[:0])
+		if err != nil {
+			it.err = err
+			return 0, nil, false
+		}
+		if !found {
+			continue
+		}
+		if k2, ok2 := it.ix.keyOf(pk, out); !ok2 || k2 != it.key {
+			continue // visible version no longer carries this index key
+		}
+		it.buf = out
+		return pk, out, true
+	}
+}
+
+// Err returns the first error the scan hit.
+func (it *SnapIndexIter) Err() error { return it.err }
+
+// SnapshotIndexScan is the callback form of SnapIndexIter.
+func (t *Table) SnapshotIndexScan(h *buffer.Handle, name string, lo, hi, readTS uint64, fn func(pk uint64, row []byte) bool) error {
+	it, err := t.NewSnapshotIndexIter(h, name, lo, hi, readTS)
+	if err != nil {
+		return err
+	}
+	for {
+		pk, row, ok := it.Next()
+		if !ok {
+			return it.Err()
+		}
+		if !fn(pk, row) {
+			return nil
+		}
+	}
+}
+
+// GC frees every version unreachable at low-water timestamp lw (from
+// the clock's LowWater): per chain, everything strictly older than the
+// first version at or below lw; committed tombstones at or below lw
+// leave the index entirely; limbo versions whose frozen-root readers
+// are provably gone. Returns the number of versions freed. Runs under
+// the table mutex (writers briefly excluded; readers unaffected).
+func (t *Table) GC(lw uint64) (freed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gcRuns.Add(1)
+
+	// Limbo: a parked version is dead once every reader that could hold
+	// a pre-abort index root (readTS <= safeAt) has unregistered.
+	if len(t.limbo) > 0 {
+		keep := t.limbo[:0]
+		for _, le := range t.limbo {
+			if le.safeAt < lw {
+				t.arena.free(le.idx)
+				freed++
+			} else {
+				keep = append(keep, le)
+			}
+		}
+		t.limbo = keep
+	}
+
+	for key := range t.hist {
+		meta, ok := t.index.Get(key)
+		if !ok {
+			delete(t.hist, key)
+			continue
+		}
+		if tsCommitted(meta.ts) && meta.ts <= lw {
+			// The inline version is the keep boundary: the whole chain is
+			// unreachable.
+			freed += t.freeChainLocked(meta.older)
+			if meta.tomb {
+				// No reader at or above lw can see anything for this key.
+				t.index.Delete(key)
+				delete(t.hist, key)
+				continue
+			}
+			if meta.older != 0 {
+				meta.older = 0
+				t.index.Insert(key, meta)
+			}
+			delete(t.hist, key)
+			continue
+		}
+		// Walk to the keep boundary (first chain version at or below lw)
+		// and truncate behind it.
+		idx := meta.older
+		for idx != 0 {
+			v := t.arena.get(idx)
+			if v.ts <= lw {
+				if older := v.older.Load(); older != 0 {
+					v.older.Store(0)
+					freed += t.freeChainLocked(older)
+				}
+				break
+			}
+			idx = v.older.Load()
+		}
+	}
+	t.gcFreed.Add(int64(freed))
+	return freed
+}
+
+// freeChainLocked frees the whole chain starting at idx. Caller holds
+// t.mu and has made the chain unreachable.
+func (t *Table) freeChainLocked(idx uint32) int {
+	n := 0
+	for idx != 0 {
+		v := t.arena.get(idx)
+		next := v.older.Load()
+		t.arena.free(idx)
+		idx = next
+		n++
+	}
+	return n
+}

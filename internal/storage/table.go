@@ -8,6 +8,8 @@ import (
 
 	"vats/internal/btree"
 	"vats/internal/buffer"
+	"vats/internal/mvcc"
+	"vats/internal/obs"
 )
 
 // Errors returned by Table operations.
@@ -26,36 +28,45 @@ type RID struct {
 	Slot int
 }
 
-// Table is a heap table with a clustered B+-tree index on a uint64
-// primary key. Row images are opaque byte slices (see RowBuilder).
+// Table is a multi-versioned heap table with a clustered B+-tree index
+// on a uint64 primary key. Row images are opaque byte slices (see
+// RowBuilder). The index maps each key to rowMeta: the newest version's
+// location and timestamp plus its chain of older versions in the
+// version arena (see mvcc.go).
 //
 // Reads are optimistic: the clustered index is a copy-on-write tree
 // whose snapshots readers traverse lock-free, and a table-level
 // sequence counter validates that the index lookup and the page read
 // observed the same structural version (the seqlock pattern). Only the
 // operations that tombstone a slot — Delete and relocating Updates —
-// bump the sequence; Insert does not, because a row's page image is in
-// place before the index publishes its RID, so bulk loads never knock
-// readers off the fast path. A reader that keeps losing the race falls
-// back to the shared lock, which fully excludes structural writers.
+// bump the sequence; Insert and in-place Update do not, because a row's
+// page image is in place before the index publishes its RID (and an
+// in-place overwrite publishes its new meta under the page latch before
+// touching bytes), so bulk loads never knock readers off the fast path.
+// A reader that keeps losing the race falls back to the shared lock,
+// which fully excludes structural writers.
 //
 // Physical consistency is internal (seqlock + page latches); isolation
 // between transactions touching the same key is the caller's
-// responsibility via the lock manager.
+// responsibility via the lock manager — except snapshot reads
+// (SnapshotGetInto / SnapshotScan), whose visibility is a pure
+// timestamp comparison and which take no locks at all.
 type Table struct {
 	name  string
 	space uint32
 	pool  *buffer.Pool
+	clock *mvcc.Clock
+	mv    *obs.MVCCMetrics
 
 	// seq is the structural version: odd while a tombstoning writer is
 	// inside its critical section, even otherwise. Writers bump it
 	// (twice) while holding mu.
 	seq atomic.Uint64
 
-	// index maps primary key to row location. The tree is internally
+	// index maps primary key to version metadata. The tree is internally
 	// copy-on-write: lock-free readers always see a consistent
 	// snapshot; writers are serialized by mu.
-	index *btree.Tree[RID]
+	index *btree.Tree[rowMeta]
 
 	// idxs is the immutable secondary-index list, replaced wholesale by
 	// CreateIndex (copy-on-write under mu).
@@ -65,19 +76,42 @@ type Table struct {
 	// never has to queue behind a bulk load.
 	nextPage atomic.Uint64
 
+	// live counts non-tombstone keys (Len), maintained under mu but
+	// readable lock-free.
+	live atomic.Int64
+
+	// Chain-walk counters for MVCCStats.
+	walks     atomic.Int64
+	walkSteps atomic.Int64
+	gcRuns    atomic.Int64
+	gcFreed   atomic.Int64
+
 	mu       sync.RWMutex // serializes writers; fallback readers share it
 	fillPage buffer.PageID
 	hasFill  bool
+
+	arena versionArena
+	hist  map[uint64]struct{} // keys with a chain or tombstone (GC worklist)
+	limbo []limboRef
 }
 
-// NewTable creates an empty table in the given buffer pool. space must
-// be unique per pool.
+// NewTable creates an empty table in the given buffer pool with a
+// private commit clock. space must be unique per pool. The engine uses
+// NewTableWithClock so every table shares the database clock.
 func NewTable(name string, space uint32, pool *buffer.Pool) *Table {
+	return NewTableWithClock(name, space, pool, mvcc.NewClock(), nil)
+}
+
+// NewTableWithClock creates an empty table stamping versions from the
+// given shared clock; mv (may be nil) receives MVCC metrics.
+func NewTableWithClock(name string, space uint32, pool *buffer.Pool, clock *mvcc.Clock, mv *obs.MVCCMetrics) *Table {
 	return &Table{
 		name:  name,
 		space: space,
 		pool:  pool,
-		index: btree.New[RID](0),
+		clock: clock,
+		mv:    mv,
+		index: btree.New[rowMeta](0),
 	}
 }
 
@@ -87,9 +121,12 @@ func (t *Table) Name() string { return t.name }
 // Space returns the table's page-space id.
 func (t *Table) Space() uint32 { return t.space }
 
-// Len returns the number of live rows. It never blocks behind writers,
-// so stats endpoints cannot stall behind a bulk load.
-func (t *Table) Len() int { return t.index.Len() }
+// Clock returns the commit clock stamping this table's versions.
+func (t *Table) Clock() *mvcc.Clock { return t.clock }
+
+// Len returns the number of live (non-tombstone) rows. It never blocks
+// behind writers, so stats endpoints cannot stall behind a bulk load.
+func (t *Table) Len() int { return int(t.live.Load()) }
 
 // Pages returns the number of pages allocated so far (lock-free).
 func (t *Table) Pages() uint64 { return t.nextPage.Load() }
@@ -101,16 +138,59 @@ func (t *Table) loadIndexes() []*secondaryIndex {
 	return nil
 }
 
-// Insert adds a row under key. h is the caller's worker-local buffer
-// handle.
+// Insert adds a row under key as an immediately-committed write (its
+// version is stamped from the table clock). h is the caller's
+// worker-local buffer handle. Transactional writers use InsertTxn.
 func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
+	cts := t.clock.Allocate()
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.index.Get(key); ok {
-		return ErrDuplicateKey
+	err := t.insertLocked(h, cts, key, row)
+	t.mu.Unlock()
+	t.clock.Complete(cts)
+	return err
+}
+
+// InsertTxn adds a row under key on behalf of in-flight transaction
+// wid. The version stays marked uncommitted until StampCommit or
+// StampAbort; the caller must hold the key's exclusive record lock.
+func (t *Table) InsertTxn(h *buffer.Handle, wid, key uint64, row []byte) error {
+	if len(row) > maxRowSize(t.pool.PageSize()) {
+		return ErrRowTooLarge
+	}
+	t.mu.Lock()
+	err := t.insertLocked(h, writeMarker(wid), key, row)
+	t.mu.Unlock()
+	return err
+}
+
+// insertLocked installs a new version under key with timestamp ts
+// (commit ts or write marker). Caller holds t.mu.
+func (t *Table) insertLocked(h *buffer.Handle, ts, key uint64, row []byte) error {
+	meta, ok := t.index.Get(key)
+	if ok {
+		if !meta.tomb {
+			return ErrDuplicateKey
+		}
+		if meta.ts != ts {
+			// Insert over a committed tombstone: the tombstone becomes a
+			// chain version so older snapshots keep seeing the deletion.
+			meta.older = t.arena.push(meta.ts, nil, true, meta.older)
+		}
+		// Same-transaction re-insert after its own delete reuses the
+		// marker; the chain already holds the pre-transaction version.
+		rid, err := t.placeRowLocked(h, row)
+		if err != nil {
+			return err
+		}
+		meta.rid, meta.ts, meta.tomb = rid, ts, false
+		t.index.Insert(key, meta)
+		t.noteHistoryLocked(key)
+		t.live.Add(1)
+		t.indexInsertLocked(key, row)
+		return nil
 	}
 	rid, err := t.placeRowLocked(h, row)
 	if err != nil {
@@ -119,7 +199,8 @@ func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
 	// The page image is written before the index publishes the RID, so
 	// optimistic readers either miss the key or see a complete row; no
 	// seq bump is needed.
-	t.index.Insert(key, rid)
+	t.index.Insert(key, rowMeta{rid: rid, ts: ts})
+	t.live.Add(1)
 	t.indexInsertLocked(key, row)
 	return nil
 }
@@ -168,7 +249,10 @@ func (t *Table) placeRowLocked(h *buffer.Handle, row []byte) (RID, error) {
 // lookup+read before taking the shared lock.
 const optimisticRetries = 3
 
-// Get copies the row stored under key.
+// Get copies the newest row image stored under key (read-committed:
+// whatever the inline version holds — callers wanting transactional
+// isolation hold record locks, callers wanting a frozen timestamp use
+// SnapshotGet).
 func (t *Table) Get(h *buffer.Handle, key uint64) ([]byte, error) {
 	row, err := t.GetInto(h, key, nil)
 	if err != nil {
@@ -177,9 +261,9 @@ func (t *Table) Get(h *buffer.Handle, key uint64) ([]byte, error) {
 	return row, nil
 }
 
-// GetInto appends the row stored under key to buf and returns the
-// extended slice. With a buf of sufficient capacity the read path does
-// not allocate. On error buf is returned unchanged.
+// GetInto appends the newest row image stored under key to buf and
+// returns the extended slice. With a buf of sufficient capacity the
+// read path does not allocate. On error buf is returned unchanged.
 func (t *Table) GetInto(h *buffer.Handle, key uint64, buf []byte) ([]byte, error) {
 	base := len(buf)
 	for attempt := 0; attempt < optimisticRetries; attempt++ {
@@ -187,14 +271,14 @@ func (t *Table) GetInto(h *buffer.Handle, key uint64, buf []byte) ([]byte, error
 		if s1&1 != 0 {
 			continue // a tombstoning writer is mid-section
 		}
-		rid, ok := t.index.Get(key)
-		if !ok {
+		meta, ok := t.index.Get(key)
+		if !ok || meta.tomb {
 			if t.seq.Load() == s1 {
 				return buf, ErrKeyNotFound
 			}
 			continue
 		}
-		fr, err := h.Fetch(rid.Page)
+		fr, err := h.Fetch(meta.rid.Page)
 		if err != nil {
 			if t.seq.Load() == s1 {
 				return buf, fmt.Errorf("storage %s: %w", t.name, err)
@@ -202,7 +286,7 @@ func (t *Table) GetInto(h *buffer.Handle, key uint64, buf []byte) ([]byte, error
 			continue
 		}
 		fr.Latch()
-		out, ok := pageReadRowAppend(fr.Data(), rid.Slot, buf[:base])
+		out, ok := pageReadRowAppend(fr.Data(), meta.rid.Slot, buf[:base])
 		fr.Unlatch()
 		fr.Release()
 		if t.seq.Load() != s1 || !ok {
@@ -215,16 +299,16 @@ func (t *Table) GetInto(h *buffer.Handle, key uint64, buf []byte) ([]byte, error
 	// page read, fully excluding structural writers.
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	rid, ok := t.index.Get(key)
-	if !ok {
+	meta, ok := t.index.Get(key)
+	if !ok || meta.tomb {
 		return buf, ErrKeyNotFound
 	}
-	fr, err := h.Fetch(rid.Page)
+	fr, err := h.Fetch(meta.rid.Page)
 	if err != nil {
 		return buf, fmt.Errorf("storage %s: %w", t.name, err)
 	}
 	fr.Latch()
-	out, ok := pageReadRowAppend(fr.Data(), rid.Slot, buf[:base])
+	out, ok := pageReadRowAppend(fr.Data(), meta.rid.Slot, buf[:base])
 	fr.Unlatch()
 	fr.Release()
 	if !ok {
@@ -248,154 +332,197 @@ func (t *Table) readRID(h *buffer.Handle, rid RID) ([]byte, error) {
 	return row, nil
 }
 
-// Update replaces the row under key, relocating it if the new image no
-// longer fits in place. Tables with secondary indexes take the slower
-// write-locked path so index maintenance is atomic with the row change.
+// Update replaces the row under key as an immediately-committed write,
+// pushing the superseded version onto the key's chain. Transactional
+// writers use UpdateTxn.
 func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
-	if len(t.loadIndexes()) > 0 {
-		return t.updateIndexed(h, key, row)
+	cts := t.clock.Allocate()
+	t.mu.Lock()
+	err := t.updateLocked(h, cts, key, row)
+	t.mu.Unlock()
+	t.clock.Complete(cts)
+	return err
+}
+
+// UpdateTxn replaces the row under key on behalf of in-flight
+// transaction wid (see InsertTxn for the marker protocol).
+func (t *Table) UpdateTxn(h *buffer.Handle, wid, key uint64, row []byte) error {
+	if len(row) > maxRowSize(t.pool.PageSize()) {
+		return ErrRowTooLarge
 	}
-	// The caller's record lock on key excludes concurrent writers of
-	// this row, so the lock-free RID lookup cannot go stale.
-	rid, ok := t.index.Get(key)
-	if !ok {
+	t.mu.Lock()
+	err := t.updateLocked(h, writeMarker(wid), key, row)
+	t.mu.Unlock()
+	return err
+}
+
+// updateLocked installs a new version of key with timestamp ts,
+// relocating the row if the new image no longer fits in place. Caller
+// holds t.mu.
+func (t *Table) updateLocked(h *buffer.Handle, ts, key uint64, row []byte) error {
+	meta, ok := t.index.Get(key)
+	if !ok || meta.tomb {
 		return ErrKeyNotFound
 	}
-	fr, err := h.Fetch(rid.Page)
+	old, err := t.readRID(h, meta.rid)
+	if err != nil {
+		return err
+	}
+	if meta.ts != ts {
+		// First write of this version: preserve the superseded image.
+		// (A transaction overwriting its own uncommitted write replaces
+		// the bytes without growing the chain.)
+		cp := append([]byte(nil), old...)
+		meta.older = t.arena.push(meta.ts, cp, false, meta.older)
+		t.noteHistoryLocked(key)
+	}
+	meta.ts = ts
+
+	fr, err := h.Fetch(meta.rid.Page)
 	if err != nil {
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
+	// In-place path: publish the new meta and overwrite the bytes under
+	// ONE page-latch hold, so a snapshot reader can never pair the new
+	// bytes with the old timestamp (its latched read orders against this
+	// section, and its meta re-check sees the new meta).
 	inPlace := false
-	fr.WithPageLock(func() {
-		inPlace = pageUpdateRowInPlace(fr.Data(), rid.Slot, row)
-	})
+	fr.Latch()
+	if _, length, ok := slotBounds(fr.Data(), meta.rid.Slot); ok && len(row) <= length {
+		t.index.Insert(key, meta)
+		pageUpdateRowInPlace(fr.Data(), meta.rid.Slot, row)
+		inPlace = true
+	}
+	fr.Unlatch()
 	if inPlace {
 		fr.MarkDirty()
 		fr.Release()
+		t.indexDeleteLocked(key, old)
+		t.indexInsertLocked(key, row)
 		return nil
 	}
 	fr.Release()
 
-	// Relocate under the write lock; the tombstone + index swap are a
-	// seqlock critical section.
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	rid2, ok := t.index.Get(key)
-	if !ok {
-		return ErrKeyNotFound
-	}
+	// Relocate: place the new image, publish the new meta, then
+	// tombstone the old slot inside a seqlock critical section.
+	oldRID := meta.rid
 	newRID, err := t.placeRowLocked(h, row)
 	if err != nil {
+		// The chain push (if any) stands; the inline meta still carries
+		// ts. Roll the timestamp back only if we pushed this call.
 		return err
 	}
-	fr2, err := h.Fetch(rid2.Page)
+	fr2, err := h.Fetch(oldRID.Page)
 	if err != nil {
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
+	meta.rid = newRID
 	t.seq.Add(1)
-	t.index.Insert(key, newRID)
+	t.index.Insert(key, meta)
 	fr2.Latch()
-	pageDeleteRow(fr2.Data(), rid2.Slot)
+	pageDeleteRow(fr2.Data(), oldRID.Slot)
 	fr2.Unlatch()
 	fr2.MarkDirty()
 	t.seq.Add(1)
 	fr2.Release()
-	return nil
-}
-
-// updateIndexed performs an update under the table write lock,
-// maintaining every secondary index against the old row image.
-func (t *Table) updateIndexed(h *buffer.Handle, key uint64, row []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	rid, ok := t.index.Get(key)
-	if !ok {
-		return ErrKeyNotFound
-	}
-	old, err := t.readRID(h, rid)
-	if err != nil {
-		return err
-	}
-	fr, err := h.Fetch(rid.Page)
-	if err != nil {
-		return fmt.Errorf("storage %s: %w", t.name, err)
-	}
-	inPlace := false
-	fr.WithPageLock(func() {
-		inPlace = pageUpdateRowInPlace(fr.Data(), rid.Slot, row)
-	})
-	if inPlace {
-		fr.MarkDirty()
-	}
-	fr.Release()
-	if !inPlace {
-		newRID, err := t.placeRowLocked(h, row)
-		if err != nil {
-			return err
-		}
-		fr2, err := h.Fetch(rid.Page)
-		if err != nil {
-			return fmt.Errorf("storage %s: %w", t.name, err)
-		}
-		t.seq.Add(1)
-		t.index.Insert(key, newRID)
-		fr2.Latch()
-		pageDeleteRow(fr2.Data(), rid.Slot)
-		fr2.Unlatch()
-		fr2.MarkDirty()
-		t.seq.Add(1)
-		fr2.Release()
-	}
 	t.indexDeleteLocked(key, old)
 	t.indexInsertLocked(key, row)
 	return nil
 }
 
-// Delete removes the row under key. The index removal and the page
-// tombstone happen inside one seqlock critical section so an optimistic
-// reader can never see the tombstone with a stable sequence.
+// Delete removes the row under key as an immediately-committed write;
+// the key stays in the index as a tombstone version until GC reclaims
+// it. Transactional writers use DeleteTxn.
 func (t *Table) Delete(h *buffer.Handle, key uint64) error {
+	cts := t.clock.Allocate()
 	t.mu.Lock()
-	rid, ok := t.index.Get(key)
-	if !ok {
-		t.mu.Unlock()
+	err := t.deleteLocked(h, cts, key)
+	t.mu.Unlock()
+	t.clock.Complete(cts)
+	return err
+}
+
+// DeleteTxn removes the row under key on behalf of in-flight
+// transaction wid (see InsertTxn for the marker protocol).
+func (t *Table) DeleteTxn(h *buffer.Handle, wid, key uint64) error {
+	t.mu.Lock()
+	err := t.deleteLocked(h, writeMarker(wid), key)
+	t.mu.Unlock()
+	return err
+}
+
+// deleteLocked tombstones key at timestamp ts. The index update and the
+// page tombstone happen inside one seqlock critical section so an
+// optimistic reader can never see the dead slot with a stable sequence.
+// Caller holds t.mu.
+func (t *Table) deleteLocked(h *buffer.Handle, ts, key uint64) error {
+	meta, ok := t.index.Get(key)
+	if !ok || meta.tomb {
 		return ErrKeyNotFound
 	}
-	if len(t.loadIndexes()) > 0 {
-		if old, err := t.readRID(h, rid); err == nil {
-			t.indexDeleteLocked(key, old)
-		}
-	}
-	fr, err := h.Fetch(rid.Page)
+	old, err := t.readRID(h, meta.rid)
 	if err != nil {
-		t.mu.Unlock()
+		return err
+	}
+	t.indexDeleteLocked(key, old)
+	fr, err := h.Fetch(meta.rid.Page)
+	if err != nil {
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
+	if meta.ts == ts && meta.older == 0 {
+		// The key was created by this same uncommitted transaction and
+		// has no prior version: no reader at any timestamp may see it, so
+		// drop it outright (this is also the undo path for an aborted
+		// insert).
+		t.seq.Add(1)
+		t.index.Delete(key)
+		fr.Latch()
+		pageDeleteRow(fr.Data(), meta.rid.Slot)
+		fr.Unlatch()
+		fr.MarkDirty()
+		t.seq.Add(1)
+		fr.Release()
+		t.live.Add(-1)
+		delete(t.hist, key)
+		return nil
+	}
+	if meta.ts != ts {
+		cp := append([]byte(nil), old...)
+		meta.older = t.arena.push(meta.ts, cp, false, meta.older)
+	}
+	meta.ts, meta.tomb = ts, true
 	t.seq.Add(1)
-	t.index.Delete(key)
+	t.index.Insert(key, meta)
 	fr.Latch()
-	pageDeleteRow(fr.Data(), rid.Slot)
+	pageDeleteRow(fr.Data(), meta.rid.Slot)
 	fr.Unlatch()
 	fr.MarkDirty()
 	t.seq.Add(1)
-	t.mu.Unlock()
 	fr.Release()
+	t.live.Add(-1)
+	t.noteHistoryLocked(key)
 	return nil
 }
 
 // Scan calls fn for every key in [lo, hi] ascending until fn returns
-// false. The row images passed to fn are copies. The scan streams over
-// a copy-on-write index snapshot without taking the table lock; rows
-// deleted or relocated after the snapshot are skipped (read-committed,
-// as before).
+// false, at READ-COMMITTED isolation: it streams over a copy-on-write
+// index snapshot without taking the table lock and reads each key's
+// newest inline version, so rows committed, deleted, or relocated
+// mid-scan may or may not appear — each row image is individually
+// latch-consistent, but the scan as a whole is no single point in
+// time. Use SnapshotScan for a frozen-timestamp view. The row images
+// passed to fn are copies.
 func (t *Table) Scan(h *buffer.Handle, lo, hi uint64, fn func(key uint64, row []byte) bool) error {
 	var err error
-	t.index.AscendRange(lo, hi, func(k uint64, rid RID) bool {
+	t.index.AscendRange(lo, hi, func(k uint64, meta rowMeta) bool {
+		if meta.tomb {
+			return true
+		}
 		var row []byte
-		row, err = t.readRID(h, rid)
+		row, err = t.readRID(h, meta.rid)
 		if errors.Is(err, ErrKeyNotFound) {
 			err = nil
 			return true // deleted or relocated since the snapshot

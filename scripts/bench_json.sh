@@ -11,16 +11,21 @@
 #            (the -N name suffix distinguishes the goroutine counts)
 #   obs    — the PR-6 observability overhead     -> BENCH_PR6.json
 #            (span capture, sampling decision, variance attribution)
+#   scan   — the PR-7 MVCC scan path             -> BENCH_PR7.json
+#            (writer commit p50/p99 with and without a sustained
+#            snapshot scan, snapshot scan throughput under writers,
+#            iterator composition vs closure scans, plan-cache paths)
 #
-# Usage: scripts/bench_json.sh [commit|read|obs] [output.json] [benchtime]
+# Usage: scripts/bench_json.sh [commit|read|obs|scan] [output.json] [benchtime]
 set -e
 suite=${1:-commit}
 case "$suite" in
 commit) default_out=BENCH_PR2.json ;;
 read) default_out=BENCH_PR3.json ;;
 obs) default_out=BENCH_PR6.json ;;
+scan) default_out=BENCH_PR7.json ;;
 *)
-	echo "usage: $0 [commit|read|obs] [output.json] [benchtime]" >&2
+	echo "usage: $0 [commit|read|obs|scan] [output.json] [benchtime]" >&2
 	exit 2
 	;;
 esac
@@ -32,6 +37,17 @@ trap 'rm -f "$tmp"' EXIT
 if [ "$suite" = obs ]; then
 	go test -run xxx -bench 'BenchmarkObsOverhead' \
 		-benchmem -benchtime "$benchtime" ./internal/obs/ | tee -a "$tmp"
+elif [ "$suite" = scan ]; then
+	# Fixed iteration counts: the writer-latency cases report p50/p99
+	# from the sample population, which needs a stable sample size.
+	go test -run xxx -bench 'BenchmarkWriterUnderScan' \
+		-benchmem -benchtime 100000x ./internal/engine/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkSnapshotScanThroughput' \
+		-benchmem -benchtime 300x ./internal/engine/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkScanForms' \
+		-benchmem -benchtime 500x ./internal/exec/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkPlanCache' \
+		-benchmem -benchtime "$benchtime" ./internal/exec/ | tee -a "$tmp"
 elif [ "$suite" = commit ]; then
 	go test -run xxx -bench 'BenchmarkCommitThroughput|BenchmarkAppend$' \
 		-benchmem -benchtime "$benchtime" ./internal/wal/ | tee -a "$tmp"
@@ -80,6 +96,23 @@ if [ "$suite" = obs ]; then
     "obs/BenchmarkObsOverhead/histogram-disabled": {"ns/op": 1.2, "allocs/op": 0},
     "obs/BenchmarkObsOverhead/histogram-enabled": {"ns/op": 25.4, "allocs/op": 0},
     "obs/BenchmarkObsOverhead/counter-enabled-parallel": {"ns/op": 7.7}
+  },
+  "current": {
+EOF
+		emit_current 0
+		cat <<'EOF'
+  }
+}
+EOF
+	} >"$out"
+elif [ "$suite" = scan ]; then
+	{
+		cat <<'EOF'
+{
+  "baseline_pre_pr": {
+    "_note": "snapshot scans, the executor and the plan cache are new in PR 7 and have no pre-PR counterpart; the frozen reference points are the writer commit path with no concurrent scan (WriterUnderScan/NoScan, identical harness) and the pre-PR scan primitive, the read-committed closure Txn.Scan (ScanForms/ReadCommittedScan), both on the same host",
+    "engine/BenchmarkWriterUnderScan/NoScan": {"ns/op": 20821, "p50-ns": 14452, "p99-ns": 41616, "allocs/op": 36},
+    "exec/BenchmarkScanForms/ReadCommittedScan": {"ns/op": 513948, "rows/scan": 4096, "allocs/op": 8192}
   },
   "current": {
 EOF

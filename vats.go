@@ -35,6 +35,7 @@ import (
 	"vats/internal/buffer"
 	"vats/internal/disk"
 	"vats/internal/engine"
+	"vats/internal/exec"
 	"vats/internal/harness"
 	"vats/internal/lock"
 	"vats/internal/obs"
@@ -55,6 +56,9 @@ type (
 	Session = engine.Session
 	// Txn is a strict-2PL transaction.
 	Txn = engine.Txn
+	// SnapshotTxn is a lock-free read-only transaction over a frozen
+	// commit timestamp: its reads never block writers or retry.
+	SnapshotTxn = engine.SnapshotTxn
 	// Table is a heap table with a clustered B+-tree primary index.
 	Table = storage.Table
 	// RowBuilder encodes typed fields into a row image.
@@ -95,6 +99,54 @@ type (
 	// SamplingConfig sets the span-capture overhead budget.
 	SamplingConfig = obs.SamplingConfig
 )
+
+// Streaming scan executor (internal/exec): single-use pull-based
+// operator pipelines over MVCC snapshots. Sources bind to a
+// SnapshotTxn, so a whole pipeline never takes a lock.
+type (
+	// Row is one row flowing through an executor pipeline; Data is
+	// valid only until the next Next call.
+	Row = exec.Row
+	// Iterator is a single-use executor row stream.
+	Iterator = exec.Iterator
+	// Planner memoizes compiled scan plans in an LRU keyed by
+	// (table, index, predicate shape).
+	Planner = exec.Planner
+	// ScanSpec describes a scan for the planner.
+	ScanSpec = exec.Spec
+	// PredShape identifies a predicate's structure for plan caching.
+	PredShape = exec.PredShape
+)
+
+// NewTableScan streams a table's rows in key order at tx's snapshot,
+// with [lo, hi] pushed into the B+-tree descent.
+func NewTableScan(tx *SnapshotTxn, t *Table, lo, hi uint64) Iterator {
+	return exec.NewTableScan(tx, t, lo, hi)
+}
+
+// NewIndexScan streams rows in secondary-key order at tx's snapshot.
+func NewIndexScan(tx *SnapshotTxn, t *Table, index string, lo, hi uint64) Iterator {
+	return exec.NewIndexScan(tx, t, index, lo, hi)
+}
+
+// Filter drops rows failing pred.
+func Filter(in Iterator, pred func(Row) bool) Iterator { return exec.Filter(in, pred) }
+
+// Project rewrites each row image through proj (dst is a reused
+// scratch buffer to append into).
+func Project(in Iterator, proj func(dst []byte, r Row) []byte) Iterator {
+	return exec.Project(in, proj)
+}
+
+// Limit stops after n rows; upstream operators do no further work.
+func Limit(in Iterator, n int) Iterator { return exec.Limit(in, n) }
+
+// Merge combines key-ordered iterators into one key-ordered stream.
+func Merge(ins ...Iterator) Iterator { return exec.Merge(ins...) }
+
+// NewPlanner builds a scan planner with the given plan-cache capacity
+// (0 = default).
+func NewPlanner(capacity int) *Planner { return exec.NewPlanner(capacity) }
 
 // NewRowReader wraps a row image for decoding.
 func NewRowReader(row []byte) *RowReader { return storage.NewRowReader(row) }
@@ -189,6 +241,28 @@ func (p FlushPolicy) wal() wal.FlushPolicy {
 	}
 }
 
+// Isolation selects what Txn.Scan/IndexScan read (point reads are
+// always record-locked; snapshot reads via Session.BeginSnapshot are
+// always timestamp-frozen regardless of this knob).
+type Isolation int
+
+const (
+	// ReadCommitted streams the newest state with no frozen timestamp
+	// (the historical scan behavior, and the default).
+	ReadCommitted Isolation = iota
+	// SnapshotScans freezes each transaction's scans at the timestamp
+	// of its first scan; scans then miss the transaction's own
+	// uncommitted writes.
+	SnapshotScans
+)
+
+func (i Isolation) engine() engine.IsolationLevel {
+	if i == SnapshotScans {
+		return engine.SnapshotScans
+	}
+	return engine.ReadCommitted
+}
+
 // LRUPolicy selects the buffer pool's promotion synchronization (§6.1).
 type LRUPolicy int
 
@@ -233,6 +307,12 @@ type Options struct {
 	// Obs, when non-nil, is a dedicated observability bundle for this
 	// engine; nil uses the global Observability() default.
 	Obs *Obs
+	// ScanIsolation selects the isolation Txn.Scan/IndexScan run at
+	// (default ReadCommitted; see Isolation).
+	ScanIsolation Isolation
+	// MVCCGCInterval is the version-store GC period (0 = the engine
+	// default of 25ms; negative disables the background pass).
+	MVCCGCInterval time.Duration
 	// Seed makes the simulated devices deterministic.
 	Seed int64
 }
@@ -265,6 +345,8 @@ func Open(o Options) (*DB, error) {
 		Profiler:           o.Profiler,
 		SampleAgeRemaining: o.SampleAgeRemaining,
 		Obs:                o.Obs,
+		ScanIsolation:      o.ScanIsolation.engine(),
+		MVCCGCInterval:     o.MVCCGCInterval,
 		Seed:               o.Seed,
 	})
 	return db, nil
