@@ -269,12 +269,19 @@ func (t *Table) resolveSnapshot(h *buffer.Handle, key uint64, hint rowMeta, have
 				}
 			}
 		}
-		// The slot moved on (overwritten, relocated, or tombstoned by a
-		// newer write): the visible version now lives on the chain.
+		// The fast path failed: the slot moved on (overwritten,
+		// relocated, or tombstoned by a newer write) or the page read
+		// itself errored. The visible version may still be the INLINE
+		// one — a concurrent update that relocated the row and then
+		// ABORTED restores the hint's timestamp at a new rid, and a
+		// transient fetch error leaves the current meta equal to the
+		// hint — so a committed current meta at or below readTS must be
+		// resolved inline under the lock (which also surfaces a
+		// persistent I/O error instead of a silently-wrong chain walk).
+		// Only an uncommitted or too-new current meta proves the visible
+		// version lives on the chain.
 		cur, ok := t.index.Get(key)
-		if !ok {
-			// Only GC of an old committed tombstone removes keys, which
-			// contradicts a committed visible hint; resolve under the lock.
+		if !ok || (tsCommitted(cur.ts) && cur.ts <= readTS) {
 			return t.resolveSnapshotSlow(h, key, readTS, buf[:base])
 		}
 		return t.walkChain(key, cur, readTS, buf[:base])

@@ -154,6 +154,154 @@ func TestTxnMarkerVisibility(t *testing.T) {
 	}
 }
 
+// TestSnapshotHintSurvivesAbortedRelocation: a frozen index root hints
+// {t1, oldRID}; a concurrent transaction relocates the row (tombstoning
+// the hinted slot) and then ABORTS, so StampAbort restores timestamp t1
+// inline at the NEW rid with an empty chain. The snapshot read must
+// resolve the inline version — a chain walk from the restored meta
+// would skip it and lose the row.
+func TestSnapshotHintSurvivesAbortedRelocation(t *testing.T) {
+	tab, h := newMVCCTable(t)
+	clock := tab.Clock()
+	for k := uint64(1); k <= 3; k++ {
+		if err := tab.Insert(h, k, val(int(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := clock.BeginRead()
+	defer clock.EndRead(r)
+	it := tab.NewSnapshotIter(h, 0, ^uint64(0), r) // hints frozen here
+
+	// Grow key 2 past its slot (forces relocation), then abort: the
+	// undo write shrinks the image back in place and StampAbort pops the
+	// pre-transaction timestamp back inline at the relocated rid.
+	big := make([]byte, 256)
+	for i := range big {
+		big[i] = 'x'
+	}
+	if err := tab.UpdateTxn(h, 99, 2, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.UpdateTxn(h, 99, 2, val(2)); err != nil { // undo write
+		t.Fatal(err)
+	}
+	tab.StampAbort(99, 2)
+
+	got := map[uint64]string{}
+	for {
+		k, row, ok := it.Next()
+		if !ok {
+			break
+		}
+		got[k] = string(row)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("snapshot scan saw %d rows, want 3: %v", len(got), got)
+	}
+	for k := uint64(1); k <= 3; k++ {
+		if got[k] != string(val(int(k))) {
+			t.Fatalf("key %d: %q, want %q", k, got[k], val(int(k)))
+		}
+	}
+	if err := tab.CheckInvariants(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdatePlacementFailureLeaksNoVersion: when the relocate path fails
+// to place the new image after pushing the superseded version onto the
+// chain, the push must be undone — otherwise the arena holds a version
+// no chain reaches and invariant checks fail. updateLocked is driven
+// directly with an image too large for any page, which the public
+// wrappers pre-reject, to force placeRowLocked to fail.
+func TestUpdatePlacementFailureLeaksNoVersion(t *testing.T) {
+	tab, h := newMVCCTable(t)
+	if err := tab.Insert(h, 1, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, 4096)
+	tab.mu.Lock()
+	err := tab.updateLocked(h, writeMarker(7), 1, huge)
+	tab.mu.Unlock()
+	if !errors.Is(err, ErrRowTooLarge) {
+		t.Fatalf("updateLocked(huge): %v, want ErrRowTooLarge", err)
+	}
+	if st := tab.MVCCStats(); st.Versions != 0 {
+		t.Fatalf("failed update leaked %d arena versions", st.Versions)
+	}
+	if _, onList := tab.hist[1]; onList {
+		t.Fatal("failed update left key on the GC worklist")
+	}
+	if got, err := tab.Get(h, 1); err != nil || string(got) != "v0001" {
+		t.Fatalf("row after failed update: %q, %v", got, err)
+	}
+	r := tab.Clock().BeginRead()
+	if got, err := tab.SnapshotGet(h, 1, r); err != nil || string(got) != "v0001" {
+		t.Fatalf("snapshot after failed update: %q, %v", got, err)
+	}
+	tab.Clock().EndRead(r)
+	if err := tab.CheckInvariants(h); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same on the tombstone-reinsert path of insertLocked.
+	if err := tab.Delete(h, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := tab.MVCCStats().Versions
+	tab.mu.Lock()
+	err = tab.insertLocked(h, writeMarker(8), 1, huge)
+	tab.mu.Unlock()
+	if !errors.Is(err, ErrRowTooLarge) {
+		t.Fatalf("insertLocked(huge): %v, want ErrRowTooLarge", err)
+	}
+	if after := tab.MVCCStats().Versions; after != before {
+		t.Fatalf("failed reinsert grew the arena: %d -> %d", before, after)
+	}
+	if err := tab.CheckInvariants(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyRowRejected: zero-length row images are rejected up front on
+// every write path; in particular an empty in-place update must not
+// publish a new version timestamp over the old bytes.
+func TestEmptyRowRejected(t *testing.T) {
+	tab, h := newMVCCTable(t)
+	if err := tab.Insert(h, 1, nil); !errors.Is(err, ErrEmptyRow) {
+		t.Fatalf("Insert(empty): %v, want ErrEmptyRow", err)
+	}
+	if err := tab.InsertTxn(h, 7, 1, []byte{}); !errors.Is(err, ErrEmptyRow) {
+		t.Fatalf("InsertTxn(empty): %v, want ErrEmptyRow", err)
+	}
+	if err := tab.Insert(h, 1, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := tab.index.Get(1)
+	if err := tab.Update(h, 1, []byte{}); !errors.Is(err, ErrEmptyRow) {
+		t.Fatalf("Update(empty): %v, want ErrEmptyRow", err)
+	}
+	if err := tab.UpdateTxn(h, 7, 1, nil); !errors.Is(err, ErrEmptyRow) {
+		t.Fatalf("UpdateTxn(empty): %v, want ErrEmptyRow", err)
+	}
+	after, _ := tab.index.Get(1)
+	if after != before {
+		t.Fatalf("meta changed across rejected empty updates: %+v -> %+v", before, after)
+	}
+	if got, err := tab.Get(h, 1); err != nil || string(got) != "v0001" {
+		t.Fatalf("row after rejected updates: %q, %v", got, err)
+	}
+	if st := tab.MVCCStats(); st.Versions != 0 {
+		t.Fatalf("rejected updates grew the chain: %+v", st)
+	}
+	if err := tab.CheckInvariants(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGCReclaimsBehindLowWater: versions below the low-water mark are
 // freed; a registered reader pins exactly what it can still see.
 func TestGCReclaimsBehindLowWater(t *testing.T) {

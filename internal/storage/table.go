@@ -20,6 +20,9 @@ var (
 	ErrKeyNotFound = errors.New("storage: key not found")
 	// ErrRowTooLarge means the row cannot fit in a page.
 	ErrRowTooLarge = errors.New("storage: row too large for page")
+	// ErrEmptyRow means a zero-length row image was supplied; the
+	// slotted page cannot represent an empty live extent.
+	ErrEmptyRow = errors.New("storage: empty row")
 )
 
 // RID locates a row: the page and its slot.
@@ -142,6 +145,9 @@ func (t *Table) loadIndexes() []*secondaryIndex {
 // version is stamped from the table clock). h is the caller's
 // worker-local buffer handle. Transactional writers use InsertTxn.
 func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
+	if len(row) == 0 {
+		return ErrEmptyRow
+	}
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
@@ -157,6 +163,9 @@ func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
 // wid. The version stays marked uncommitted until StampCommit or
 // StampAbort; the caller must hold the key's exclusive record lock.
 func (t *Table) InsertTxn(h *buffer.Handle, wid, key uint64, row []byte) error {
+	if len(row) == 0 {
+		return ErrEmptyRow
+	}
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
@@ -174,15 +183,22 @@ func (t *Table) insertLocked(h *buffer.Handle, ts, key uint64, row []byte) error
 		if !meta.tomb {
 			return ErrDuplicateKey
 		}
+		pushed := uint32(0)
 		if meta.ts != ts {
 			// Insert over a committed tombstone: the tombstone becomes a
 			// chain version so older snapshots keep seeing the deletion.
 			meta.older = t.arena.push(meta.ts, nil, true, meta.older)
+			pushed = meta.older
 		}
 		// Same-transaction re-insert after its own delete reuses the
 		// marker; the chain already holds the pre-transaction version.
 		rid, err := t.placeRowLocked(h, row)
 		if err != nil {
+			if pushed != 0 {
+				// Unpublished (the index still holds the tombstone meta):
+				// free it so arena gauges stay equal to what is reachable.
+				t.arena.free(pushed)
+			}
 			return err
 		}
 		meta.rid, meta.ts, meta.tomb = rid, ts, false
@@ -336,6 +352,9 @@ func (t *Table) readRID(h *buffer.Handle, rid RID) ([]byte, error) {
 // pushing the superseded version onto the key's chain. Transactional
 // writers use UpdateTxn.
 func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
+	if len(row) == 0 {
+		return ErrEmptyRow
+	}
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
@@ -350,6 +369,9 @@ func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
 // UpdateTxn replaces the row under key on behalf of in-flight
 // transaction wid (see InsertTxn for the marker protocol).
 func (t *Table) UpdateTxn(h *buffer.Handle, wid, key uint64, row []byte) error {
+	if len(row) == 0 {
+		return ErrEmptyRow
+	}
 	if len(row) > maxRowSize(t.pool.PageSize()) {
 		return ErrRowTooLarge
 	}
@@ -371,18 +393,36 @@ func (t *Table) updateLocked(h *buffer.Handle, ts, key uint64, row []byte) error
 	if err != nil {
 		return err
 	}
+	prevOlder := meta.older
+	pushed := uint32(0)
 	if meta.ts != ts {
 		// First write of this version: preserve the superseded image.
 		// (A transaction overwriting its own uncommitted write replaces
 		// the bytes without growing the chain.)
 		cp := append([]byte(nil), old...)
 		meta.older = t.arena.push(meta.ts, cp, false, meta.older)
+		pushed = meta.older
 		t.noteHistoryLocked(key)
 	}
 	meta.ts = ts
+	// undoPush reverses this call's arena push when a later step fails:
+	// the new meta was never published (the index still holds the
+	// pre-call entry), so the pushed version is unreachable by every
+	// reader and freeing it keeps the arena gauges equal to what chains
+	// and limbo can reach.
+	undoPush := func() {
+		if pushed == 0 {
+			return
+		}
+		t.arena.free(pushed)
+		if prevOlder == 0 {
+			delete(t.hist, key)
+		}
+	}
 
 	fr, err := h.Fetch(meta.rid.Page)
 	if err != nil {
+		undoPush()
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
 	// In-place path: publish the new meta and overwrite the bytes under
@@ -411,12 +451,21 @@ func (t *Table) updateLocked(h *buffer.Handle, ts, key uint64, row []byte) error
 	oldRID := meta.rid
 	newRID, err := t.placeRowLocked(h, row)
 	if err != nil {
-		// The chain push (if any) stands; the inline meta still carries
-		// ts. Roll the timestamp back only if we pushed this call.
+		undoPush()
 		return err
 	}
 	fr2, err := h.Fetch(oldRID.Page)
 	if err != nil {
+		undoPush()
+		// Drop the just-placed copy too: its rid was never published, so
+		// no reader can hold it.
+		if nf, nerr := h.Fetch(newRID.Page); nerr == nil {
+			nf.Latch()
+			pageDeleteRow(nf.Data(), newRID.Slot)
+			nf.Unlatch()
+			nf.MarkDirty()
+			nf.Release()
+		}
 		return fmt.Errorf("storage %s: %w", t.name, err)
 	}
 	meta.rid = newRID
