@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-smoke repro torture torture-short
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-partition-json bench-smoke repro torture torture-short torture-partitioned
 
 all: build vet short
 
@@ -24,7 +24,7 @@ race:
 	$(GO) test -race -short ./internal/btree/... ./internal/buffer/... \
 		./internal/storage/... ./internal/obs/... ./internal/stats/... \
 		./internal/tprofiler/... ./internal/mvcc/... ./internal/exec/... \
-		./internal/engine/...
+		./internal/engine/... ./internal/partition/...
 
 # Observability overhead guardrail (see docs/OBSERVABILITY.md).
 bench:
@@ -53,6 +53,12 @@ bench-read-json:
 bench-scan-json:
 	sh scripts/bench_json.sh scan BENCH_PR7.json
 
+# Horizontal-partitioning suite -> BENCH_PR8.json: single-partition
+# TPC-C scaling across 1/2/4 partitions at -cpu 1,2,4,8 plus the
+# multi-partition-ratio sensitivity curve (see docs/PERF.md).
+bench-partition-json:
+	sh scripts/bench_json.sh partition BENCH_PR8.json
+
 # One-iteration benchmark compile-and-run pass over the hot-path
 # packages: catches benchmarks that no longer build or panic without
 # paying for a measurement run (CI runs this).
@@ -60,7 +66,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
 		./internal/buffer/ ./internal/storage/ ./internal/engine/ \
 		./internal/lock/ ./internal/wal/ ./internal/obs/ ./internal/exec/ \
-		./internal/mvcc/
+		./internal/mvcc/ ./internal/partition/
 
 repro:
 	$(GO) run ./cmd/repro -quick
@@ -76,3 +82,9 @@ torture:
 # Bounded, race-checked slice of the campaign for CI (<60s).
 torture-short:
 	$(GO) test -race -short -run 'TestTorture|TestRound|TestCleanShutdown' ./internal/torture/
+
+# Cross-partition (2PC) commit torture: crash points in the prepare,
+# decide and participant-apply windows, audited for all-or-nothing
+# visibility. Seed-replayable like the single-engine campaign.
+torture-partitioned:
+	$(GO) run ./cmd/torture -partitioned -seed $(SEED) -crashes $(CRASHES)

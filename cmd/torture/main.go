@@ -25,7 +25,13 @@ func main() {
 	crashes := flag.Int("crashes", 1000, "number of rounds (simulated machine lives)")
 	duration := flag.Duration("duration", 0, "optional wall-clock budget; 0 = unlimited")
 	verbose := flag.Bool("v", false, "print every round's summary")
+	partitioned := flag.Bool("partitioned", false, "torture the partitioned engine's cross-partition (2PC) commit path instead of the single-engine recovery path")
 	flag.Parse()
+
+	if *partitioned {
+		runPartitionedCampaign(*seed, *crashes, *duration, *verbose)
+		return
+	}
 
 	start := time.Now()
 	var crashed, clean, acked, lies int
@@ -63,4 +69,50 @@ func main() {
 	}
 	fmt.Printf("PASS: %d rounds, %d crashed, %d clean, %d commits audited, %d fsync lies survived, %s\n",
 		crashed+clean, crashed, clean, acked, lies, time.Since(start).Round(time.Millisecond))
+}
+
+// runPartitionedCampaign drives the cross-partition commit torture: each
+// round is an N-way partitioned machine life with a shared fault plan,
+// audited for all-or-nothing visibility across every crash point in the
+// 2PC prepare/decide/apply windows (see internal/torture/partition.go).
+func runPartitionedCampaign(seed int64, crashes int, duration time.Duration, verbose bool) {
+	start := time.Now()
+	var crashed, clean, acked, multi, decided, inDoubt, atRisk int
+	for i := 0; i < crashes; i++ {
+		if duration > 0 && time.Since(start) > duration {
+			fmt.Printf("duration budget reached after %d rounds\n", i)
+			break
+		}
+		roundSeed := seed + int64(i)
+		res := torture.RunPartitioned(torture.PartFromSeed(roundSeed))
+		if res.Crashed {
+			crashed++
+		} else {
+			clean++
+		}
+		acked += res.Acked
+		multi += res.Multi
+		decided += res.Decided
+		inDoubt += res.InDoubt
+		atRisk += res.AtRisk
+		if verbose {
+			fmt.Printf("seed %d: parts=%d policy=%v crashop=%d ops=%d crashed=%v loaded=%v acked=%d multi=%d decided=%d indoubt=%d atrisk=%d\n",
+				roundSeed, res.Cfg.Partitions, res.Cfg.Policy, res.Cfg.CrashOp, res.Ops,
+				res.Crashed, res.LoadDone, res.Acked, res.Multi, res.Decided, res.InDoubt, res.AtRisk)
+		}
+		if len(res.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "seed %d: %d invariant violation(s):\n", roundSeed, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "  - %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "REPRO: %s\n", res.ReproCmd())
+			os.Exit(1)
+		}
+		if n := i + 1; n%100 == 0 {
+			fmt.Printf("%d/%d rounds ok (%d crashed, %d clean, %d acked, %d multi, %d decided, %d in-doubt, %s)\n",
+				n, crashes, crashed, clean, acked, multi, decided, inDoubt, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("PASS: %d partitioned rounds, %d crashed, %d clean, %d acked, %d multi-partition txns, %d decided gtids, %d in-doubt gtids resolved to abort, %d at-risk (forgiven), %s\n",
+		crashed+clean, crashed, clean, acked, multi, decided, inDoubt, atRisk, time.Since(start).Round(time.Millisecond))
 }

@@ -22,22 +22,25 @@ import (
 
 func main() {
 	var (
-		wlName    = flag.String("workload", "tpcc", "tpcc | seats | tatp | epinions | ycsb")
-		sched     = flag.String("sched", "FCFS", "FCFS | VATS | RS")
-		flush     = flag.String("flush", "eager", "eager | lazyflush | lazywrite")
-		lru       = flag.String("lru", "eager", "eager | lazy (LLU)")
-		par       = flag.Bool("parallel-log", false, "two-stream parallel logging")
-		clients   = flag.Int("clients", 16, "concurrent terminals")
-		rate      = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
-		count     = flag.Int("count", 1000, "transactions to measure")
-		pages     = flag.Int("buffer", 4096, "buffer pool pages")
-		shards    = flag.Int("buffer-shards", 0, "buffer pool instances (0 = one)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		obsAddr   = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
-		sloP99    = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for the variance watchdog (0 = off)")
-		obsBudget = flag.Float64("obs-budget", 0.01, "span-capture overhead budget as a fraction of one core (negative = unlimited)")
-		scanners  = flag.Int("scanners", 0, "concurrent full-table snapshot scanners running alongside the workload (the HTAP scan-under-writers mode)")
-		scanIso   = flag.String("scan-isolation", "readcommitted", "readcommitted | snapshot: isolation for Txn.Scan/IndexScan inside workload transactions")
+		wlName     = flag.String("workload", "tpcc", "tpcc | seats | tatp | epinions | ycsb")
+		sched      = flag.String("sched", "FCFS", "FCFS | VATS | RS")
+		flush      = flag.String("flush", "eager", "eager | lazyflush | lazywrite")
+		lru        = flag.String("lru", "eager", "eager | lazy (LLU)")
+		par        = flag.Bool("parallel-log", false, "two-stream parallel logging")
+		clients    = flag.Int("clients", 16, "concurrent terminals")
+		rate       = flag.Float64("rate", 0, "offered load txn/s (0 = closed loop)")
+		count      = flag.Int("count", 1000, "transactions to measure")
+		pages      = flag.Int("buffer", 4096, "buffer pool pages")
+		shards     = flag.Int("buffer-shards", 0, "buffer pool instances (0 = one)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		obsAddr    = flag.String("obs", "", "serve live /metrics + /debug on this address (e.g. :9090)")
+		sloP99     = flag.Float64("slo-p99", 0, "p99 latency SLO in ms for the variance watchdog (0 = off)")
+		obsBudget  = flag.Float64("obs-budget", 0.01, "span-capture overhead budget as a fraction of one core (negative = unlimited)")
+		scanners   = flag.Int("scanners", 0, "concurrent full-table snapshot scanners running alongside the workload (the HTAP scan-under-writers mode)")
+		scanIso    = flag.String("scan-isolation", "readcommitted", "readcommitted | snapshot: isolation for Txn.Scan/IndexScan inside workload transactions")
+		parts      = flag.Int("partitions", 0, "run the horizontally partitioned engine with N partitions (0 = plain engine; tpcc only)")
+		xwh        = flag.Float64("xwarehouse", 0, "cross-warehouse (multi-partition) fraction for partitioned tpcc Payments and NewOrder remote supply, in [0,1]")
+		warehouses = flag.Int("warehouses", 0, "tpcc warehouse count for the partitioned run (0 = workload default)")
 	)
 	flag.Parse()
 
@@ -82,6 +85,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -scan-isolation %q\n", *scanIso)
 		os.Exit(2)
+	}
+
+	if *parts > 0 {
+		if *wlName != "tpcc" {
+			fmt.Fprintln(os.Stderr, "-partitions supports -workload tpcc only")
+			os.Exit(2)
+		}
+		runPartitioned(opts, *parts, *warehouses, *xwh, *sched, *clients, *rate, *count, *seed)
+		if *obsAddr != "" {
+			printAttribution(vats.Observability())
+		}
+		return
 	}
 
 	wl, err := vats.NewWorkload(*wlName)
@@ -171,6 +186,89 @@ func main() {
 
 	if *obsAddr != "" {
 		printAttribution(vats.Observability())
+	}
+}
+
+// runPartitioned drives partitioned TPC-C: N independent partitions
+// hash-routed by warehouse, with xwh controlling the multi-partition
+// (cross-warehouse) transaction fraction. It reports the usual latency
+// summary plus the router's single/multi split and the per-partition
+// throughput skew.
+func runPartitioned(opts vats.Options, parts, warehouses int, xwh float64, sched string, clients int, rate float64, count int, seed int64) {
+	opts.Partitions = parts
+	pdb, err := vats.OpenPartitioned(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pdb.Close()
+
+	wl := vats.NewPartitionedTPCC(warehouses, xwh, xwh)
+	res, err := vats.RunPartitionedBenchmark(pdb, wl, vats.BenchConfig{
+		Clients: clients,
+		Rate:    rate,
+		Count:   count,
+		Warmup:  count / 10,
+		Seed:    seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=tpcc-part scheduler=%s partitions=%d xwarehouse=%.2f clients=%d rate=%.0f\n",
+		strings.ToUpper(sched), parts, xwh, clients, rate)
+	fmt.Printf("overall: %s\n", res.Overall.String())
+	fmt.Printf("throughput: %.0f txn/s, errors: %d\n", res.Throughput, res.Errors)
+
+	tags := make([]string, 0, len(res.PerTag))
+	for tag := range res.PerTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	fmt.Printf("\n%-22s %8s %10s %10s %10s\n", "transaction type", "n", "mean ms", "p99 ms", "cov")
+	for _, tag := range tags {
+		s := res.PerTag[tag]
+		fmt.Printf("%-22s %8d %10.3f %10.3f %10.2f\n", tag, s.N, s.Mean, s.P99, s.CoV)
+	}
+
+	st := pdb.Stats()
+	total := st.Single + st.Multi
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(st.Multi) / float64(total)
+	}
+	fmt.Printf("\nrouting: single=%d multi=%d (%.1f%% multi) 2pc-aborts=%d\n",
+		st.Single, st.Multi, 100*ratio, st.MultiAborts)
+
+	// Per-partition participation skew: each partition's share of all
+	// transaction participations, plus max/mean as the skew figure.
+	var sum, max int64
+	for _, n := range st.PerPartition {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	fmt.Printf("%-12s %12s %8s\n", "partition", "txns", "share")
+	for p, n := range st.PerPartition {
+		share := 0.0
+		if sum > 0 {
+			share = float64(n) / float64(sum)
+		}
+		fmt.Printf("%-12d %12d %7.1f%%\n", p, n, 100*share)
+	}
+	if sum > 0 && len(st.PerPartition) > 0 {
+		mean := float64(sum) / float64(len(st.PerPartition))
+		fmt.Printf("skew: max/mean = %.2f\n", float64(max)/mean)
+	}
+
+	for p := 0; p < pdb.Partitions(); p++ {
+		e := pdb.Partition(p)
+		ls := e.Locks().Stats()
+		ws := e.Log().Stats()
+		fmt.Printf("partition %d: lock-waits=%d deadlocks=%d timeouts=%d wal-appends=%d wal-flushes=%d\n",
+			p, ls.Waits, ls.Deadlocks, ls.Timeouts, ws.Appends, ws.Flushes)
 	}
 }
 

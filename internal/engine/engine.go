@@ -399,6 +399,11 @@ type Session struct {
 	spareEnds  []int
 	spareViews [][]byte
 
+	// Reusable undo buffers, lent the same way: the undo entries and the
+	// packed before-images they reference by offset.
+	spareUndo    []undoEntry
+	spareUndoBuf []byte
+
 	// Single-entry table cache: a session typically hammers one table
 	// per statement batch, so repeat resolutions skip even the atomic
 	// catalog load.
@@ -465,7 +470,28 @@ func (s *Session) BeginAt(birth time.Time) *Txn {
 	}
 	tx.redo, s.spareRedo = s.spareRedo[:0], nil
 	tx.redoEnds, s.spareEnds = s.spareEnds[:0], nil
+	tx.undo, s.spareUndo = s.spareUndo[:0], nil
+	tx.undoBuf, s.spareUndoBuf = s.spareUndoBuf[:0], nil
 	return tx
+}
+
+// LogDecision durably records the coordinator's commit decision for a
+// global transaction id — the point of no return in two-phase commit.
+// The decide record is forced to disk under its own engine transaction
+// id regardless of the flush policy; once it returns, recovery on ANY
+// participant that can see this stream resolves the gtid as committed.
+func (db *DB) LogDecision(gtid uint64) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	id := db.nextTxn.Add(1)
+	if _, err := db.log.AppendBatch(id, [][]byte{encodeRedo(redoDecide, 0, gtid, nil)}); err != nil {
+		return fmt.Errorf("engine: log decision: %w", err)
+	}
+	if err := db.log.CommitSync(id); err != nil {
+		return fmt.Errorf("engine: log decision: %w", err)
+	}
+	return nil
 }
 
 // IsRetryable reports whether an error is a transient concurrency

@@ -24,6 +24,33 @@ import (
 // in LSN order, which under strict 2PL is consistent with the original
 // conflict order.
 func (db *DB) Recover(entries []wal.Entry) error {
+	return db.RecoverWith(entries, nil)
+}
+
+// DecisionsIn scans durable entries for coordinator decide records and
+// returns the set of global transaction ids they commit. A partitioned
+// recovery unions DecisionsIn over every partition's streams before
+// calling RecoverWith on each, since the decision for a gtid may live in
+// any one participant's log.
+func DecisionsIn(entries []wal.Entry) map[uint64]bool {
+	var out map[uint64]bool
+	for _, e := range entries {
+		if op, _, gtid, _, err := decodeRedo(e.Payload); err == nil && op == redoDecide {
+			if out == nil {
+				out = make(map[uint64]bool)
+			}
+			out[gtid] = true
+		}
+	}
+	return out
+}
+
+// RecoverWith is Recover with an external commit-decision oracle for
+// prepared transactions: a transaction with a durable prepare marker but
+// no local commit marker is replayed iff decided reports its gtid as
+// committed (presumed abort otherwise). A nil decided treats every
+// undecided prepare as aborted.
+func (db *DB) RecoverWith(entries []wal.Entry, decided func(gtid uint64) bool) error {
 	// Collect checkpoint end markers, newest first, then pick the
 	// newest whose declared row count matches the rows that survived.
 	type ckptMark struct {
@@ -65,12 +92,22 @@ func (db *DB) Recover(entries []wal.Entry) error {
 		if e.LSN <= ckptEnd {
 			continue
 		}
-		op, _, _, _, err := decodeRedo(e.Payload)
+		op, _, key, _, err := decodeRedo(e.Payload)
 		if err != nil {
 			return fmt.Errorf("engine: recover: %w", err)
 		}
-		if op == redoCommit {
+		switch op {
+		case redoCommit:
 			committed[e.Txn] = true
+		case redoPrepare:
+			// In-doubt resolution: a prepared write set commits iff the
+			// coordinator's decision for its gtid (the key field) is
+			// durable somewhere. The decision was logged only after every
+			// participant's prepare was forced durable, so this rule gives
+			// the same all-or-nothing answer on every partition.
+			if decided != nil && decided(key) {
+				committed[e.Txn] = true
+			}
 		}
 	}
 
@@ -129,7 +166,8 @@ func (db *DB) Recover(entries []wal.Entry) error {
 		if err != nil {
 			return fmt.Errorf("engine: recover: %w", err)
 		}
-		if op == redoCommit || op == redoCkptRow || op == redoCkptEnd {
+		if op == redoCommit || op == redoCkptRow || op == redoCkptEnd ||
+			op == redoPrepare || op == redoDecide {
 			continue
 		}
 		if err := apply(op, space, key, row); err != nil {

@@ -11,6 +11,8 @@ const (
 	RedoCommit  = redoCommit
 	RedoCkptRow = redoCkptRow
 	RedoCkptEnd = redoCkptEnd
+	RedoPrepare = redoPrepare
+	RedoDecide  = redoDecide
 )
 
 // DecodeRedo decodes one redo record payload (see encodeRedo).

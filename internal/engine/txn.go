@@ -32,6 +32,17 @@ type Txn struct {
 	done  bool
 	wrote bool
 
+	// prepared is set once Prepare sealed the write set durably in the
+	// WAL (phase one of two-phase commit); the transaction then finishes
+	// with CommitPrepared or Rollback.
+	prepared bool
+
+	// undoBuf holds every statement's before-image back to back; the
+	// undo entries reference it by offset. Borrowed from the Session like
+	// the redo buffers, so steady-state updates/deletes capture their
+	// before-image without allocating.
+	undoBuf []byte
+
 	// redo accumulates the transaction's encoded redo records; redoEnds
 	// marks each record's end offset. The buffers are borrowed from the
 	// Session at Begin and returned at Commit/Rollback, so steady-state
@@ -67,25 +78,42 @@ func (tx *Txn) SetTag(tag string) {
 	tx.tr.SetTag(tag)
 }
 
+// undoEntry references one statement's before-image inside the
+// transaction's shared undoBuf (offset + length instead of a slice, so
+// the buffer can grow without leaving stale views behind). Inserts have
+// no before-image and carry oldLen 0.
 type undoEntry struct {
-	t   *storage.Table
-	op  byte
-	key uint64
-	old []byte
+	t      *storage.Table
+	op     byte
+	key    uint64
+	oldOff int
+	oldLen int
 }
 
-// Redo-record op codes.
+// Redo-record op codes (5 and 6 are the checkpoint records, see
+// checkpoint.go; 7 and 8 are the two-phase-commit records).
 const (
 	redoInsert byte = 1
 	redoUpdate byte = 2
 	redoDelete byte = 3
 	redoCommit byte = 4
+	// redoPrepare seals a participant's write set for two-phase commit:
+	// key carries the global transaction id (gtid). The writes and the
+	// prepare marker travel as one WAL batch, so after a crash either
+	// the whole prepared write set survives or none of it does.
+	redoPrepare byte = 7
+	// redoDecide is the coordinator's durable commit decision for a
+	// gtid (key field). Recovery treats a prepared transaction as
+	// committed iff a decision for its gtid is durable somewhere.
+	redoDecide byte = 8
 )
 
 // Errors.
 var (
 	// ErrTxnDone means the transaction already committed or rolled back.
 	ErrTxnDone = errors.New("engine: transaction finished")
+	// ErrNotPrepared means CommitPrepared was called without Prepare.
+	ErrNotPrepared = errors.New("engine: CommitPrepared without Prepare")
 )
 
 // ID returns the transaction id.
@@ -239,19 +267,22 @@ func (tx *Txn) Update(t *storage.Table, key uint64, row []byte) error {
 	if err := tx.lockRecord(t, key, lock.Exclusive); err != nil {
 		return err
 	}
-	old, err := t.Get(tx.s.h, key)
+	base := len(tx.undoBuf)
+	buf, err := t.GetInto(tx.s.h, key, tx.undoBuf)
 	if err != nil {
 		tx.recordBufWaits()
 		return err
 	}
+	tx.undoBuf = buf
 	rtok := tx.tc.Enter("row.update")
 	err = t.UpdateTxn(tx.s.h, uint64(tx.id), key, row)
 	tx.recordBufWaits()
 	tx.tc.Exit(rtok)
 	if err != nil {
+		tx.undoBuf = tx.undoBuf[:base]
 		return err
 	}
-	tx.undo = append(tx.undo, undoEntry{t: t, op: redoUpdate, key: key, old: old})
+	tx.undo = append(tx.undo, undoEntry{t: t, op: redoUpdate, key: key, oldOff: base, oldLen: len(buf) - base})
 	tx.appendRedo(redoUpdate, t.Space(), key, row)
 	return nil
 }
@@ -266,19 +297,22 @@ func (tx *Txn) Delete(t *storage.Table, key uint64) error {
 	if err := tx.lockRecord(t, key, lock.Exclusive); err != nil {
 		return err
 	}
-	old, err := t.Get(tx.s.h, key)
+	base := len(tx.undoBuf)
+	buf, err := t.GetInto(tx.s.h, key, tx.undoBuf)
 	if err != nil {
 		tx.recordBufWaits()
 		return err
 	}
+	tx.undoBuf = buf
 	rtok := tx.tc.Enter("row.delete")
 	err = t.DeleteTxn(tx.s.h, uint64(tx.id), key)
 	tx.recordBufWaits()
 	tx.tc.Exit(rtok)
 	if err != nil {
+		tx.undoBuf = tx.undoBuf[:base]
 		return err
 	}
-	tx.undo = append(tx.undo, undoEntry{t: t, op: redoDelete, key: key, old: old})
+	tx.undo = append(tx.undo, undoEntry{t: t, op: redoDelete, key: key, oldOff: base, oldLen: len(buf) - base})
 	tx.appendRedo(redoDelete, t.Space(), key, nil)
 	return nil
 }
@@ -366,11 +400,14 @@ func (tx *Txn) appendRedo(op byte, space uint32, key uint64, row []byte) {
 	tx.tc.Exit(tok)
 }
 
-// releaseRedo returns the redo buffers to the session for reuse by the
-// next transaction. Safe after AppendBatch: the WAL copies payloads.
+// releaseRedo returns the redo and undo buffers to the session for
+// reuse by the next transaction. Safe after AppendBatch: the WAL copies
+// payloads.
 func (tx *Txn) releaseRedo() {
 	tx.s.spareRedo, tx.redo = tx.redo, nil
 	tx.s.spareEnds, tx.redoEnds = tx.redoEnds, nil
+	tx.s.spareUndo, tx.undo = tx.undo, nil
+	tx.s.spareUndoBuf, tx.undoBuf = tx.undoBuf, nil
 }
 
 // Commit makes the transaction durable per the flush policy and releases
@@ -439,6 +476,89 @@ func (tx *Txn) Commit() error {
 	return nil
 }
 
+// Prepare seals this participant's write set durably in the WAL without
+// committing — phase one of two-phase commit. The writes and a prepare
+// marker carrying the caller's global transaction id travel as ONE
+// forced-durable batch, so after a crash the prepared write set is
+// either fully recoverable or fully absent, never torn. Locks and undo
+// state stay live: the coordinator finishes the transaction with
+// CommitPrepared once a decision record is durable (DB.LogDecision) or
+// with Rollback on abort. Aborts after Prepare need no abort record —
+// recovery presumes abort for any prepared transaction whose gtid has
+// no durable decision. Read-only participants prepare trivially without
+// touching the WAL.
+func (tx *Txn) Prepare(gtid uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if tx.prepared {
+		return nil
+	}
+	if tx.wrote {
+		tx.appendRedo(redoPrepare, 0, gtid, nil)
+		views := tx.s.spareViews[:0]
+		start := 0
+		for _, end := range tx.redoEnds {
+			views = append(views, tx.redo[start:end])
+			start = end
+		}
+		tok := tx.tc.Enter("commit")
+		_, err := tx.s.db.log.AppendBatch(uint64(tx.id), views)
+		if err == nil {
+			ftok := tx.tc.Enter("log.flush")
+			fstart := time.Now()
+			// Prepare is always forced durable, whatever the flush
+			// policy: the commit decision may only be logged once every
+			// participant's prepare survives any crash.
+			err = tx.s.db.log.CommitSync(uint64(tx.id))
+			if tx.tr != nil {
+				tx.tr.Add(obs.EvLogFlush, time.Since(fstart), 0)
+			}
+			tx.tc.Exit(ftok)
+		}
+		tx.tc.Exit(tok)
+		for i := range views {
+			views[i] = nil
+		}
+		tx.s.spareViews = views[:0]
+		if err != nil {
+			return fmt.Errorf("engine: prepare: %w", err)
+		}
+		// The write set is sealed; the commit marker (if the decision is
+		// commit) goes out later as its own batch in CommitPrepared.
+		tx.redo = tx.redo[:0]
+		tx.redoEnds = tx.redoEnds[:0]
+	}
+	tx.prepared = true
+	return nil
+}
+
+// CommitPrepared runs phase two of two-phase commit on this participant:
+// it appends the commit marker at the policy's normal durability (the
+// forced-durable decision record already settled the outcome), stamps
+// the written versions, and releases locks. Only valid after Prepare.
+func (tx *Txn) CommitPrepared() error {
+	if !tx.prepared {
+		return ErrNotPrepared
+	}
+	return tx.Commit()
+}
+
+// RecordQueueWait attributes d of partition-executor queue wait to this
+// transaction's profile and trace, feeding the part.queue_wait factor of
+// the live variance attribution.
+func (tx *Txn) RecordQueueWait(d time.Duration) {
+	tx.tc.Record(obs.FactorQueueWait, d)
+	tx.tr.Add(obs.EvQueueWait, d, 0)
+}
+
+// Record2PC attributes d of cross-partition commit coordination (the
+// prepare/decide/commit round) to the part.xpart_2pc factor.
+func (tx *Txn) Record2PC(d time.Duration) {
+	tx.tc.Record(obs.Factor2PC, d)
+	tx.tr.Add(obs.Ev2PC, d, 0)
+}
+
 // Rollback undoes the transaction's writes and releases its locks. It is
 // safe to call on a finished transaction (no-op).
 func (tx *Txn) Rollback() {
@@ -454,13 +574,14 @@ func (tx *Txn) Rollback() {
 	wid := uint64(tx.id)
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
+		old := tx.undoBuf[u.oldOff : u.oldOff+u.oldLen]
 		switch u.op {
 		case redoInsert:
 			_ = u.t.DeleteTxn(tx.s.h, wid, u.key)
 		case redoUpdate:
-			_ = u.t.UpdateTxn(tx.s.h, wid, u.key, u.old)
+			_ = u.t.UpdateTxn(tx.s.h, wid, u.key, old)
 		case redoDelete:
-			_ = u.t.InsertTxn(tx.s.h, wid, u.key, u.old)
+			_ = u.t.InsertTxn(tx.s.h, wid, u.key, old)
 		}
 	}
 	for i := range tx.undo {

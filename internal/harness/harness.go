@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vats/internal/engine"
+	"vats/internal/partition"
 	"vats/internal/stats"
 	"vats/internal/workload"
 )
@@ -99,6 +100,30 @@ func Run(db *engine.DB, wl workload.Workload, rc RunConfig) (Result, error) {
 		}
 		clients[i] = c
 	}
+	return RunClients(wl.Name(), db.Locks().Scheduler().Name(), clients, rc)
+}
+
+// RunPartitioned drives a partition-aware workload against a
+// partitioned engine with the same driver and measurement semantics as
+// Run. Call wl.LoadPartitioned(pdb) first.
+func RunPartitioned(pdb *partition.DB, wl workload.PartitionedWorkload, rc RunConfig) (Result, error) {
+	rc.defaults()
+	clients := make([]workload.Client, rc.Clients)
+	for i := range clients {
+		c, err := wl.NewPartitionedClient(pdb, rc.Seed+int64(i)*7919+1)
+		if err != nil {
+			return Result{}, err
+		}
+		clients[i] = c
+	}
+	return RunClients(wl.Name(), pdb.Partition(0).Locks().Scheduler().Name(), clients, rc)
+}
+
+// RunClients is the driver core shared by Run and RunPartitioned: it
+// paces rc.Count transactions across the pre-built clients (open loop
+// at rc.Rate, closed loop at 0) and summarizes measured latencies.
+func RunClients(name, scheduler string, clients []workload.Client, rc RunConfig) (Result, error) {
+	rc.defaults()
 
 	type token struct {
 		due time.Time
@@ -160,8 +185,8 @@ func Run(db *engine.DB, wl workload.Workload, rc RunConfig) (Result, error) {
 	elapsed := time.Since(begin)
 
 	res := Result{
-		Workload:  wl.Name(),
-		Scheduler: db.Locks().Scheduler().Name(),
+		Workload:  name,
+		Scheduler: scheduler,
 		Overall:   stats.Summarize(overall),
 		PerTag:    make(map[string]stats.Summary, len(perTag)),
 		Errors:    errs,

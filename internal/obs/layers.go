@@ -318,6 +318,82 @@ func (m *EngineMetrics) Abort(d time.Duration) {
 	m.latency.ObserveDuration(d)
 }
 
+// PartitionMetrics instruments the partitioned engine's router and
+// executors: per-partition queue-depth gauges, the single- vs multi-
+// partition routing split, queue-wait and 2PC-round latency histograms,
+// and cross-partition abort counts.
+type PartitionMetrics struct {
+	depth     []*Gauge
+	single    *Counter
+	multi     *Counter
+	queueWait *Histogram
+	round2pc  *Histogram
+	aborts2pc *Counter
+}
+
+// NewPartitionMetrics registers the partition series for n partitions.
+func NewPartitionMetrics(o *Obs, n int) *PartitionMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	m := &PartitionMetrics{
+		single:    r.Counter("part_txn_single_total"),
+		multi:     r.Counter("part_txn_multi_total"),
+		queueWait: r.Histogram("part_queue_wait_ms"),
+		round2pc:  r.Histogram("part_2pc_round_ms"),
+		aborts2pc: r.Counter("part_2pc_aborts_total"),
+	}
+	for i := 0; i < n; i++ {
+		m.depth = append(m.depth,
+			r.Gauge("part_queue_depth", Label{"partition", strconv.Itoa(i)}))
+	}
+	return m
+}
+
+// Enqueued tracks a single-partition transaction entering partition p's
+// executor queue.
+func (m *PartitionMetrics) Enqueued(p int) {
+	if m == nil {
+		return
+	}
+	m.single.Inc()
+	if p >= 0 && p < len(m.depth) {
+		m.depth[p].Add(1)
+	}
+}
+
+// Dequeued records a transaction leaving partition p's queue after
+// waiting d.
+func (m *PartitionMetrics) Dequeued(p int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if p >= 0 && p < len(m.depth) {
+		m.depth[p].Add(-1)
+	}
+	m.queueWait.ObserveDuration(d)
+}
+
+// Round2PC records one completed cross-partition commit round.
+func (m *PartitionMetrics) Round2PC(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.multi.Inc()
+	m.round2pc.ObserveDuration(d)
+}
+
+// Abort2PC counts a cross-partition transaction that aborted (any
+// participant failed or the application returned an error).
+func (m *PartitionMetrics) Abort2PC() {
+	if m == nil {
+		return
+	}
+	m.multi.Inc()
+	m.aborts2pc.Inc()
+}
+
 // MVCCMetrics instruments the version store: chain-walk frequency and
 // depth (snapshot reads that left the newest-version-inline fast path),
 // GC pass latency and reclamation, and arena occupancy gauges.

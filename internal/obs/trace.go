@@ -22,6 +22,12 @@ const (
 	EvCommit
 	EvAbort
 	EvLRUWait
+	// EvQueueWait is time spent queued for a partition executor before
+	// the transaction's first attempt began running.
+	EvQueueWait
+	// Ev2PC is time spent inside the cross-partition prepare/decide/
+	// commit round of two-phase commit.
+	Ev2PC
 )
 
 // String names the event type.
@@ -43,6 +49,10 @@ func (t EventType) String() string {
 		return "abort"
 	case EvLRUWait:
 		return "lru.wait"
+	case EvQueueWait:
+		return "queue.wait"
+	case Ev2PC:
+		return "xpart.2pc"
 	default:
 		return "unknown"
 	}
@@ -52,10 +62,12 @@ func (t EventType) String() string {
 // variance engine attributes. They match the offline profiler's leaf
 // names (Txn's span table) so live and offline decompositions line up.
 const (
-	FactorLockWait = "lock.wait"
-	FactorBufIO    = "buf.io"
-	FactorBufLRU   = "buf.pool_mutex"
-	FactorLogFlush = "log.flush"
+	FactorLockWait  = "lock.wait"
+	FactorBufIO     = "buf.io"
+	FactorBufLRU    = "buf.pool_mutex"
+	FactorLogFlush  = "log.flush"
+	FactorQueueWait = "part.queue_wait"
+	Factor2PC       = "part.xpart_2pc"
 )
 
 // Event is one timestamped occurrence inside a transaction.
@@ -172,6 +184,10 @@ func (tr *TxnTrace) Spans() map[string]float64 {
 			spans[FactorLogFlush] += ms(ev.Dur)
 		case EvLRUWait:
 			spans[FactorBufLRU] += ms(ev.Dur)
+		case EvQueueWait:
+			spans[FactorQueueWait] += ms(ev.Dur)
+		case Ev2PC:
+			spans[Factor2PC] += ms(ev.Dur)
 		}
 	}
 	return spans

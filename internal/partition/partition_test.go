@@ -1,0 +1,404 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"vats/internal/disk"
+	"vats/internal/engine"
+	"vats/internal/storage"
+)
+
+// fastConfig builds a small engine config with near-zero device latency.
+func fastConfig(seed int64) engine.Config {
+	mk := func(name string, s int64) *disk.Device {
+		dc := disk.DefaultConfig(name, s)
+		dc.MedianLatency = 2 * time.Microsecond
+		return disk.New(dc)
+	}
+	return engine.Config{
+		BufferCapacity: 128,
+		LockTimeout:    500 * time.Millisecond,
+		DataDevice:     mk("data", seed+1),
+		LogDevices:     []*disk.Device{mk("log0", seed+2)},
+		Seed:           seed,
+	}
+}
+
+func openTest(t *testing.T, n int) (*DB, *Table) {
+	t.Helper()
+	db := Open(Options{
+		Partitions: n,
+		Workers:    2,
+		EngineFor: func(p int, base engine.Config) engine.Config {
+			return fastConfig(int64(1000 + 100*p))
+		},
+	})
+	tab, err := db.CreateTable("kv", func(pk uint64) uint64 { return pk })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+func row(v uint64) []byte {
+	var b storage.RowBuilder
+	return b.Uint64(v).Bytes()
+}
+
+func TestSinglePartitionRouting(t *testing.T) {
+	db, tab := openTest(t, 4)
+	defer db.Close()
+	for k := uint64(1); k <= 40; k++ {
+		k := k
+		err := db.Run("w", []Ref{{Table: tab, Key: k}}, func(tx *Txn) error {
+			if got, want := tx.Partition(), int(k%4); got != want {
+				return fmt.Errorf("partition %d, want %d", got, want)
+			}
+			return tx.Insert(tab, k, row(k*10))
+		})
+		if err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	for k := uint64(1); k <= 40; k++ {
+		k := k
+		err := db.Run("r", []Ref{{Table: tab, Key: k}}, func(tx *Txn) error {
+			img, err := tx.Get(tab, k)
+			if err != nil {
+				return err
+			}
+			if got := storage.NewRowReader(img).Uint64(); got != k*10 {
+				return fmt.Errorf("key %d: got %d", k, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Single != 80 || st.Multi != 0 {
+		t.Fatalf("stats: single=%d multi=%d, want 80/0", st.Single, st.Multi)
+	}
+	for p, n := range st.PerPartition {
+		if n != 20 {
+			t.Fatalf("partition %d: %d txns, want 20", p, n)
+		}
+	}
+}
+
+func TestMisrouteRejected(t *testing.T) {
+	db, tab := openTest(t, 4)
+	defer db.Close()
+	// Declared to key 1's partition (1), touching key 2 (partition 2).
+	err := db.Run("bad", []Ref{{Table: tab, Key: 1}}, func(tx *Txn) error {
+		return tx.Insert(tab, 2, row(1))
+	})
+	if !errors.Is(err, ErrMisrouted) {
+		t.Fatalf("err = %v, want ErrMisrouted", err)
+	}
+}
+
+func TestMultiPartitionCommit(t *testing.T) {
+	db, tab := openTest(t, 4)
+	defer db.Close()
+	refs := []Ref{{Table: tab, Key: 1}, {Table: tab, Key: 2}, {Table: tab, Key: 3}}
+	err := db.Run("xfer", refs, func(tx *Txn) error {
+		for k := uint64(1); k <= 3; k++ {
+			if err := tx.Insert(tab, k, row(100+k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every write visible on its own partition.
+	for k := uint64(1); k <= 3; k++ {
+		k := k
+		if err := db.Run("check", []Ref{{Table: tab, Key: k}}, func(tx *Txn) error {
+			img, err := tx.Get(tab, k)
+			if err != nil {
+				return err
+			}
+			if got := storage.NewRowReader(img).Uint64(); got != 100+k {
+				return fmt.Errorf("key %d: got %d", k, got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.Multi != 1 {
+		t.Fatalf("multi = %d, want 1", st.Multi)
+	}
+}
+
+// TestMultiPartitionAbortLeavesNoPartialState is the differential
+// atomicity check: a cross-partition transaction that fails on ANY
+// participant (here: the application errors after writing several
+// partitions) must leave no partial state visible to snapshot reads on
+// any partition.
+func TestMultiPartitionAbortLeavesNoPartialState(t *testing.T) {
+	db, tab := openTest(t, 4)
+	defer db.Close()
+	// Seed one committed row per partition, then snapshot the state.
+	for k := uint64(1); k <= 4; k++ {
+		k := k
+		if err := db.Run("seed", []Ref{{Table: tab, Key: k}}, func(tx *Txn) error {
+			return tx.Insert(tab, k, row(k))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := snapshotAll(t, db, tab)
+
+	boom := errors.New("participant failure")
+	err := db.Run("abort", []Ref{{Table: tab, Key: 1}, {Table: tab, Key: 2}, {Table: tab, Key: 3}}, func(tx *Txn) error {
+		if err := tx.Update(tab, 1, row(999)); err != nil {
+			return err
+		}
+		if err := tx.Insert(tab, 5, row(999)); err != nil { // partition 1
+			return err
+		}
+		if err := tx.Update(tab, 2, row(999)); err != nil {
+			return err
+		}
+		return boom // the last participant "votes no"
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want participant failure", err)
+	}
+
+	after := snapshotAll(t, db, tab)
+	if len(before) != len(after) {
+		t.Fatalf("row count changed: %d -> %d", len(before), len(after))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("key %d changed: %d -> %d", k, v, after[k])
+		}
+	}
+	if st := db.Stats(); st.MultiAborts != 1 {
+		t.Fatalf("multiAborts = %d, want 1", st.MultiAborts)
+	}
+}
+
+// snapshotAll reads every partition through lock-free snapshot reads.
+func snapshotAll(t *testing.T, db *DB, tab *Table) map[uint64]uint64 {
+	t.Helper()
+	out := make(map[uint64]uint64)
+	for p := 0; p < db.Partitions(); p++ {
+		snap := db.Partition(p).NewSession().BeginSnapshot()
+		err := snap.Scan(tab.Shard(p), 0, ^uint64(0), func(k uint64, img []byte) bool {
+			out[k] = storage.NewRowReader(img).Uint64()
+			return true
+		})
+		snap.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestReplicatedTable(t *testing.T) {
+	db, tab := openTest(t, 3)
+	defer db.Close()
+	rep, err := db.CreateTable("ref", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loader path: identical copy everywhere.
+	for p := 0; p < db.Partitions(); p++ {
+		p := p
+		if err := db.RunOn(p, func(tx *engine.Txn) error {
+			return tx.Insert(rep.Shard(p), 7, row(70))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Readable from any single-partition transaction, locally.
+	for k := uint64(1); k <= 3; k++ {
+		k := k
+		if err := db.Run("r", []Ref{{Table: tab, Key: k}}, func(tx *Txn) error {
+			img, err := tx.Get(rep, 7)
+			if err != nil {
+				return err
+			}
+			if got := storage.NewRowReader(img).Uint64(); got != 70 {
+				return fmt.Errorf("got %d", got)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Runtime writes rejected.
+	err = db.Run("w", []Ref{{Table: tab, Key: 1}}, func(tx *Txn) error {
+		return tx.Update(rep, 7, row(71))
+	})
+	if !errors.Is(err, ErrReplicatedWrite) {
+		t.Fatalf("err = %v, want ErrReplicatedWrite", err)
+	}
+}
+
+func TestCrossPartitionScanRejected(t *testing.T) {
+	db, tab := openTest(t, 4)
+	defer db.Close()
+	err := db.Run("scan", []Ref{{Table: tab, Key: 1}}, func(tx *Txn) error {
+		return tx.Scan(tab, 1, 2, func(uint64, []byte) bool { return true })
+	})
+	if !errors.Is(err, ErrCrossPartitionScan) {
+		t.Fatalf("err = %v, want ErrCrossPartitionScan", err)
+	}
+}
+
+// reopenFrom recovers a crashed partitioned DB's durable state into a
+// fresh instance with the same schema.
+func reopenFrom(t *testing.T, crashed *DB) (*DB, *Table) {
+	t.Helper()
+	entries := crashed.RecoveredEntries()
+	db := Open(Options{
+		Partitions: crashed.Partitions(),
+		Workers:    2,
+		EngineFor: func(p int, base engine.Config) engine.Config {
+			return fastConfig(int64(5000 + 100*p))
+		},
+	})
+	tab, err := db.CreateTable("kv", func(pk uint64) uint64 { return pk })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(entries); err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+// TestRecoveryInDoubtAborts: both participants prepared, no decision
+// record → recovery resolves the transaction as aborted on EVERY
+// partition (presumed abort).
+func TestRecoveryInDoubtAborts(t *testing.T) {
+	db, tab := openTest(t, 2)
+	// Committed baseline rows on both partitions.
+	for k := uint64(1); k <= 2; k++ {
+		k := k
+		if err := db.Run("seed", []Ref{{Table: tab, Key: k}}, func(tx *Txn) error {
+			return tx.Insert(tab, k, row(k))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hand-drive 2PC up to (but not including) the decision: prepare on
+	// both partitions, then crash the machine.
+	tx0 := db.Partition(0).NewSession().Begin()
+	tx1 := db.Partition(1).NewSession().Begin()
+	if err := tx0.Insert(tab.Shard(0), 10, row(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Insert(tab.Shard(1), 11, row(110)); err != nil {
+		t.Fatal(err)
+	}
+	const gtid = 77
+	if err := tx0.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+
+	db2, tab2 := reopenFrom(t, db)
+	defer db2.Close()
+	got := snapshotAll(t, db2, tab2)
+	if _, ok := got[10]; ok {
+		t.Fatal("prepared-undecided write visible on partition 0")
+	}
+	if _, ok := got[11]; ok {
+		t.Fatal("prepared-undecided write visible on partition 1")
+	}
+	if got[1] != 1 || got[2] != 2 {
+		t.Fatalf("baseline rows damaged: %v", got)
+	}
+}
+
+// TestRecoveryDecidedCommits: both participants prepared AND a decision
+// record is durable (in ONE participant's stream) → recovery commits
+// the transaction on EVERY partition, even though neither participant
+// wrote its commit marker before the crash.
+func TestRecoveryDecidedCommits(t *testing.T) {
+	db, tab := openTest(t, 2)
+	tx0 := db.Partition(0).NewSession().Begin()
+	tx1 := db.Partition(1).NewSession().Begin()
+	if err := tx0.Insert(tab.Shard(0), 10, row(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Insert(tab.Shard(1), 11, row(110)); err != nil {
+		t.Fatal(err)
+	}
+	const gtid = 78
+	if err := tx0.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	// Decision lands in partition 0's stream only.
+	if err := db.Partition(0).LogDecision(gtid); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+
+	db2, tab2 := reopenFrom(t, db)
+	defer db2.Close()
+	got := snapshotAll(t, db2, tab2)
+	if got[10] != 100 {
+		t.Fatalf("decided write missing on partition 0: %v", got)
+	}
+	if got[11] != 110 {
+		t.Fatalf("decided write missing on partition 1: %v", got)
+	}
+}
+
+// TestRecoveryRoundTrip: a completed multi-partition commit survives
+// crash + recovery via the normal markers.
+func TestRecoveryRoundTrip(t *testing.T) {
+	db, tab := openTest(t, 2)
+	refs := []Ref{{Table: tab, Key: 1}, {Table: tab, Key: 2}}
+	if err := db.Run("xfer", refs, func(tx *Txn) error {
+		if err := tx.Insert(tab, 1, row(11)); err != nil {
+			return err
+		}
+		return tx.Insert(tab, 2, row(22))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	db2, tab2 := reopenFrom(t, db)
+	defer db2.Close()
+	got := snapshotAll(t, db2, tab2)
+	if got[1] != 11 || got[2] != 22 {
+		t.Fatalf("recovered state wrong: %v", got)
+	}
+}
+
+func TestRunOnAndQueueWaitMetrics(t *testing.T) {
+	db, tab := openTest(t, 2)
+	defer db.Close()
+	if err := db.RunOn(0, func(tx *engine.Txn) error {
+		return tx.Insert(tab.Shard(0), 2, row(5))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run("r", []Ref{{Table: tab, Key: 2}}, func(tx *Txn) error {
+		_, err := tx.Get(tab, 2)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

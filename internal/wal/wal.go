@@ -278,6 +278,16 @@ func (m *Manager) Commit(txn uint64) error {
 	}
 }
 
+// CommitSync makes txn's records durable NOW, regardless of the
+// configured policy — the forced-durability primitive two-phase commit
+// needs for prepare and decision records. Under the lazy policies the
+// batch may already have been claimed by the background flusher; the
+// group-commit loop handles that by waiting for the in-flight flush and
+// re-checking the pending count.
+func (m *Manager) CommitSync(txn uint64) error {
+	return m.commitEager(txn)
+}
+
 func (m *Manager) commitEager(txn uint64) error {
 	for {
 		m.mu.Lock()

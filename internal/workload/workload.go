@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"vats/internal/engine"
+	"vats/internal/partition"
 	"vats/internal/xrand"
 )
 
@@ -25,6 +26,19 @@ type Workload interface {
 	Load(db *engine.DB) error
 	// NewClient returns a single-goroutine transaction generator.
 	NewClient(db *engine.DB, seed int64) (Client, error)
+}
+
+// PartitionedWorkload is a benchmark that can drive a horizontally
+// partitioned engine: a partition-aware loader (declaring each table's
+// partition-key extractor) plus a client factory whose clients submit
+// routed transactions through partition.DB.Run.
+type PartitionedWorkload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// LoadPartitioned creates the partitioned schema and seed data.
+	LoadPartitioned(pdb *partition.DB) error
+	// NewPartitionedClient returns a single-goroutine generator.
+	NewPartitionedClient(pdb *partition.DB, seed int64) (Client, error)
 }
 
 // Client issues one logical transaction per Run call. Run retries

@@ -15,8 +15,12 @@
 #            (writer commit p50/p99 with and without a sustained
 #            snapshot scan, snapshot scan throughput under writers,
 #            iterator composition vs closure scans, plan-cache paths)
+#   partition — the PR-8 horizontal partitioning -> BENCH_PR8.json
+#            (single-partition TPC-C scaling across 1/2/4 partitions
+#            at -cpu 1,2,4,8, plus multi-partition-ratio sensitivity
+#            at 0%/5%/20% cross-warehouse transactions)
 #
-# Usage: scripts/bench_json.sh [commit|read|obs|scan] [output.json] [benchtime]
+# Usage: scripts/bench_json.sh [commit|read|obs|scan|partition] [output.json] [benchtime]
 set -e
 suite=${1:-commit}
 case "$suite" in
@@ -24,8 +28,9 @@ commit) default_out=BENCH_PR2.json ;;
 read) default_out=BENCH_PR3.json ;;
 obs) default_out=BENCH_PR6.json ;;
 scan) default_out=BENCH_PR7.json ;;
+partition) default_out=BENCH_PR8.json ;;
 *)
-	echo "usage: $0 [commit|read|obs|scan] [output.json] [benchtime]" >&2
+	echo "usage: $0 [commit|read|obs|scan|partition] [output.json] [benchtime]" >&2
 	exit 2
 	;;
 esac
@@ -48,6 +53,14 @@ elif [ "$suite" = scan ]; then
 		-benchmem -benchtime 500x ./internal/exec/ | tee -a "$tmp"
 	go test -run xxx -bench 'BenchmarkPlanCache' \
 		-benchmem -benchtime "$benchtime" ./internal/exec/ | tee -a "$tmp"
+elif [ "$suite" = partition ]; then
+	# Fixed iteration counts: the closed-loop TPC-C cases are simulated-
+	# device-bound (milliseconds per op), so a stable sample size keeps
+	# the suite bounded and the numbers comparable across runs.
+	go test -run xxx -bench 'BenchmarkPartitionedTPCC/parts_' -cpu 1,2,4,8 \
+		-benchtime 300x ./internal/partition/ | tee -a "$tmp"
+	go test -run xxx -bench 'BenchmarkPartitionedTPCCCross' -cpu 8 \
+		-benchtime 300x ./internal/partition/ | tee -a "$tmp"
 elif [ "$suite" = commit ]; then
 	go test -run xxx -bench 'BenchmarkCommitThroughput|BenchmarkAppend$' \
 		-benchmem -benchtime "$benchtime" ./internal/wal/ | tee -a "$tmp"
@@ -117,6 +130,25 @@ elif [ "$suite" = scan ]; then
   "current": {
 EOF
 		emit_current 0
+		cat <<'EOF'
+  }
+}
+EOF
+	} >"$out"
+elif [ "$suite" = partition ]; then
+	{
+		cat <<'EOF'
+{
+  "baseline_pre_pr": {
+    "_note": "the partition router is new in PR 8; the frozen reference is the 1-partition configuration (the pre-PR single-engine deployment shape: one executor pool, one buffer pool, one data + log spindle) measured with the identical closed-loop TPC-C harness on the same host; the -N suffix is the GOMAXPROCS of the run",
+    "partition/BenchmarkPartitionedTPCC/parts_1": {"ns/op": 10385876},
+    "partition/BenchmarkPartitionedTPCC/parts_1-2": {"ns/op": 7323934},
+    "partition/BenchmarkPartitionedTPCC/parts_1-4": {"ns/op": 6769814},
+    "partition/BenchmarkPartitionedTPCC/parts_1-8": {"ns/op": 7957515}
+  },
+  "current": {
+EOF
+		emit_current 1
 		cat <<'EOF'
   }
 }

@@ -39,6 +39,7 @@ import (
 	"vats/internal/harness"
 	"vats/internal/lock"
 	"vats/internal/obs"
+	"vats/internal/partition"
 	"vats/internal/stats"
 	"vats/internal/storage"
 	"vats/internal/tprofiler"
@@ -313,12 +314,19 @@ type Options struct {
 	// MVCCGCInterval is the version-store GC period (0 = the engine
 	// default of 25ms; negative disables the background pass).
 	MVCCGCInterval time.Duration
+	// Partitions, when > 1, is the partition count for OpenPartitioned;
+	// Open ignores it (a plain engine is always one partition).
+	Partitions int
+	// PartitionWorkers is the executor-goroutine count per partition
+	// for OpenPartitioned (0 = GOMAXPROCS/Partitions, floor 1).
+	PartitionWorkers int
 	// Seed makes the simulated devices deterministic.
 	Seed int64
 }
 
-// Open starts an engine with simulated storage devices.
-func Open(o Options) (*DB, error) {
+// engineConfig maps Options onto one engine instance's configuration,
+// creating the instance's simulated devices from o.Seed.
+func (o Options) engineConfig() engine.Config {
 	if o.BufferPages == 0 {
 		o.BufferPages = 1024
 	}
@@ -331,7 +339,7 @@ func Open(o Options) (*DB, error) {
 	}
 	dataCfg := disk.DefaultConfig("data", o.Seed+1)
 	dataCfg.MedianLatency = 120 * time.Microsecond
-	db := engine.Open(engine.Config{
+	return engine.Config{
 		Scheduler:          o.Scheduler.scheduler(),
 		LockTimeout:        o.LockTimeout,
 		BufferCapacity:     o.BufferPages,
@@ -348,8 +356,82 @@ func Open(o Options) (*DB, error) {
 		ScanIsolation:      o.ScanIsolation.engine(),
 		MVCCGCInterval:     o.MVCCGCInterval,
 		Seed:               o.Seed,
+	}
+}
+
+// Open starts an engine with simulated storage devices.
+func Open(o Options) (*DB, error) {
+	return engine.Open(o.engineConfig()), nil
+}
+
+// Horizontally partitioned engine (internal/partition): N independent
+// engine instances hash-partitioned by a declared partition key, a
+// router that classifies each transaction's declared key set up front,
+// per-partition executor queues for single-partition transactions, and
+// two-phase commit over per-stream durable watermarks for
+// multi-partition ones.
+type (
+	// PartitionedDB is a running N-way partitioned engine.
+	PartitionedDB = partition.DB
+	// PartitionedTxn is a routed transaction spanning one or more
+	// partitions (passed to the function given to PartitionedDB.Run).
+	PartitionedTxn = partition.Txn
+	// PartitionRef declares one (table, primary key) a transaction will
+	// touch — the router classifies transactions from these.
+	PartitionRef = partition.Ref
+	// PartitionedTable is a hash-partitioned (or replicated) table.
+	PartitionedTable = partition.Table
+	// PartitionStats is a routing/throughput snapshot.
+	PartitionStats = partition.Stats
+	// PartitionedWorkload is a benchmark that can drive a partitioned
+	// engine.
+	PartitionedWorkload = workload.PartitionedWorkload
+)
+
+// OpenPartitioned starts an o.Partitions-way partitioned engine. Each
+// partition is an independent engine with its own simulated devices
+// (seeded distinctly from o.Seed) and WAL stream(s); o's remaining
+// fields configure every partition identically.
+func OpenPartitioned(o Options) (*PartitionedDB, error) {
+	n := o.Partitions
+	if n <= 0 {
+		n = 1
+	}
+	base := o
+	return partition.Open(partition.Options{
+		Partitions: n,
+		Workers:    o.PartitionWorkers,
+		Base:       base.engineConfig(),
+		EngineFor: func(p int, _ engine.Config) engine.Config {
+			po := base
+			po.Seed = base.Seed + int64(p)*101
+			return po.engineConfig()
+		},
+	}), nil
+}
+
+// NewPartitionedTPCC builds the partition-aware TPC-C workload:
+// hash-partitioned by warehouse with the item table replicated.
+// crossPaymentP and crossOrderP set the remote-customer Payment and
+// remote-supply NewOrder fractions — the multi-partition transaction
+// ratio knobs.
+func NewPartitionedTPCC(warehouses int, crossPaymentP, crossOrderP float64) PartitionedWorkload {
+	return workload.NewPartitionedTPCC(workload.TPCCConfig{Warehouses: warehouses}, crossPaymentP, crossOrderP)
+}
+
+// RunPartitionedBenchmark loads wl into pdb and drives it with the same
+// driver and measurement semantics as RunBenchmark.
+func RunPartitionedBenchmark(pdb *PartitionedDB, wl PartitionedWorkload, cfg BenchConfig) (BenchResult, error) {
+	if err := wl.LoadPartitioned(pdb); err != nil {
+		return BenchResult{}, fmt.Errorf("vats: load %s: %w", wl.Name(), err)
+	}
+	return harness.RunPartitioned(pdb, wl, harness.RunConfig{
+		Clients: cfg.Clients,
+		Rate:    cfg.Rate,
+		Count:   cfg.Count,
+		Warmup:  cfg.Warmup,
+		Seed:    cfg.Seed,
 	})
-	return db, nil
 }
 
 // Row-operation errors, re-exported for errors.Is checks.
