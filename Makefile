@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-partition-json bench-smoke repro torture torture-short torture-partitioned
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-partition-json bench-disk-json bench-smoke repro torture torture-short torture-partitioned torture-file
 
 all: build vet short
 
@@ -59,6 +59,13 @@ bench-scan-json:
 bench-partition-json:
 	sh scripts/bench_json.sh partition BENCH_PR8.json
 
+# Durability-backend suite -> BENCH_PR9.json: WAL group-commit
+# throughput on the simulated device vs a real file (fdatasync-per-Sync
+# and O_DSYNC), plus the commit-stall guardrail — writer p50/p99 with a
+# periodic online checkpointer vs none, both backends (see docs/PERF.md).
+bench-disk-json:
+	sh scripts/bench_json.sh disk BENCH_PR9.json
+
 # One-iteration benchmark compile-and-run pass over the hot-path
 # packages: catches benchmarks that no longer build or panic without
 # paying for a measurement run (CI runs this).
@@ -88,3 +95,9 @@ torture-short:
 # visibility. Seed-replayable like the single-engine campaign.
 torture-partitioned:
 	$(GO) run ./cmd/torture -partitioned -seed $(SEED) -crashes $(CRASHES)
+
+# The same campaign against real files: every log device is a real
+# file in a temp dir, faults (torn pwrite, dropped fdatasync, crash
+# points) injected at the pwrite/fdatasync boundary. Seed-replayable.
+torture-file:
+	$(GO) run ./cmd/torture -backend file -seed $(SEED) -crashes $(CRASHES)

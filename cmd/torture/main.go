@@ -26,7 +26,12 @@ func main() {
 	duration := flag.Duration("duration", 0, "optional wall-clock budget; 0 = unlimited")
 	verbose := flag.Bool("v", false, "print every round's summary")
 	partitioned := flag.Bool("partitioned", false, "torture the partitioned engine's cross-partition (2PC) commit path instead of the single-engine recovery path")
+	backend := flag.String("backend", "sim", "log-device backend: sim (simulated latency) or file (real files in a temp dir)")
 	flag.Parse()
+	if *backend != "sim" && *backend != "file" {
+		fmt.Fprintf(os.Stderr, "unknown -backend %q (want sim or file)\n", *backend)
+		os.Exit(2)
+	}
 
 	if *partitioned {
 		runPartitionedCampaign(*seed, *crashes, *duration, *verbose)
@@ -41,7 +46,9 @@ func main() {
 			break
 		}
 		roundSeed := *seed + int64(i)
-		res := torture.Run(torture.FromSeed(roundSeed))
+		rcfg := torture.FromSeed(roundSeed)
+		rcfg.Backend = *backend
+		res := torture.Run(rcfg)
 		if res.Crashed {
 			crashed++
 		} else {
@@ -50,8 +57,8 @@ func main() {
 		acked += res.Acked
 		lies += res.Lies
 		if *verbose {
-			fmt.Printf("seed %d: policy=%v parallel=%v ckpt=%v crashop=%d ops=%d crashed=%v acked=%d unfinished=%d lies=%d entries=%d\n",
-				roundSeed, res.Cfg.Policy, res.Cfg.Parallel, res.Cfg.Checkpoints, res.Cfg.CrashOp,
+			fmt.Printf("seed %d: backend=%s policy=%v parallel=%v ckpt=%v online=%v crashop=%d ops=%d crashed=%v acked=%d unfinished=%d lies=%d entries=%d\n",
+				roundSeed, *backend, res.Cfg.Policy, res.Cfg.Parallel, res.Cfg.Checkpoints, res.Cfg.ConcurrentCkpt, res.Cfg.CrashOp,
 				res.Ops, res.Crashed, res.Acked, res.Unfinished, res.Lies, res.Entries)
 		}
 		if len(res.Violations) > 0 {

@@ -93,7 +93,7 @@ type Config struct {
 	PageSize int
 	// Device backs page reads and dirty write-backs; nil means a
 	// zero-latency device.
-	Device *disk.Device
+	Device disk.Device
 	// Policy selects Eager vs Lazy LRU updates.
 	Policy UpdatePolicy
 	// SpinWait bounds LLU's spin (default 10µs, the paper's 0.01ms).
@@ -262,7 +262,7 @@ type shard struct {
 // one façade.
 type Pool struct {
 	cfg       Config
-	dev       *disk.Device
+	dev       disk.Device
 	met       *obs.BufferMetrics
 	shards    []*shard
 	shardMask uint64

@@ -86,10 +86,10 @@ type Stats struct {
 	MaxWaiters int32
 }
 
-// Device is a simulated single-spindle block device. All methods are safe
-// for concurrent use; requests serialize on the device as on real
-// hardware.
-type Device struct {
+// Sim is the simulated single-spindle block device implementation of
+// Device. All methods are safe for concurrent use; requests serialize
+// on the device as on real hardware.
+type Sim struct {
 	cfg Config
 	lat *xrand.LogNormal
 
@@ -106,15 +106,16 @@ type Device struct {
 	fs *faultState
 }
 
-// New creates a Device from cfg. Zero-valued fields get safe defaults.
-func New(cfg Config) *Device {
+// New creates a simulated device from cfg. Zero-valued fields get safe
+// defaults.
+func New(cfg Config) *Sim {
 	if cfg.MedianLatency <= 0 {
 		cfg.MedianLatency = 300 * time.Microsecond
 	}
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = 8 * 1024
 	}
-	d := &Device{cfg: cfg}
+	d := &Sim{cfg: cfg}
 	d.lat = xrand.NewLogNormal(xrand.New(cfg.Seed),
 		float64(cfg.MedianLatency)/float64(time.Millisecond),
 		cfg.Sigma, cfg.TailP, cfg.TailX)
@@ -125,11 +126,11 @@ func New(cfg Config) *Device {
 }
 
 // Config returns the device's configuration.
-func (d *Device) Config() Config { return d.cfg }
+func (d *Sim) Config() Config { return d.cfg }
 
 // Waiters returns the number of requests currently queued or in service.
 // Parallel logging uses this to pick the less-loaded log device.
-func (d *Device) Waiters() int { return int(atomic.LoadInt32(&d.waiters)) }
+func (d *Sim) Waiters() int { return int(atomic.LoadInt32(&d.waiters)) }
 
 // WriteBytes performs a buffered write of n bytes: the data is rounded
 // up to whole blocks, each block is a separate I/O operation paying the
@@ -139,7 +140,7 @@ func (d *Device) Waiters() int { return int(atomic.LoadInt32(&d.waiters)) }
 // transaction, but once log records occupy only a small part of a block,
 // the wasted transfer outweighs the savings. Returns the time spent
 // (service + queueing).
-func (d *Device) WriteBytes(n int) time.Duration {
+func (d *Sim) WriteBytes(n int) time.Duration {
 	if n <= 0 {
 		return 0
 	}
@@ -149,27 +150,27 @@ func (d *Device) WriteBytes(n int) time.Duration {
 
 // Fsync flushes the device cache: a single operation with the device's
 // full latency profile. This is the expensive call on the commit path.
-func (d *Device) Fsync() time.Duration {
+func (d *Sim) Fsync() time.Duration {
 	return d.serve(1, 0, 0)
 }
 
 // ReadBlock reads one block (a buffer-pool miss).
-func (d *Device) ReadBlock() time.Duration {
+func (d *Sim) ReadBlock() time.Duration {
 	return d.serve(1, 1, d.cfg.BlockSize)
 }
 
 // WriteBlock writes one block (a buffer-pool eviction write-back).
-func (d *Device) WriteBlock() time.Duration {
+func (d *Sim) WriteBlock() time.Duration {
 	return d.serve(1, 1, d.cfg.BlockSize)
 }
 
-func (d *Device) serve(ops, blocks, transferBytes int) time.Duration {
+func (d *Sim) serve(ops, blocks, transferBytes int) time.Duration {
 	return d.serveStalled(ops, blocks, transferBytes, 0)
 }
 
 // serveStalled is serve with an extra injected stall (a device-cache
 // hiccup from the fault plan) added to the service time.
-func (d *Device) serveStalled(ops, blocks, transferBytes int, stall time.Duration) time.Duration {
+func (d *Sim) serveStalled(ops, blocks, transferBytes int, stall time.Duration) time.Duration {
 	start := time.Now()
 	w := atomic.AddInt32(&d.waiters, 1)
 	for {
@@ -207,8 +208,11 @@ func spinWait(d time.Duration) {
 	}
 }
 
+// Close is a no-op: simulated devices hold no OS resources.
+func (d *Sim) Close() error { return nil }
+
 // Stats returns cumulative activity counters.
-func (d *Device) Stats() Stats {
+func (d *Sim) Stats() Stats {
 	return Stats{
 		Ops:        d.ops.Load(),
 		BytesDone:  d.bytes.Load(),

@@ -34,10 +34,10 @@ type faultState struct {
 
 // Recording reports whether the device records written bytes (fault
 // mode). The WAL switches to physical framed writes iff this is true.
-func (d *Device) Recording() bool { return d.fs != nil }
+func (d *Sim) Recording() bool { return d.fs != nil }
 
 // Plan returns the attached fault plan (nil when not fault-capable).
-func (d *Device) Plan() *faultfs.Plan { return d.cfg.Faults }
+func (d *Sim) Plan() *faultfs.Plan { return d.cfg.Faults }
 
 // WriteData appends p to the device's volatile write cache, charging
 // the same latency a WriteBytes of len(p) would. Under the fault plan
@@ -45,7 +45,7 @@ func (d *Device) Plan() *faultfs.Plan { return d.cfg.Faults }
 // crash point, in which case a seeded prefix of p reaches the cache
 // before the machine dies (a torn write; the cache is volatile, so
 // those bytes are lost anyway unless a torn fsync follows).
-func (d *Device) WriteData(p []byte) error {
+func (d *Sim) WriteData(p []byte) error {
 	if d.fs == nil {
 		panic("disk: WriteData on a device without a fault plan")
 	}
@@ -81,7 +81,7 @@ func (d *Device) WriteData(p []byte) error {
 //   - crash point:     a seeded prefix of the cache persists (a torn
 //     flush), then the machine dies (ErrCrashed);
 //   - otherwise:       the whole cache persists.
-func (d *Device) Sync() error {
+func (d *Sim) Sync() error {
 	if d.fs == nil {
 		panic("disk: Sync on a device without a fault plan")
 	}
@@ -113,7 +113,7 @@ func (d *Device) Sync() error {
 // DurableImage returns a copy of the bytes that actually survived: the
 // persisted prefix of the device's logical stream. This is what crash
 // recovery decodes.
-func (d *Device) DurableImage() []byte {
+func (d *Sim) DurableImage() []byte {
 	d.mustFault()
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
@@ -122,7 +122,7 @@ func (d *Device) DurableImage() []byte {
 
 // AckedImage returns a copy of the bytes the device *claimed* were
 // durable — DurableImage plus anything a dropped fsync lied about.
-func (d *Device) AckedImage() []byte {
+func (d *Sim) AckedImage() []byte {
 	d.mustFault()
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
@@ -130,7 +130,7 @@ func (d *Device) AckedImage() []byte {
 }
 
 // Lies returns how many fsyncs the device silently dropped.
-func (d *Device) Lies() int {
+func (d *Sim) Lies() int {
 	d.mustFault()
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
@@ -138,14 +138,14 @@ func (d *Device) Lies() int {
 }
 
 // WrittenLen returns the total bytes ever accepted into the cache.
-func (d *Device) WrittenLen() int {
+func (d *Sim) WrittenLen() int {
 	d.mustFault()
 	d.fs.mu.Lock()
 	defer d.fs.mu.Unlock()
 	return len(d.fs.full)
 }
 
-func (d *Device) mustFault() {
+func (d *Sim) mustFault() {
 	if d.fs == nil {
 		panic("disk: fault-state accessor on a device without a fault plan")
 	}

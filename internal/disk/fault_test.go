@@ -9,7 +9,7 @@ import (
 	"vats/internal/faultfs"
 )
 
-func faultDev(plan *faultfs.Plan) *Device {
+func faultDev(plan *faultfs.Plan) *Sim {
 	return New(Config{MedianLatency: time.Microsecond, BlockSize: 4096, Seed: 1, Faults: plan})
 }
 

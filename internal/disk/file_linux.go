@@ -1,0 +1,16 @@
+//go:build linux
+
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+// oDSync is the open(2) flag for synchronous data writes.
+const oDSync = syscall.O_DSYNC
+
+// fdatasync flushes file data (not metadata) to stable storage.
+func fdatasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package disk
+
+import "os"
+
+// oDSync falls back to O_SYNC where O_DSYNC is unavailable.
+const oDSync = os.O_SYNC
+
+// fdatasync falls back to a full fsync on platforms without the
+// data-only variant.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

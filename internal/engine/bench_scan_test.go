@@ -19,7 +19,7 @@ import (
 func benchScanCfg() Config {
 	cfg := fastCfg()
 	cfg.DataDevice = disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 11, PreciseWait: true})
-	cfg.LogDevices = []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 12, PreciseWait: true})}
+	cfg.LogDevices = []disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 12, PreciseWait: true})}
 	cfg.BufferCapacity = 4096
 	return cfg
 }

@@ -11,10 +11,10 @@ import (
 )
 
 func benchCfg(policy wal.FlushPolicy, parallel bool) Config {
-	fast := func(seed int64) *disk.Device {
+	fast := func(seed int64) disk.Device {
 		return disk.New(disk.Config{MedianLatency: 2 * time.Microsecond, Sigma: 0, BlockSize: 4096, PreciseWait: true, Seed: seed})
 	}
-	logs := []*disk.Device{fast(2)}
+	logs := []disk.Device{fast(2)}
 	if parallel {
 		logs = append(logs, fast(3))
 	}

@@ -26,12 +26,13 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := len(db.Log().RecoveredEntries())
-	// 30 inserts + 30 commit markers before; 30 snapshot rows + end after.
+	// 30 inserts + 30 commit markers before; begin + 30 snapshot rows +
+	// end after.
 	if after >= before {
 		t.Fatalf("checkpoint did not shrink the log: %d -> %d", before, after)
 	}
-	if after != 31 {
-		t.Fatalf("log has %d entries after checkpoint, want 31 (30 rows + end)", after)
+	if after != 32 {
+		t.Fatalf("log has %d entries after checkpoint, want 32 (begin + 30 rows + end)", after)
 	}
 }
 
@@ -208,8 +209,8 @@ func TestRepeatedCheckpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Log must hold exactly the last snapshot (15 rows + end marker).
-	if got := len(db.Log().RecoveredEntries()); got != 16 {
-		t.Fatalf("log entries = %d, want 16", got)
+	// Log must hold exactly the last snapshot (begin + 15 rows + end).
+	if got := len(db.Log().RecoveredEntries()); got != 17 {
+		t.Fatalf("log entries = %d, want 17", got)
 	}
 }

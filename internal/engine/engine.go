@@ -61,10 +61,10 @@ type Config struct {
 	LRUCriticalCost time.Duration
 
 	// DataDevice backs page I/O; nil builds a default device.
-	DataDevice *disk.Device
+	DataDevice disk.Device
 	// LogDevices back the WAL; nil builds one default device. Two or
 	// more with ParallelLog enables parallel logging.
-	LogDevices []*disk.Device
+	LogDevices []disk.Device
 	// ParallelLog lets committers use all log devices concurrently.
 	ParallelLog bool
 	// FlushPolicy is the WAL durability policy.
@@ -98,6 +98,14 @@ type Config struct {
 	// transaction reads the committed state frozen at the transaction's
 	// first scan.
 	ScanIsolation IsolationLevel
+
+	// CkptChunkPause is the think time an online checkpoint inserts
+	// after each streamed chunk's flush — the pacing that keeps the
+	// checkpoint's durability barriers from monopolizing the log
+	// stream lock against live group commits (the commit-stall
+	// guardrail). 0 = the 200µs default; negative disables pacing
+	// (tests that hammer checkpoints back-to-back want the raw speed).
+	CkptChunkPause time.Duration
 
 	// Seed seeds default devices.
 	Seed int64
@@ -151,8 +159,22 @@ type DB struct {
 	samplesMu sync.RWMutex
 	samples   map[string][]AgeSample
 
+	// Online-checkpoint state: ckptReg tracks writers for the safe
+	// truncation bound; ckptMu serializes checkpoints and guards the
+	// incremental bookkeeping and the decision pruner.
+	ckptReg        *ckptRegistry
+	ckptMu         sync.Mutex
+	lastEmit       map[uint32]emitInfo
+	decisionPruner func(gtid uint64) bool
+	ckptPause      time.Duration
+
 	nextTxn atomic.Uint64
 	closed  atomic.Bool
+
+	// hasDecisions is set once any 2PC decide record may exist in the
+	// log (LogDecision called, or recovery saw one). While unset,
+	// checkpoints skip the decide-preservation scan of the durable log.
+	hasDecisions atomic.Bool
 }
 
 // AgeSamples returns the collected (age, remaining) samples per
@@ -193,7 +215,7 @@ func Open(cfg Config) *DB {
 		cfg.DataDevice = disk.New(dc)
 	}
 	if len(cfg.LogDevices) == 0 {
-		cfg.LogDevices = []*disk.Device{disk.New(disk.DefaultConfig("log0", cfg.Seed+2))}
+		cfg.LogDevices = []disk.Device{disk.New(disk.DefaultConfig("log0", cfg.Seed+2))}
 	}
 	ob := obs.OrDefault(cfg.Obs)
 	db := &DB{
@@ -202,6 +224,15 @@ func Open(cfg Config) *DB {
 		met:   obs.NewEngineMetrics(ob),
 		mvmet: obs.NewMVCCMetrics(ob),
 		clock: mvcc.NewClock(),
+	}
+	db.ckptReg = newCkptRegistry(db.clock)
+	switch {
+	case cfg.CkptChunkPause < 0:
+		db.ckptPause = 0
+	case cfg.CkptChunkPause == 0:
+		db.ckptPause = 200 * time.Microsecond
+	default:
+		db.ckptPause = cfg.CkptChunkPause
 	}
 	db.cat.Store(&catalog{
 		tables:  make(map[string]*storage.Table),
@@ -485,6 +516,10 @@ func (db *DB) LogDecision(gtid uint64) error {
 		return ErrClosed
 	}
 	id := db.nextTxn.Add(1)
+	// Mark before the append: even a decide that fails mid-append may
+	// already sit in a device cache, and the preservation scan must be
+	// conservative.
+	db.hasDecisions.Store(true)
 	if _, err := db.log.AppendBatch(id, [][]byte{encodeRedo(redoDecide, 0, gtid, nil)}); err != nil {
 		return fmt.Errorf("engine: log decision: %w", err)
 	}

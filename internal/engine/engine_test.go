@@ -19,7 +19,7 @@ import (
 func fastCfg() Config {
 	return Config{
 		DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 1}),
-		LogDevices:       []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
+		LogDevices:       []disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
 		LockTimeout:      500 * time.Millisecond,
 		DeadlockInterval: time.Millisecond,
 		BufferCapacity:   128,

@@ -21,7 +21,7 @@ func TestDeviceStallDoesNotBreakCorrectness(t *testing.T) {
 	plan := faultfs.NewPlan(7, faultfs.Config{StallP: 0.05, StallDur: 10 * time.Millisecond})
 	logDev := disk.New(disk.Config{MedianLatency: 20 * time.Microsecond, BlockSize: 4096, Seed: 1, Faults: plan})
 	cfg := fastCfg()
-	cfg.LogDevices = []*disk.Device{logDev}
+	cfg.LogDevices = []disk.Device{logDev}
 	db := Open(cfg)
 	tab, _ := db.CreateTable("t")
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -50,99 +51,120 @@ func TestRecoveryMatrix(t *testing.T) {
 		{name: "crash-midbatch", policy: wal.EagerFlush, crashAtSync: true, torn: 0.5, wantB: false, wantErr: true},
 		{name: "crash-postflush-preack", policy: wal.EagerFlush, crashAtSync: true, torn: 1.0, wantB: true, wantErr: true},
 	}
-	for _, parallel := range []bool{false, true} {
-		for _, ckpt := range []bool{false, true} {
-			for _, m := range modes {
-				name := fmt.Sprintf("%s/parallel=%v/ckpt=%v", m.name, parallel, ckpt)
-				t.Run(name, func(t *testing.T) {
-					var crashOp int64
-					if m.crashAtSync {
-						// Probe: same workload, no faults; phase A plus
-						// key 99's WriteData consume ops 1..a+1, so the
-						// fsync is op a+2.
-						probe := faultfs.NewPlan(11, faultfs.Config{})
-						db, _ := matrixOpen(t, parallel, m.policy, probe)
-						matrixPhaseA(t, db, ckpt)
-						crashOp = probe.Ops() + 2
-						db.Crash()
-					}
-					plan := faultfs.NewPlan(11, faultfs.Config{CrashOp: crashOp, CrashTorn: m.torn})
-					db, devs := matrixOpen(t, parallel, m.policy, plan)
-					tab := matrixPhaseA(t, db, ckpt)
-
-					s := db.NewSession()
-					tx := s.Begin()
-					if err := tx.Insert(tab, 99, row("vB")); err != nil {
-						t.Fatal(err)
-					}
-					err := tx.Commit()
-					if m.wantErr && !errors.Is(err, wal.ErrCrashed) {
-						t.Fatalf("commit err = %v, want ErrCrashed", err)
-					}
-					if !m.wantErr && err != nil {
-						t.Fatalf("commit err = %v", err)
-					}
-					if m.clean {
-						db.Close()
-					} else {
-						db.Crash()
-					}
-					if err := db.CheckInvariants(); err != nil {
-						t.Fatalf("source engine: %v", err)
-					}
-
-					db2 := Open(fastCfg())
-					defer db2.Close()
-					tab2, _ := db2.CreateTable("t")
-					if err := db2.Recover(wal.RecoverDeviceEntries(devs...)); err != nil {
-						t.Fatalf("recover: %v", err)
-					}
-					if err := db2.CheckInvariants(); err != nil {
-						t.Fatalf("recovered engine: %v", err)
-					}
-					s2 := db2.NewSession()
-					tx2 := s2.Begin()
-					defer tx2.Rollback()
-					for i := uint64(1); i <= 10; i++ {
-						img, err := tx2.Get(tab2, i)
-						if err != nil {
-							t.Fatalf("key %d: %v", i, err)
+	for _, backend := range []string{"sim", "file"} {
+		for _, parallel := range []bool{false, true} {
+			for _, ckpt := range []bool{false, true} {
+				for _, m := range modes {
+					name := fmt.Sprintf("%s/%s/parallel=%v/ckpt=%v", backend, m.name, parallel, ckpt)
+					t.Run(name, func(t *testing.T) {
+						var crashOp int64
+						if m.crashAtSync {
+							// Probe: same workload, no faults; phase A plus
+							// key 99's WriteData consume ops 1..a+1, so the
+							// fsync is op a+2. The op schedule is backend-
+							// independent (only WriteData/Sync are
+							// adjudicated), so the sim probe calibrates the
+							// file rounds too — but probing on the same
+							// backend keeps the test honest about that claim.
+							probe := faultfs.NewPlan(11, faultfs.Config{})
+							db, _ := matrixOpen(t, backend, parallel, m.policy, probe)
+							matrixPhaseA(t, db, ckpt)
+							crashOp = probe.Ops() + 2
+							db.Crash()
 						}
-						if got, want := rowStr(t, img), fmt.Sprintf("v%d", i); got != want {
-							t.Fatalf("key %d = %q, want %q", i, got, want)
+						plan := faultfs.NewPlan(11, faultfs.Config{CrashOp: crashOp, CrashTorn: m.torn})
+						db, devs := matrixOpen(t, backend, parallel, m.policy, plan)
+						tab := matrixPhaseA(t, db, ckpt)
+
+						s := db.NewSession()
+						tx := s.Begin()
+						if err := tx.Insert(tab, 99, row("vB")); err != nil {
+							t.Fatal(err)
 						}
-					}
-					_, err = tx2.Get(tab2, 99)
-					switch {
-					case m.wantB && err != nil:
-						t.Fatalf("key 99 lost: %v", err)
-					case !m.wantB && !errors.Is(err, storage.ErrKeyNotFound):
-						t.Fatalf("key 99: err = %v, want ErrKeyNotFound", err)
-					}
-				})
+						err := tx.Commit()
+						if m.wantErr && !errors.Is(err, wal.ErrCrashed) {
+							t.Fatalf("commit err = %v, want ErrCrashed", err)
+						}
+						if !m.wantErr && err != nil {
+							t.Fatalf("commit err = %v", err)
+						}
+						if m.clean {
+							db.Close()
+						} else {
+							db.Crash()
+						}
+						if err := db.CheckInvariants(); err != nil {
+							t.Fatalf("source engine: %v", err)
+						}
+
+						db2 := Open(fastCfg())
+						defer db2.Close()
+						tab2, _ := db2.CreateTable("t")
+						if err := db2.Recover(wal.RecoverDeviceEntries(devs...)); err != nil {
+							t.Fatalf("recover: %v", err)
+						}
+						if err := db2.CheckInvariants(); err != nil {
+							t.Fatalf("recovered engine: %v", err)
+						}
+						s2 := db2.NewSession()
+						tx2 := s2.Begin()
+						defer tx2.Rollback()
+						for i := uint64(1); i <= 10; i++ {
+							img, err := tx2.Get(tab2, i)
+							if err != nil {
+								t.Fatalf("key %d: %v", i, err)
+							}
+							if got, want := rowStr(t, img), fmt.Sprintf("v%d", i); got != want {
+								t.Fatalf("key %d = %q, want %q", i, got, want)
+							}
+						}
+						_, err = tx2.Get(tab2, 99)
+						switch {
+						case m.wantB && err != nil:
+							t.Fatalf("key 99 lost: %v", err)
+						case !m.wantB && !errors.Is(err, storage.ErrKeyNotFound):
+							t.Fatalf("key 99: err = %v, want ErrKeyNotFound", err)
+						}
+					})
+				}
 			}
 		}
 	}
 }
 
-// matrixOpen builds an engine whose log devices share one fault plan.
-// The background flusher is parked (1h interval) so every flush in the
-// workload is explicit and the device-op schedule is deterministic.
-func matrixOpen(t *testing.T, parallel bool, policy wal.FlushPolicy, plan *faultfs.Plan) (*DB, []*disk.Device) {
+// matrixOpen builds an engine whose log devices share one fault plan,
+// on either the simulated or the real-file backend. The background
+// flusher is parked (1h interval) so every flush in the workload is
+// explicit and the device-op schedule is deterministic.
+func matrixOpen(t *testing.T, backend string, parallel bool, policy wal.FlushPolicy, plan *faultfs.Plan) (*DB, []disk.Device) {
 	t.Helper()
 	n := 1
 	if parallel {
 		n = 2
 	}
-	devs := make([]*disk.Device, n)
+	devs := make([]disk.Device, n)
 	for i := range devs {
-		devs[i] = disk.New(disk.Config{
-			Name:          fmt.Sprintf("log%d", i),
-			MedianLatency: 5 * time.Microsecond,
-			BlockSize:     4096,
-			Seed:          int64(20 + i),
-			Faults:        plan,
-		})
+		if backend == "file" {
+			fd, err := disk.OpenFile(disk.FileConfig{
+				Path:      filepath.Join(t.TempDir(), fmt.Sprintf("log%d.wal", i)),
+				Name:      fmt.Sprintf("log%d", i),
+				BlockSize: 4096,
+				Faults:    plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { fd.Close() })
+			devs[i] = fd
+		} else {
+			devs[i] = disk.New(disk.Config{
+				Name:          fmt.Sprintf("log%d", i),
+				MedianLatency: 5 * time.Microsecond,
+				BlockSize:     4096,
+				Seed:          int64(20 + i),
+				Faults:        plan,
+			})
+		}
 	}
 	cfg := fastCfg()
 	cfg.LogDevices = devs

@@ -5,14 +5,16 @@ package engine
 // them against its workload journal). The unexported codes in txn.go
 // and checkpoint.go remain the source of truth.
 const (
-	RedoInsert  = redoInsert
-	RedoUpdate  = redoUpdate
-	RedoDelete  = redoDelete
-	RedoCommit  = redoCommit
-	RedoCkptRow = redoCkptRow
-	RedoCkptEnd = redoCkptEnd
-	RedoPrepare = redoPrepare
-	RedoDecide  = redoDecide
+	RedoInsert    = redoInsert
+	RedoUpdate    = redoUpdate
+	RedoDelete    = redoDelete
+	RedoCommit    = redoCommit
+	RedoCkptRow   = redoCkptRow
+	RedoCkptEnd   = redoCkptEnd
+	RedoPrepare   = redoPrepare
+	RedoDecide    = redoDecide
+	RedoCkptBegin = redoCkptBegin
+	RedoCkptRef   = redoCkptRef
 )
 
 // DecodeRedo decodes one redo record payload (see encodeRedo).

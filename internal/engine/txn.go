@@ -430,6 +430,11 @@ func (tx *Txn) Commit() error {
 			start = end
 		}
 		tok := tx.tc.Enter("commit")
+		// Register with the checkpoint registry BEFORE the append: an
+		// online checkpoint truncating the log must keep every record of
+		// a transaction whose commit timestamp lands above its snapshot,
+		// and the bound must be claimed before the records exist.
+		tx.s.db.ckptReg.register(uint64(tx.id), tx.s.db.log.NextLSN()+1)
 		if _, aerr := tx.s.db.log.AppendBatch(uint64(tx.id), views); aerr != nil {
 			err = aerr
 		} else {
@@ -460,6 +465,9 @@ func (tx *Txn) Commit() error {
 		}
 		tx.s.db.clock.Complete(cts)
 		tx.cts = cts
+		// Every version is stamped: the registry entry may now be
+		// pruned (or retained with its cts while a checkpoint streams).
+		tx.s.db.ckptReg.complete(uint64(tx.id), cts)
 	}
 	tx.endSnapshot()
 	tx.releaseRedo()
@@ -496,6 +504,10 @@ func (tx *Txn) Prepare(gtid uint64) error {
 	}
 	if tx.wrote {
 		tx.appendRedo(redoPrepare, 0, gtid, nil)
+		// The prepare batch must survive checkpoint truncation until the
+		// transaction resolves; keep-first registration means the later
+		// CommitPrepared append cannot raise this bound.
+		tx.s.db.ckptReg.register(uint64(tx.id), tx.s.db.log.NextLSN()+1)
 		views := tx.s.spareViews[:0]
 		start := 0
 		for _, end := range tx.redoEnds {
@@ -590,6 +602,9 @@ func (tx *Txn) Rollback() {
 	}
 	tx.endSnapshot()
 	tx.releaseRedo()
+	// An aborted transaction's records need no truncation protection:
+	// recovery presumes abort without a commit marker or decision.
+	tx.s.db.ckptReg.drop(uint64(tx.id))
 	tx.s.db.locks.ReleaseAll(tx.id)
 	tx.tc.End()
 	tx.s.db.met.Abort(time.Since(tx.birth))

@@ -13,7 +13,7 @@ import (
 func fastCfg() engine.Config {
 	return engine.Config{
 		DataDevice:     disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 1}),
-		LogDevices:     []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
+		LogDevices:     []disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
 		LockTimeout:    500 * time.Millisecond,
 		BufferCapacity: 256,
 		PageSize:       1024,

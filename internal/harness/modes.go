@@ -85,7 +85,7 @@ func MySQLMode(o ModeOpts) *engine.DB {
 	if o.LogBlockSize > 0 {
 		blk = o.LogBlockSize
 	}
-	var logs []*disk.Device
+	var logs []disk.Device
 	for i := 0; i < o.LogDevices; i++ {
 		logs = append(logs, disk.New(disk.Config{
 			Name:          "log",
@@ -141,7 +141,7 @@ func PostgresMode(o ModeOpts) *engine.DB {
 	if o.LogBlockSize > 0 {
 		blk = o.LogBlockSize
 	}
-	var logs []*disk.Device
+	var logs []disk.Device
 	for i := 0; i < o.LogDevices; i++ {
 		logs = append(logs, disk.New(disk.Config{
 			Name:          "wal",

@@ -12,12 +12,12 @@ import (
 
 func openPartitionedTPCC(t *testing.T, parts int, crossPayP float64) (*partition.DB, *workload.PartitionedTPCC) {
 	t.Helper()
-	mk := func(name string, s int64) *disk.Device {
+	mk := func(name string, s int64) disk.Device {
 		dc := disk.DefaultConfig(name, s)
 		dc.MedianLatency = 2 * time.Microsecond
 		return disk.New(dc)
 	}
-	pdb := partition.Open(partition.Options{
+	pdb, err := partition.Open(partition.Options{
 		Partitions: parts,
 		Workers:    2,
 		EngineFor: func(p int, base engine.Config) engine.Config {
@@ -26,11 +26,14 @@ func openPartitionedTPCC(t *testing.T, parts int, crossPayP float64) (*partition
 				BufferCapacity: 512,
 				LockTimeout:    500 * time.Millisecond,
 				DataDevice:     mk("data", s+1),
-				LogDevices:     []*disk.Device{mk("log0", s+2)},
+				LogDevices:     []disk.Device{mk("log0", s+2)},
 				Seed:           s,
 			}
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	wl := workload.NewPartitionedTPCC(workload.TPCCConfig{Warehouses: 4}, crossPayP, crossPayP)
 	if err := wl.LoadPartitioned(pdb); err != nil {
 		pdb.Close()

@@ -26,10 +26,10 @@ import (
 // count even on a single-CPU simulation host, where all device waits
 // are sleeps and overlap in wall time.
 func openBench(parts int) *partition.DB {
-	mk := func(name string, s int64) *disk.Device {
+	mk := func(name string, s int64) disk.Device {
 		return disk.New(disk.DefaultConfig(name, s))
 	}
-	return partition.Open(partition.Options{
+	db, err := partition.Open(partition.Options{
 		Partitions: parts,
 		EngineFor: func(p int, base engine.Config) engine.Config {
 			s := int64(100 + 1000*p)
@@ -38,11 +38,15 @@ func openBench(parts int) *partition.DB {
 				PageSize:       1024,
 				LockTimeout:    2 * time.Second,
 				DataDevice:     mk("data", s+1),
-				LogDevices:     []*disk.Device{mk("log0", s+2)},
+				LogDevices:     []disk.Device{mk("log0", s+2)},
 				Seed:           s,
 			}
 		},
 	})
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
 
 // benchPartTPCC drives b.N TPC-C transactions through the router from

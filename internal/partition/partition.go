@@ -22,10 +22,12 @@ package partition
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"vats/internal/disk"
 	"vats/internal/engine"
 	"vats/internal/obs"
 	"vats/internal/storage"
@@ -44,6 +46,15 @@ type Options struct {
 	// from Base — the hook the torture harness uses to attach its fault-
 	// injecting devices to every partition.
 	EngineFor func(p int, base engine.Config) engine.Config
+	// Dir, when non-empty, backs every partition's WAL with a real file
+	// (Dir/partNNN.wal via disk.OpenFile) instead of the simulated
+	// default device. The partitioned DB owns these files and closes
+	// them on Close/Crash. Ignored when EngineFor is set — a derivation
+	// hook supplies its own devices.
+	Dir string
+	// FileMode selects the file backend's durability mechanism when Dir
+	// is set (default disk.FdatasyncPerSync).
+	FileMode disk.SyncMode
 	// Workers is the executor-goroutine count per partition (default
 	// GOMAXPROCS/Partitions, floor 1).
 	Workers int
@@ -101,12 +112,18 @@ type DB struct {
 	abortN  atomic.Int64
 	perPart []atomic.Int64
 
+	// files are the real-file log devices opened for Options.Dir; the
+	// partitioned DB owns them and closes them after the engines shut
+	// down (an engine never closes caller-supplied devices).
+	files []*disk.File
+
 	closed atomic.Bool
 }
 
 // Open builds and starts a partitioned engine: N engine instances plus
-// Workers executor goroutines per partition.
-func Open(o Options) *DB {
+// Workers executor goroutines per partition. It fails only when
+// Options.Dir is set and a partition's backing file cannot be opened.
+func Open(o Options) (*DB, error) {
 	if o.Partitions <= 0 {
 		o.Partitions = 1
 	}
@@ -132,11 +149,36 @@ func Open(o Options) *DB {
 		sessions: make([]sync.Pool, o.Partitions),
 		perPart:  make([]atomic.Int64, o.Partitions),
 	}
+	if o.Dir != "" && o.EngineFor == nil {
+		db.files = make([]*disk.File, o.Partitions)
+		for p := range db.files {
+			fd, err := disk.OpenFile(disk.FileConfig{
+				Path:          filepath.Join(o.Dir, fmt.Sprintf("part%03d.wal", p)),
+				Name:          fmt.Sprintf("part%03d", p),
+				Mode:          o.FileMode,
+				PreallocBytes: 1 << 20,
+				BlockSize:     4096,
+			})
+			if err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("partition %d: %w", p, err)
+			}
+			db.files[p] = fd
+		}
+	}
 	for p := range db.parts {
 		cfg := o.Base
-		if o.EngineFor != nil {
+		switch {
+		case o.EngineFor != nil:
 			cfg = o.EngineFor(p, cfg)
-		} else {
+		case db.files != nil:
+			// Real-file WAL per partition; data pages stay on the
+			// simulated default device — recovery is log-driven, so only
+			// the log needs real durability.
+			cfg.Seed = o.Base.Seed + int64(p)*101
+			cfg.DataDevice = nil
+			cfg.LogDevices = []disk.Device{db.files[p]}
+		default:
 			// Distinct default-device identities per partition.
 			cfg.Seed = o.Base.Seed + int64(p)*101
 			cfg.DataDevice = nil
@@ -152,7 +194,7 @@ func Open(o Options) *DB {
 			go db.worker(p)
 		}
 	}
-	return db
+	return db, nil
 }
 
 // Partitions returns the partition count.
@@ -162,9 +204,12 @@ func (db *DB) Partitions() int { return db.n }
 func (db *DB) Partition(p int) *engine.DB { return db.parts[p] }
 
 // Close shuts the executors down and closes every partition cleanly.
-// Callers must be quiescent: all Run calls returned.
+// Callers must be quiescent: all Run calls returned. On an instance
+// that already crashed, Close only releases the Options.Dir files the
+// crash left open for RecoveredEntries.
 func (db *DB) Close() {
 	if db.closed.Swap(true) {
+		db.closeFiles()
 		return
 	}
 	close(db.stop)
@@ -173,11 +218,28 @@ func (db *DB) Close() {
 	for _, e := range db.parts {
 		e.Close()
 	}
+	db.closeFiles()
+}
+
+// closeFiles releases the real-file log devices opened for Options.Dir
+// (idempotent; a no-op for simulated or caller-supplied devices).
+func (db *DB) closeFiles() {
+	db.mu.Lock()
+	files := db.files
+	db.files = nil
+	db.mu.Unlock()
+	for _, f := range files {
+		if f != nil {
+			_ = f.Close()
+		}
+	}
 }
 
 // Crash simulates a whole-machine crash: every partition's log stops at
 // its durable prefix. In-flight executor jobs fail with engine errors;
-// use RecoveredEntries + Recover on a fresh instance to replay.
+// use RecoveredEntries + Recover on a fresh instance to replay. Any
+// Options.Dir files deliberately stay open — RecoveredEntries preads
+// the durable image out of them — until a final Close releases them.
 func (db *DB) Crash() {
 	if db.closed.Swap(true) {
 		return

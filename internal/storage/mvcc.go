@@ -207,6 +207,7 @@ func (t *Table) StampCommit(wid, key, cts uint64) {
 		t.index.Insert(key, meta)
 	}
 	t.mu.Unlock()
+	t.noteCommit(cts)
 }
 
 // StampAbort restores key's pre-transaction version metadata after the

@@ -83,6 +83,24 @@ type Table struct {
 	// readable lock-free.
 	live atomic.Int64
 
+	// dirty is the table's modification epoch: bumped on every
+	// successful mutation, at statement execution time. It counts raw
+	// write activity (aborted transactions bump it too) and is an
+	// observability signal only — it CANNOT gate incremental
+	// checkpoint refs, because a bump can precede the write's commit
+	// timestamp: a snapshot taken in between sees the bumped epoch but
+	// not the row. lastCommit is the sound gate.
+	dirty atomic.Uint64
+
+	// lastCommit is the highest commit timestamp ever stamped into one
+	// of this table's versions (monotone max; bumped before the clock
+	// completes the timestamp). Because stamping happens-before the
+	// commit clock's contiguous watermark reaches the timestamp, a
+	// reader holding a snapshot at watermark ts observes the bump of
+	// every commit with cts ≤ ts — so LastCommitTS() ≤ some older ts0
+	// certifies no commit in (ts0, ts] touched the table.
+	lastCommit atomic.Uint64
+
 	// Chain-walk counters for MVCCStats.
 	walks     atomic.Int64
 	walkSteps atomic.Int64
@@ -127,6 +145,29 @@ func (t *Table) Space() uint32 { return t.space }
 // Clock returns the commit clock stamping this table's versions.
 func (t *Table) Clock() *mvcc.Clock { return t.clock }
 
+// DirtyEpoch returns the table's modification epoch: it advances on
+// every successful write statement (committed or not), at execution
+// time. Useful as an activity signal; see the dirty field for why it
+// must not be used to certify snapshot equality.
+func (t *Table) DirtyEpoch() uint64 { return t.dirty.Load() }
+
+// LastCommitTS returns the highest commit timestamp stamped into this
+// table so far. Read under a snapshot at watermark ts, a return value
+// ≤ ts0 (for ts0 ≤ ts) proves no commit with cts in (ts0, ts] wrote
+// this table — the incremental checkpointer's re-emission gate.
+func (t *Table) LastCommitTS() uint64 { return t.lastCommit.Load() }
+
+// noteCommit raises lastCommit to cts (monotone max). Called before
+// t.clock.Complete(cts) on every path that stamps cts into a version.
+func (t *Table) noteCommit(cts uint64) {
+	for {
+		cur := t.lastCommit.Load()
+		if cts <= cur || t.lastCommit.CompareAndSwap(cur, cts) {
+			return
+		}
+	}
+}
+
 // Len returns the number of live (non-tombstone) rows. It never blocks
 // behind writers, so stats endpoints cannot stall behind a bulk load.
 func (t *Table) Len() int { return int(t.live.Load()) }
@@ -155,7 +196,13 @@ func (t *Table) Insert(h *buffer.Handle, key uint64, row []byte) error {
 	t.mu.Lock()
 	err := t.insertLocked(h, cts, key, row)
 	t.mu.Unlock()
+	if err == nil {
+		t.noteCommit(cts)
+	}
 	t.clock.Complete(cts)
+	if err == nil {
+		t.dirty.Add(1)
+	}
 	return err
 }
 
@@ -172,6 +219,9 @@ func (t *Table) InsertTxn(h *buffer.Handle, wid, key uint64, row []byte) error {
 	t.mu.Lock()
 	err := t.insertLocked(h, writeMarker(wid), key, row)
 	t.mu.Unlock()
+	if err == nil {
+		t.dirty.Add(1)
+	}
 	return err
 }
 
@@ -362,7 +412,13 @@ func (t *Table) Update(h *buffer.Handle, key uint64, row []byte) error {
 	t.mu.Lock()
 	err := t.updateLocked(h, cts, key, row)
 	t.mu.Unlock()
+	if err == nil {
+		t.noteCommit(cts)
+	}
 	t.clock.Complete(cts)
+	if err == nil {
+		t.dirty.Add(1)
+	}
 	return err
 }
 
@@ -378,6 +434,9 @@ func (t *Table) UpdateTxn(h *buffer.Handle, wid, key uint64, row []byte) error {
 	t.mu.Lock()
 	err := t.updateLocked(h, writeMarker(wid), key, row)
 	t.mu.Unlock()
+	if err == nil {
+		t.dirty.Add(1)
+	}
 	return err
 }
 
@@ -490,7 +549,13 @@ func (t *Table) Delete(h *buffer.Handle, key uint64) error {
 	t.mu.Lock()
 	err := t.deleteLocked(h, cts, key)
 	t.mu.Unlock()
+	if err == nil {
+		t.noteCommit(cts)
+	}
 	t.clock.Complete(cts)
+	if err == nil {
+		t.dirty.Add(1)
+	}
 	return err
 }
 
@@ -500,6 +565,9 @@ func (t *Table) DeleteTxn(h *buffer.Handle, wid, key uint64) error {
 	t.mu.Lock()
 	err := t.deleteLocked(h, writeMarker(wid), key)
 	t.mu.Unlock()
+	if err == nil {
+		t.dirty.Add(1)
+	}
 	return err
 }
 

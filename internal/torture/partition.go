@@ -148,8 +148,8 @@ func RunPartitioned(cfg PartConfig) *PartResult {
 		CrashOp:    cfg.CrashOp,
 		CrashTorn:  cfg.CrashTorn,
 	})
-	devsOf := make([][]*disk.Device, cfg.Partitions)
-	pdb := partition.Open(partition.Options{
+	devsOf := make([][]disk.Device, cfg.Partitions)
+	pdb, perr := partition.Open(partition.Options{
 		Partitions: cfg.Partitions,
 		Workers:    2,
 		EngineFor: func(p int, _ engine.Config) engine.Config {
@@ -160,7 +160,7 @@ func RunPartitioned(cfg PartConfig) *PartResult {
 				Seed:          cfg.Seed + int64(p),
 				Faults:        plan, // one machine: every partition's log dies together
 			})
-			devsOf[p] = []*disk.Device{dev}
+			devsOf[p] = []disk.Device{dev}
 			return engine.Config{
 				DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: cfg.Seed + 100 + int64(p)}),
 				LogDevices:       devsOf[p],
@@ -173,6 +173,9 @@ func RunPartitioned(cfg PartConfig) *PartResult {
 			}
 		},
 	})
+	if perr != nil {
+		panic(perr)
+	}
 	tab, err := pdb.CreateTable("t", func(pk uint64) uint64 { return pk })
 	if err != nil {
 		panic(err)
@@ -247,7 +250,7 @@ func RunPartitioned(cfg PartConfig) *PartResult {
 
 // seedDurable checks the devices' durable images directly: every
 // balance key's insert record must already be on disk.
-func seedDurable(devsOf [][]*disk.Device, cfg PartConfig) bool {
+func seedDurable(devsOf [][]disk.Device, cfg PartConfig) bool {
 	want := int(cfg.Keys)
 	got := 0
 	for _, devs := range devsOf {
@@ -415,13 +418,13 @@ func verifyPartitioned(res *PartResult, perPart [][]wal.Entry, j *partJournal) {
 	}
 
 	// --- Recover into a fresh partitioned engine. ---
-	pdb2 := partition.Open(partition.Options{
+	pdb2, perr2 := partition.Open(partition.Options{
 		Partitions: n,
 		Workers:    1,
 		EngineFor: func(p int, _ engine.Config) engine.Config {
 			return engine.Config{
 				DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: cfg.Seed + 200 + int64(p)}),
-				LogDevices:       []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: cfg.Seed + 300 + int64(p)})},
+				LogDevices:       []disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: cfg.Seed + 300 + int64(p)})},
 				LockTimeout:      250 * time.Millisecond,
 				DeadlockInterval: time.Millisecond,
 				BufferCapacity:   64,
@@ -429,6 +432,9 @@ func verifyPartitioned(res *PartResult, perPart [][]wal.Entry, j *partJournal) {
 			}
 		},
 	})
+	if perr2 != nil {
+		panic(perr2)
+	}
 	defer pdb2.Close()
 	tab2, err := pdb2.CreateTable("t", func(pk uint64) uint64 { return pk })
 	if err != nil {

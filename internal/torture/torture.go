@@ -23,6 +23,8 @@ package torture
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -42,7 +44,21 @@ type Config struct {
 	Keys          uint64
 	Parallel      bool // two log streams instead of one
 	Policy        wal.FlushPolicy
-	Checkpoints   bool // quiescent checkpoints between workload phases
+	Checkpoints   bool // checkpoints during the run
+
+	// ConcurrentCkpt runs a background checkpointer racing the workers
+	// (the online fuzzy checkpoint path) instead of quiescent
+	// checkpoints between phases; Incremental makes every other one an
+	// incremental checkpoint. Both only matter when Checkpoints is set.
+	ConcurrentCkpt bool
+	Incremental    bool
+
+	// Backend selects the log-device implementation: "" or "sim" for
+	// the simulated-latency device, "file" for real files under Dir (a
+	// fresh temp directory when Dir is empty). The fault plan drives
+	// both identically, so a seed replays on either backend.
+	Backend string
+	Dir     string
 
 	// Fault plan knobs (see faultfs.Config). CrashOp <= 0 means the
 	// round runs to completion and shuts down cleanly.
@@ -81,6 +97,12 @@ func FromSeed(seed int64) Config {
 	if r.Intn(2) == 1 {
 		cfg.IOErrorP = 0.2 * r.Float64()
 	}
+	// Sampled last so the additions leave every older field's value for
+	// a given seed unchanged.
+	if cfg.Checkpoints {
+		cfg.ConcurrentCkpt = r.Intn(2) == 1
+		cfg.Incremental = r.Intn(2) == 1
+	}
 	return cfg
 }
 
@@ -100,7 +122,11 @@ type Result struct {
 
 // ReproCmd returns the exact command that replays this round.
 func (r *Result) ReproCmd() string {
-	return fmt.Sprintf("go run ./cmd/torture -seed %d -crashes 1", r.Cfg.Seed)
+	b := ""
+	if r.Cfg.Backend == "file" {
+		b = " -backend file"
+	}
+	return fmt.Sprintf("go run ./cmd/torture -seed %d -crashes 1%s", r.Cfg.Seed, b)
 }
 
 // journalOp is one successfully executed statement of a transaction,
@@ -130,6 +156,12 @@ func (j *journal) record(id uint64, rec *txnRec, committed, acked bool) {
 	rec.committed, rec.acked = committed, acked
 	j.mu.Lock()
 	j.txns[id] = rec
+	j.mu.Unlock()
+}
+
+func (j *journal) recordCkpt(id uint64) {
+	j.mu.Lock()
+	j.ckpts[id] = true
 	j.mu.Unlock()
 }
 
@@ -163,15 +195,41 @@ func Run(cfg Config) *Result {
 	if cfg.Parallel {
 		nDev = 2
 	}
-	devs := make([]*disk.Device, nDev)
-	for i := range devs {
-		devs[i] = disk.New(disk.Config{
-			Name:          fmt.Sprintf("log%d", i),
-			MedianLatency: 5 * time.Microsecond,
-			BlockSize:     4096,
-			Seed:          cfg.Seed + int64(i),
-			Faults:        plan, // one machine, one plan: all devices die together
-		})
+	devs := make([]disk.Device, nDev)
+	var tmpDir string
+	if cfg.Backend == "file" {
+		dir := cfg.Dir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "vats-torture-")
+			if err != nil {
+				panic(err)
+			}
+			tmpDir = dir
+		}
+		for i := range devs {
+			fd, err := disk.OpenFile(disk.FileConfig{
+				Path:          filepath.Join(dir, fmt.Sprintf("log%d.wal", i)),
+				Name:          fmt.Sprintf("log%d", i),
+				PreallocBytes: 1 << 20,
+				BlockSize:     4096,
+				Faults:        plan, // one machine, one plan: all devices die together
+			})
+			if err != nil {
+				panic(err)
+			}
+			devs[i] = fd
+		}
+	} else {
+		for i := range devs {
+			devs[i] = disk.New(disk.Config{
+				Name:          fmt.Sprintf("log%d", i),
+				MedianLatency: 5 * time.Microsecond,
+				BlockSize:     4096,
+				Seed:          cfg.Seed + int64(i),
+				Faults:        plan, // one machine, one plan: all devices die together
+			})
+		}
 	}
 	db := engine.Open(engine.Config{
 		DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: cfg.Seed + 100}),
@@ -193,6 +251,40 @@ func Run(cfg Config) *Result {
 	}
 	perPhase := (cfg.TxnsPerWorker + phases - 1) / phases
 
+	// Online checkpointing: a background checkpointer races the workers
+	// for the whole run, exercising the fuzzy-snapshot path (begin
+	// marker, concurrent commits straddling the snapshot, crashes
+	// between begin and end markers).
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if cfg.Checkpoints && cfg.ConcurrentCkpt {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			r := xrand.New(faultfs.DeriveSeed(cfg.Seed, 999))
+			for i := 0; ; i++ {
+				select {
+				case <-stopCkpt:
+					return
+				case <-time.After(time.Duration(100+r.Intn(900)) * time.Microsecond):
+				}
+				var id uint64
+				var err error
+				if cfg.Incremental && i%2 == 1 {
+					id, err = db.CheckpointIncremental()
+				} else {
+					id, err = db.Checkpoint()
+				}
+				if id != 0 {
+					j.recordCkpt(id)
+				}
+				if err != nil {
+					return // crash point hit, or the engine died
+				}
+			}
+		}()
+	}
+
 	for ph := 0; ph < phases; ph++ {
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
@@ -206,17 +298,19 @@ func Run(cfg Config) *Result {
 		if plan.Crashed() {
 			break
 		}
-		if cfg.Checkpoints && ph < phases-1 {
+		if cfg.Checkpoints && !cfg.ConcurrentCkpt && ph < phases-1 {
 			// Quiescent by construction: every worker has joined.
 			id, err := db.Checkpoint()
 			if id != 0 {
-				j.ckpts[id] = true
+				j.recordCkpt(id)
 			}
 			if err != nil {
 				break // the checkpoint hit the crash point (or the engine died)
 			}
 		}
 	}
+	close(stopCkpt)
+	ckptWG.Wait()
 
 	res := &Result{Cfg: cfg, Digest: plan.ScheduleDigest(1024)}
 	if plan.Crashed() {
@@ -243,6 +337,14 @@ func Run(cfg Config) *Result {
 		res.Lies += d.Lies()
 	}
 	verify(res, db, devs, j)
+	// File devices pread their durable images out of the open files, so
+	// they close only after the audit; their scratch dir dies with them.
+	for _, d := range devs {
+		_ = d.Close()
+	}
+	if tmpDir != "" {
+		_ = os.RemoveAll(tmpDir)
+	}
 	return res
 }
 

@@ -2,6 +2,7 @@ package torture
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -30,7 +31,7 @@ type stateKey struct {
 // Everything else is a violation: rolled-back or unknown transactions
 // on a device, journal/log divergence, watermark overclaim, recovery
 // state diverging from spec replay, or structural invariant breakage.
-func verify(res *Result, db *engine.DB, devs []*disk.Device, j *journal) {
+func verify(res *Result, db *engine.DB, devs []disk.Device, j *journal) {
 	bad := func(format string, args ...any) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
 	}
@@ -149,7 +150,7 @@ func verify(res *Result, db *engine.DB, devs []*disk.Device, j *journal) {
 	want := specReplay(durable, j)
 	db2 := engine.Open(engine.Config{
 		DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: res.Cfg.Seed + 200}),
-		LogDevices:       []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: res.Cfg.Seed + 201})},
+		LogDevices:       []disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: res.Cfg.Seed + 201})},
 		LockTimeout:      250 * time.Millisecond,
 		DeadlockInterval: time.Millisecond,
 		BufferCapacity:   64,
@@ -251,54 +252,106 @@ func groupByTxn(es []wal.Entry) map[uint64][]wal.Entry {
 
 // specReplay computes the state recovery MUST produce from the durable
 // entries, independently of engine.Recover: pick the newest complete
-// checkpoint (end marker's declared row count matches the snapshot rows
-// that survived), lay down its snapshot, then apply the journal's ops
-// for every transaction whose commit marker survives after it, in
-// commit-marker LSN order — which under strict 2PL is the original
-// conflict order. Row content comes from the harness journal, not the
-// log payloads, so a log corruption cannot cancel out of the
-// comparison.
+// fuzzy checkpoint (begin marker present, surviving own rows match the
+// end marker's declared count, every incremental ref's base rows fully
+// present), lay down its snapshot (own rows plus referenced base
+// rows), then apply the journal's ops for EVERY transaction whose
+// commit marker survives — no LSN cutoff, because with a fuzzy
+// snapshot a committed transaction's records can legitimately precede
+// the begin marker — in commit-marker LSN order, which under strict
+// 2PL is the original per-key conflict order (re-applying work the
+// snapshot already contains converges to the same value; truncation
+// only removes prefixes, so a surviving early writer implies every
+// later conflicting writer also survived). Row content comes from the
+// harness journal, not the log payloads, so a log corruption cannot
+// cancel out of the comparison.
 func specReplay(durable []wal.Entry, j *journal) map[stateKey][]byte {
-	type mark struct {
-		id       uint64
-		end      wal.LSN
-		declared uint64
+	type cand struct {
+		id          uint64
+		hasBegin    bool
+		end         wal.LSN
+		declared    uint64
+		ownRows     uint64
+		refs        []struct {
+			space  uint32
+			baseID uint64
+			count  uint64
+		}
+		rowsBySpace map[uint32]uint64
 	}
-	var marks []mark
+	cands := make(map[uint64]*cand)
+	get := func(id uint64) *cand {
+		c, ok := cands[id]
+		if !ok {
+			c = &cand{id: id, rowsBySpace: make(map[uint32]uint64)}
+			cands[id] = c
+		}
+		return c
+	}
 	for _, e := range durable {
-		if op, _, key, _, err := engine.DecodeRedo(e.Payload); err == nil && op == engine.RedoCkptEnd {
-			marks = append(marks, mark{id: e.Txn, end: e.LSN, declared: key})
+		op, space, key, row, err := engine.DecodeRedo(e.Payload)
+		if err != nil {
+			continue
+		}
+		switch op {
+		case engine.RedoCkptBegin:
+			get(e.Txn).hasBegin = true
+		case engine.RedoCkptRow:
+			c := get(e.Txn)
+			c.ownRows++
+			c.rowsBySpace[space]++
+		case engine.RedoCkptRef:
+			if len(row) == 8 {
+				c := get(e.Txn)
+				c.refs = append(c.refs, struct {
+					space  uint32
+					baseID uint64
+					count  uint64
+				}{space, key, binary.LittleEndian.Uint64(row)})
+			}
+		case engine.RedoCkptEnd:
+			c := get(e.Txn)
+			c.end, c.declared = e.LSN, key
 		}
 	}
-	var ckptID uint64
-	var ckptEnd wal.LSN
-	for i := len(marks) - 1; i >= 0; i-- {
-		var got uint64
-		for _, e := range durable {
-			if e.Txn != marks[i].id || e.LSN >= marks[i].end {
-				continue
-			}
-			if op, _, _, _, err := engine.DecodeRedo(e.Payload); err == nil && op == engine.RedoCkptRow {
-				got++
+	var chosen *cand
+	for _, c := range cands {
+		if c.end == 0 || !c.hasBegin || c.ownRows != c.declared {
+			continue
+		}
+		ok := true
+		for _, r := range c.refs {
+			base := cands[r.baseID]
+			if base == nil || r.count == 0 || base.rowsBySpace[r.space] != r.count {
+				ok = false
+				break
 			}
 		}
-		if got == marks[i].declared {
-			ckptID, ckptEnd = marks[i].id, marks[i].end
-			break
+		if ok && (chosen == nil || c.end > chosen.end) {
+			chosen = c
 		}
 	}
 
 	state := make(map[stateKey][]byte)
-	if ckptEnd != 0 {
+	if chosen != nil {
+		refSpaces := make(map[uint32]uint64, len(chosen.refs))
+		for _, r := range chosen.refs {
+			refSpaces[r.space] = r.baseID
+		}
 		for _, e := range durable {
-			if e.Txn != ckptID || e.LSN >= ckptEnd {
-				continue
-			}
 			op, space, key, row, err := engine.DecodeRedo(e.Payload)
 			if err != nil || op != engine.RedoCkptRow {
 				continue
 			}
-			state[stateKey{space, key}] = append([]byte(nil), row...)
+			use := e.Txn == chosen.id
+			if !use {
+				if baseID, ok := refSpaces[space]; ok && e.Txn == baseID {
+					use = true
+				}
+			}
+			if use {
+				state[stateKey{space, key}] = append([]byte(nil), row...)
+			}
 		}
 	}
 
@@ -308,9 +361,6 @@ func specReplay(durable []wal.Entry, j *journal) map[stateKey][]byte {
 	}
 	var commits []commitMark
 	for _, e := range durable {
-		if e.LSN <= ckptEnd {
-			continue
-		}
 		if op, _, _, _, err := engine.DecodeRedo(e.Payload); err == nil && op == engine.RedoCommit {
 			commits = append(commits, commitMark{id: e.Txn, lsn: e.LSN})
 		}

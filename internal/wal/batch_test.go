@@ -20,7 +20,7 @@ func TestAppendBatchCrashAtomicity(t *testing.T) {
 		workers = 8
 		perTxn  = 4
 	)
-	m := New(Config{Devices: []*disk.Device{fastDevice(1)}, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{fastDevice(1)}, Policy: EagerFlush})
 	var nextTxn atomic.Uint64
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -83,7 +83,7 @@ func TestWatermarkMonotonic(t *testing.T) {
 		perTxn  = 3
 	)
 	m := New(Config{
-		Devices:  []*disk.Device{fastDevice(1), fastDevice(2)},
+		Devices:  []disk.Device{fastDevice(1), fastDevice(2)},
 		Parallel: true,
 		Policy:   EagerFlush,
 	})

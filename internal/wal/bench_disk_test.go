@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vats/internal/disk"
+)
+
+// benchFileDevice opens a real-file log device in the benchmark's temp
+// dir. Preallocation is sized so no cell pays mid-run block allocation.
+func benchFileDevice(b *testing.B, mode disk.SyncMode) disk.Device {
+	b.Helper()
+	d, err := disk.OpenFile(disk.FileConfig{
+		Path:          filepath.Join(b.TempDir(), "bench.wal"),
+		Mode:          mode,
+		PreallocBytes: 256 << 20,
+		BlockSize:     4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	return d
+}
+
+// BenchmarkWALBackendCommit drives the 8-committer group-commit loop of
+// BenchmarkCommitThroughput over each durability backend: the simulated
+// device (the latency floor the rest of the suite is calibrated
+// against), a real file with one fdatasync per Sync, and a real file
+// opened O_DSYNC. The Sim/Eager vs File*/Eager gap is the real cost of
+// durability on the host's storage; Lazy cells show how far group
+// commit amortizes it. Tracked in BENCH_PR9.json.
+func BenchmarkWALBackendCommit(b *testing.B) {
+	backends := []struct {
+		name string
+		open func(b *testing.B) disk.Device
+	}{
+		{"Sim", func(b *testing.B) disk.Device { return benchDevice(1) }},
+		{"FileFdatasync", func(b *testing.B) disk.Device { return benchFileDevice(b, disk.FdatasyncPerSync) }},
+		{"FileODSync", func(b *testing.B) disk.Device { return benchFileDevice(b, disk.ODSync) }},
+	}
+	policies := []struct {
+		name   string
+		policy FlushPolicy
+	}{
+		{"Eager", EagerFlush},
+		{"Lazy", LazyWrite},
+	}
+	for _, be := range backends {
+		for _, pol := range policies {
+			b.Run(be.name+"/"+pol.name, func(b *testing.B) {
+				m := New(Config{Devices: []disk.Device{be.open(b)}, Policy: pol.policy, FlushInterval: time.Millisecond})
+				defer m.Close()
+				payload := make([]byte, 64)
+				var txns atomic.Uint64
+				start := time.Now()
+				b.ReportAllocs()
+				b.SetParallelism(8)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						txn := txns.Add(1)
+						for r := 0; r < 4; r++ {
+							if _, err := m.Append(txn, payload); err != nil {
+								b.Errorf("append: %v", err)
+								return
+							}
+						}
+						if err := m.Commit(txn); err != nil {
+							b.Errorf("commit: %v", err)
+							return
+						}
+					}
+				})
+				if el := time.Since(start).Seconds(); el > 0 {
+					b.ReportMetric(float64(txns.Load())/el, "txn/s")
+				}
+			})
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 // benchDevice is a near-floor-latency log device: fast enough that the
 // WAL's own synchronization — not simulated hardware — dominates, which
 // is what the commit hot path benchmarks measure.
-func benchDevice(seed int64) *disk.Device {
+func benchDevice(seed int64) disk.Device {
 	return disk.New(disk.Config{MedianLatency: 2 * time.Microsecond, Sigma: 0, BlockSize: 4096, PreciseWait: true, Seed: seed})
 }
 
@@ -32,7 +32,7 @@ func BenchmarkCommitThroughput(b *testing.B) {
 		{"LazyWriteParallel", LazyWrite, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			devs := []*disk.Device{benchDevice(1)}
+			devs := []disk.Device{benchDevice(1)}
 			if bc.parallel {
 				devs = append(devs, benchDevice(2))
 			}
@@ -68,7 +68,7 @@ func BenchmarkCommitThroughput(b *testing.B) {
 // BenchmarkAppend measures the per-record append cost on one goroutine
 // (the statement-time half of the commit path).
 func BenchmarkAppend(b *testing.B) {
-	m := New(Config{Devices: []*disk.Device{benchDevice(1)}, Policy: LazyWrite, FlushInterval: time.Hour})
+	m := New(Config{Devices: []disk.Device{benchDevice(1)}, Policy: LazyWrite, FlushInterval: time.Hour})
 	defer m.Close()
 	payload := make([]byte, 64)
 	b.ReportAllocs()

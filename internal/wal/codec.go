@@ -160,7 +160,7 @@ func MergeEntries(streams ...[]Entry) []Entry {
 // RecoverDeviceEntries decodes and merges the durable images of
 // fault-capable log devices — the physical-truth input to crash
 // recovery after a simulated machine crash.
-func RecoverDeviceEntries(devs ...*disk.Device) []Entry {
+func RecoverDeviceEntries(devs ...disk.Device) []Entry {
 	streams := make([][]Entry, 0, len(devs))
 	for _, d := range devs {
 		es, _ := DecodeImage(d.DurableImage())
@@ -173,7 +173,7 @@ func RecoverDeviceEntries(devs ...*disk.Device) []Entry {
 // images: what the devices claimed was durable, including anything a
 // dropped fsync lied about. The torture harness compares the two to
 // separate device lies from WAL bugs.
-func AckedDeviceEntries(devs ...*disk.Device) []Entry {
+func AckedDeviceEntries(devs ...disk.Device) []Entry {
 	streams := make([][]Entry, 0, len(devs))
 	for _, d := range devs {
 		es, _ := DecodeImage(d.AckedImage())

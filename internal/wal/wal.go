@@ -72,7 +72,7 @@ type Config struct {
 	// Devices are the log devices. One device = single-stream logging
 	// (the Postgres WALWriteLock model); two or more enable parallel
 	// logging when Parallel is set.
-	Devices []*disk.Device
+	Devices []disk.Device
 	// Parallel allows committers to use any device concurrently; when
 	// false only Devices[0] is used.
 	Parallel bool
@@ -143,6 +143,14 @@ type Manager struct {
 	// pending counts, per transaction, how many of its batches are not
 	// yet durable: the commit-path durability check is pending[txn] == 0.
 	pending map[uint64]int
+	// kicked counts resurrections: every path that puts a claimed batch
+	// back into buffered/written after a transient I/O error bumps it
+	// and broadcasts. A committer parked in commitEager's waiter branch
+	// watches the counter — its batch may be among the resurrected, and
+	// under EagerFlush nothing else is obligated to re-claim buffered
+	// batches, so the waiter must wake and drive a Flush itself rather
+	// than sleep for a wakeup that will never come.
+	kicked uint64
 	// marks[i] is the highest LSN stream i has made durable; contig is
 	// the global durable watermark — every LSN ≤ contig is durable. ooo
 	// holds completed ranges waiting for a gap to fill (out-of-order
@@ -175,7 +183,7 @@ type lsnRange struct{ first, last LSN }
 
 type stream struct {
 	idx     int
-	dev     *disk.Device
+	dev     disk.Device
 	mu      sync.Mutex
 	waiters atomic.Int32
 }
@@ -242,6 +250,14 @@ func (m *Manager) AppendBatch(txn uint64, payloads [][]byte) (LSN, error) {
 	return m.appendBatch(txn, bt, len(payloads))
 }
 
+// NextLSN returns the highest LSN allocated so far; the next Append
+// will receive an LSN strictly greater. The checkpointer's active-
+// transaction registry reads this *before* a transaction appends to
+// get a lower bound on where that transaction's records will land.
+func (m *Manager) NextLSN() LSN {
+	return LSN(m.next.Load())
+}
+
 func (m *Manager) appendBatch(txn uint64, bt *batch, n int) (LSN, error) {
 	last := LSN(m.next.Add(uint64(n)))
 	bt.first = last - LSN(n) + 1
@@ -288,6 +304,18 @@ func (m *Manager) CommitSync(txn uint64) error {
 	return m.commitEager(txn)
 }
 
+// Release moves txn's buffered records toward the device WITHOUT a
+// durability barrier — the page-cache write of the LazyFlush commit
+// obligation, available under any policy. It exists for bulk streamers
+// like checkpoints: releasing each chunk keeps the buffered set
+// bounded without forcing an fsync per chunk (under EagerFlush a plain
+// Commit would), so background streaming adds exactly one barrier —
+// the final Flush — to the live group-commit traffic. Released records
+// become durable at the next Flush or background flusher pass.
+func (m *Manager) Release(txn uint64) error {
+	return m.commitLazyFlush(txn)
+}
+
 func (m *Manager) commitEager(txn uint64) error {
 	for {
 		m.mu.Lock()
@@ -327,22 +355,36 @@ func (m *Manager) commitEager(txn uint64) error {
 		m.mu.Unlock()
 
 		if len(claim) == 0 {
-			// Our batches are in flight with a leader on another
-			// stream (parallel mode); wait for its broadcast.
+			// Our batches are in flight with a leader or flusher; wait
+			// for its broadcast. Stop waiting if a transient I/O error
+			// resurrects batches (kicked moves) or — when no background
+			// flusher runs (EagerFlush) — if batches sit written-but-
+			// unsynced, since then nobody is obligated to sync them. In
+			// either case our batch may be stranded, so we drive a
+			// flush pass ourselves and re-check.
 			st.mu.Unlock()
 			st.waiters.Add(-1)
 			m.mu.Lock()
-			for !m.crashed && m.pending[txn] != 0 {
+			gen := m.kicked
+			for !m.crashed && m.pending[txn] != 0 && m.kicked == gen &&
+				(m.stopFlusher != nil || len(m.written) == 0) {
 				m.cond.Wait()
 			}
 			crashed := m.crashed
+			done := m.pending[txn] == 0
 			m.mu.Unlock()
 			if crashed {
 				return ErrCrashed
 			}
-			m.grouped.Add(1)
-			m.met.Grouped()
-			return nil
+			if done {
+				m.grouped.Add(1)
+				m.met.Grouped()
+				return nil
+			}
+			if err := m.Flush(); errors.Is(err, faultfs.ErrCrashed) || errors.Is(err, ErrCrashed) {
+				return ErrCrashed
+			}
+			continue
 		}
 
 		var flushStart time.Time
@@ -375,8 +417,12 @@ func (m *Manager) commitEager(txn uint64) error {
 			// Transient I/O error: nothing durable happened. Resurrect
 			// the claim and retry; a duplicate frame from a write that
 			// preceded a failed fsync is deduplicated at decode time.
+			// The kick wakes parked waiters whose batches are in the
+			// resurrected claim — we retry, but they must not assume so.
 			m.buffered = append(claim, m.buffered...)
 			m.bufferedBytes += bytes
+			m.kicked++
+			m.cond.Broadcast()
 			m.mu.Unlock()
 			st.mu.Unlock()
 			st.waiters.Add(-1)
@@ -476,6 +522,8 @@ func (m *Manager) commitLazyFlush(txn uint64) error {
 			}
 			m.buffered = append(moved, m.buffered...)
 			m.bufferedBytes += movedBytes
+			m.kicked++
+			m.cond.Broadcast()
 			m.mu.Unlock()
 			return err
 		}
@@ -621,30 +669,32 @@ func (m *Manager) backgroundFlush() {
 	m.flushClaims(toWrite, toSync, bytes)
 }
 
-// Flush forces one synchronous flush pass (used by clean shutdown).
-func (m *Manager) Flush() {
+// Flush forces one synchronous flush pass (clean shutdown, checkpoint
+// completion). The error matters: a checkpoint that truncates the log
+// after an unflushed (or failed) pass would discard records it never
+// made durable.
+func (m *Manager) Flush() error {
 	m.mu.Lock()
 	if m.crashed {
 		m.mu.Unlock()
-		return
+		return ErrCrashed
 	}
 	toWrite, bytes := m.claimBufferedLocked()
 	toSync, wb := m.claimWrittenLocked()
 	bytes += wb
 	m.mu.Unlock()
 	if len(toWrite) == 0 && len(toSync) == 0 {
-		return
+		return nil
 	}
-	m.flushClaims(toWrite, toSync, bytes)
+	return m.flushClaims(toWrite, toSync, bytes)
 }
 
 // flushClaims pushes a claimed set of batches through one device
 // write+fsync and completes them. Shared by the background flusher and
 // manual Flush.
-func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) {
+func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) error {
 	if m.phys {
-		m.flushClaimsPhys(toWrite, toSync)
-		return
+		return m.flushClaimsPhys(toWrite, toSync)
 	}
 	st := m.pickStream()
 	st.mu.Lock()
@@ -667,12 +717,13 @@ func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) {
 	if m.crashed {
 		// Crash raced with this flush; do not resurrect batches.
 		m.mu.Unlock()
-		return
+		return ErrCrashed
 	}
 	m.completeLocked(toWrite, st.idx)
 	m.completeLocked(toSync, st.idx)
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	return nil
 }
 
 // flushClaimsPhys is the physical-mode flush pass. A written batch's
@@ -682,7 +733,11 @@ func (m *Manager) flushClaims(toWrite, toSync []*batch, bytes int) {
 // each involved stream gets one fsync. Transient errors resurrect the
 // affected batches for the next pass; a crash outcome kills the
 // manager and abandons the claim — the device images are the truth.
-func (m *Manager) flushClaimsPhys(toWrite, toSync []*batch) {
+// Returns the first error encountered (the pass still visits every
+// stream so transient errors on one stream don't strand another's
+// batches).
+func (m *Manager) flushClaimsPhys(toWrite, toSync []*batch) error {
+	var firstErr error
 	groups := make(map[int][]*batch)
 	for _, bt := range toSync {
 		groups[bt.stream] = append(groups[bt.stream], bt)
@@ -699,14 +754,22 @@ func (m *Manager) flushClaimsPhys(toWrite, toSync []*batch) {
 		switch {
 		case errors.Is(err, faultfs.ErrCrashed):
 			m.markCrashed()
-			return
+			return ErrCrashed
 		case err != nil:
+			if firstErr == nil {
+				firstErr = err
+			}
 			m.mu.Lock()
 			if !m.crashed {
+				// Resurrect and kick: under EagerFlush no background
+				// pass claims buffered batches, so a committer parked
+				// on one of these must wake and flush it itself.
 				m.buffered = append(toWrite, m.buffered...)
 				for _, bt := range toWrite {
 					m.bufferedBytes += bt.bytes()
 				}
+				m.kicked++
+				m.cond.Broadcast()
 			}
 			m.mu.Unlock()
 		default:
@@ -730,17 +793,22 @@ func (m *Manager) flushClaimsPhys(toWrite, toSync []*batch) {
 		switch {
 		case errors.Is(err, faultfs.ErrCrashed):
 			m.markCrashed()
-			return
+			return ErrCrashed
 		case err != nil:
 			// The frames are still in the device cache, so the batches
 			// go back on written unchanged: the next pass re-syncs the
 			// same stream without rewriting anything.
+			if firstErr == nil {
+				firstErr = err
+			}
 			m.mu.Lock()
 			if !m.crashed {
 				m.written = append(grp, m.written...)
 				for _, bt := range grp {
 					m.writtenBytes += bt.bytes()
 				}
+				m.kicked++
+				m.cond.Broadcast()
 			}
 			m.mu.Unlock()
 			continue
@@ -754,12 +822,13 @@ func (m *Manager) flushClaimsPhys(toWrite, toSync []*batch) {
 		m.mu.Lock()
 		if m.crashed {
 			m.mu.Unlock()
-			return
+			return ErrCrashed
 		}
 		m.completeLocked(grp, i)
 		m.cond.Broadcast()
 		m.mu.Unlock()
 	}
+	return firstErr
 }
 
 // markCrashed transitions the manager to the crashed state and wakes
@@ -796,7 +865,7 @@ func (m *Manager) Crash() {
 func (m *Manager) Close() {
 	m.stopBackground()
 	for attempt := 0; attempt < 1000; attempt++ {
-		m.Flush()
+		_ = m.Flush() // drain-loop retry; the done check below decides
 		m.mu.Lock()
 		done := m.crashed || (len(m.buffered) == 0 && len(m.written) == 0)
 		m.mu.Unlock()
@@ -856,9 +925,12 @@ func (m *Manager) RecoveredEntries() []Entry {
 // truncated batch are copied into a fresh buffer so the discarded
 // payload bytes are actually released, not pinned by the old backing
 // array.
-func (m *Manager) Truncate(before LSN) {
+func (m *Manager) Truncate(before LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
 	if before > m.truncLow {
 		m.truncLow = before
 	}
@@ -889,6 +961,7 @@ func (m *Manager) Truncate(before LSN) {
 	}
 	m.durable = kept
 	m.durableRecs = recs
+	return nil
 }
 
 // Recovered returns the payloads of durable records in LSN order — what
@@ -1031,8 +1104,8 @@ func (m *Manager) CheckInvariants() error {
 
 // Devices returns the manager's log devices (for the torture harness
 // to reach the fault-capable byte images).
-func (m *Manager) Devices() []*disk.Device {
-	return append([]*disk.Device(nil), m.cfg.Devices...)
+func (m *Manager) Devices() []disk.Device {
+	return append([]disk.Device(nil), m.cfg.Devices...)
 }
 
 // Crashed reports whether the manager has observed a crash — either an

@@ -15,7 +15,7 @@ import (
 // interleaving.
 func TestLSNOrderProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		m := New(Config{Devices: []*disk.Device{fastDevice(seed)}, Policy: EagerFlush})
+		m := New(Config{Devices: []disk.Device{fastDevice(seed)}, Policy: EagerFlush})
 		n := 5 + int(uint64(seed)%20)
 		var want []LSN
 		for i := 0; i < n; i++ {
@@ -54,7 +54,7 @@ func TestLSNOrderProperty(t *testing.T) {
 // Property: under any crash point, the recovered set of an eager-flush
 // log contains every record of every Commit that returned.
 func TestEagerDurabilityUnderConcurrentCrash(t *testing.T) {
-	m := New(Config{Devices: []*disk.Device{fastDevice(3)}, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{fastDevice(3)}, Policy: EagerFlush})
 	var mu sync.Mutex
 	committed := map[uint64]bool{}
 	var wg sync.WaitGroup
@@ -96,7 +96,7 @@ func TestEagerDurabilityUnderConcurrentCrash(t *testing.T) {
 
 func TestGroupCommitCountsGrouped(t *testing.T) {
 	dev := disk.New(disk.Config{MedianLatency: 3 * time.Millisecond, Sigma: 0, BlockSize: 4096, Seed: 9})
-	m := New(Config{Devices: []*disk.Device{dev}, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{dev}, Policy: EagerFlush})
 	var wg sync.WaitGroup
 	for i := 0; i < 10; i++ {
 		wg.Add(1)
@@ -115,7 +115,7 @@ func TestGroupCommitCountsGrouped(t *testing.T) {
 
 func TestLazyFlushCrashLosesOnlyUnflushedTail(t *testing.T) {
 	m := New(Config{
-		Devices:       []*disk.Device{fastDevice(5)},
+		Devices:       []disk.Device{fastDevice(5)},
 		Policy:        LazyFlush,
 		FlushInterval: 2 * time.Millisecond,
 	})
@@ -140,7 +140,7 @@ func TestLazyFlushCrashLosesOnlyUnflushedTail(t *testing.T) {
 }
 
 func TestFlushIdempotentAfterCrash(t *testing.T) {
-	m := New(Config{Devices: []*disk.Device{fastDevice(6)}, Policy: LazyWrite, FlushInterval: time.Hour})
+	m := New(Config{Devices: []disk.Device{fastDevice(6)}, Policy: LazyWrite, FlushInterval: time.Hour})
 	m.Append(1, []byte("x"))
 	m.Commit(1)
 	m.Crash()
@@ -152,7 +152,7 @@ func TestFlushIdempotentAfterCrash(t *testing.T) {
 
 func TestParallelMoreStreamsMoreThroughput(t *testing.T) {
 	run := func(devices int, parallel bool) time.Duration {
-		var devs []*disk.Device
+		var devs []disk.Device
 		for i := 0; i < devices; i++ {
 			devs = append(devs, disk.New(disk.Config{
 				MedianLatency: time.Millisecond, Sigma: 0, BlockSize: 4096, Seed: int64(i + 1)}))

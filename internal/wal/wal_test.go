@@ -10,7 +10,7 @@ import (
 	"vats/internal/disk"
 )
 
-func fastDevice(seed int64) *disk.Device {
+func fastDevice(seed int64) disk.Device {
 	return disk.New(disk.Config{
 		MedianLatency: 30 * time.Microsecond,
 		Sigma:         0.1,
@@ -20,7 +20,7 @@ func fastDevice(seed int64) *disk.Device {
 }
 
 func eagerMgr() *Manager {
-	return New(Config{Devices: []*disk.Device{fastDevice(1)}, Policy: EagerFlush})
+	return New(Config{Devices: []disk.Device{fastDevice(1)}, Policy: EagerFlush})
 }
 
 func TestPolicyStrings(t *testing.T) {
@@ -102,7 +102,7 @@ func TestGroupCommitPiggybacks(t *testing.T) {
 	// Many concurrent eager committers on one slow device: flush count
 	// must be (much) smaller than committer count thanks to group commit.
 	dev := disk.New(disk.Config{MedianLatency: 2 * time.Millisecond, Sigma: 0, BlockSize: 4096, Seed: 1})
-	m := New(Config{Devices: []*disk.Device{dev}, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{dev}, Policy: EagerFlush})
 	const n = 16
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -128,7 +128,7 @@ func TestGroupCommitPiggybacks(t *testing.T) {
 
 func TestLazyFlushDurableAfterInterval(t *testing.T) {
 	m := New(Config{
-		Devices:       []*disk.Device{fastDevice(2)},
+		Devices:       []disk.Device{fastDevice(2)},
 		Policy:        LazyFlush,
 		FlushInterval: 2 * time.Millisecond,
 	})
@@ -150,7 +150,7 @@ func TestLazyFlushDurableAfterInterval(t *testing.T) {
 
 func TestLazyWriteCommitReturnsImmediately(t *testing.T) {
 	dev := disk.New(disk.Config{MedianLatency: 5 * time.Millisecond, Sigma: 0, BlockSize: 4096, Seed: 3})
-	m := New(Config{Devices: []*disk.Device{dev}, Policy: LazyWrite, FlushInterval: 2 * time.Millisecond})
+	m := New(Config{Devices: []disk.Device{dev}, Policy: LazyWrite, FlushInterval: 2 * time.Millisecond})
 	defer m.Close()
 	m.Append(1, []byte("x"))
 	start := time.Now()
@@ -164,7 +164,7 @@ func TestLazyWriteCommitReturnsImmediately(t *testing.T) {
 
 func TestLazyWriteCrashLosesRecentCommits(t *testing.T) {
 	m := New(Config{
-		Devices:       []*disk.Device{fastDevice(4)},
+		Devices:       []disk.Device{fastDevice(4)},
 		Policy:        LazyWrite,
 		FlushInterval: time.Hour, // flusher effectively never runs
 	})
@@ -180,7 +180,7 @@ func TestLazyWriteCrashLosesRecentCommits(t *testing.T) {
 
 func TestCloseFlushesLazyRecords(t *testing.T) {
 	m := New(Config{
-		Devices:       []*disk.Device{fastDevice(5)},
+		Devices:       []disk.Device{fastDevice(5)},
 		Policy:        LazyWrite,
 		FlushInterval: time.Hour,
 	})
@@ -206,7 +206,7 @@ func TestCrashFailsFurtherOperations(t *testing.T) {
 func TestParallelPicksLessLoadedStream(t *testing.T) {
 	d1 := disk.New(disk.Config{MedianLatency: time.Millisecond, Sigma: 0, BlockSize: 4096, Seed: 1})
 	d2 := disk.New(disk.Config{MedianLatency: time.Millisecond, Sigma: 0, BlockSize: 4096, Seed: 2})
-	m := New(Config{Devices: []*disk.Device{d1, d2}, Parallel: true, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{d1, d2}, Parallel: true, Policy: EagerFlush})
 	const n = 12
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -231,7 +231,7 @@ func TestParallelPicksLessLoadedStream(t *testing.T) {
 func TestSingleStreamIgnoresExtraDevices(t *testing.T) {
 	d1 := fastDevice(1)
 	d2 := fastDevice(2)
-	m := New(Config{Devices: []*disk.Device{d1, d2}, Parallel: false, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{d1, d2}, Parallel: false, Policy: EagerFlush})
 	m.Append(1, []byte("x"))
 	m.Commit(1)
 	if d2.Stats().Ops != 0 {
@@ -240,7 +240,7 @@ func TestSingleStreamIgnoresExtraDevices(t *testing.T) {
 }
 
 func TestConcurrentAppendCommitStress(t *testing.T) {
-	m := New(Config{Devices: []*disk.Device{fastDevice(7)}, Policy: EagerFlush})
+	m := New(Config{Devices: []disk.Device{fastDevice(7)}, Policy: EagerFlush})
 	var wg sync.WaitGroup
 	const workers = 8
 	const per = 20

@@ -17,7 +17,7 @@ func fastDB(t *testing.T, sched lock.Scheduler) *engine.DB {
 	db := engine.Open(engine.Config{
 		Scheduler:        sched,
 		DataDevice:       disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 1}),
-		LogDevices:       []*disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
+		LogDevices:       []disk.Device{disk.New(disk.Config{MedianLatency: 5 * time.Microsecond, BlockSize: 4096, Seed: 2})},
 		LockTimeout:      time.Second,
 		DeadlockInterval: time.Millisecond,
 		BufferCapacity:   2048,

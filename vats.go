@@ -333,7 +333,7 @@ func (o Options) engineConfig() engine.Config {
 	if o.PageSize == 0 {
 		o.PageSize = 4096
 	}
-	logDevices := []*disk.Device{disk.New(disk.DefaultConfig("log0", o.Seed+2))}
+	logDevices := []disk.Device{disk.New(disk.DefaultConfig("log0", o.Seed+2))}
 	if o.ParallelLog {
 		logDevices = append(logDevices, disk.New(disk.DefaultConfig("log1", o.Seed+3)))
 	}
@@ -407,7 +407,7 @@ func OpenPartitioned(o Options) (*PartitionedDB, error) {
 			po.Seed = base.Seed + int64(p)*101
 			return po.engineConfig()
 		},
-	}), nil
+	})
 }
 
 // NewPartitionedTPCC builds the partition-aware TPC-C workload:
