@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-partition-json bench-disk-json bench-smoke repro torture torture-short torture-partitioned torture-file
+.PHONY: all build test short vet race bench bench-json bench-read-json bench-obs-json bench-scan-json bench-partition-json bench-disk-json bench-net-json bench-smoke fuzz loadgen-smoke repro torture torture-short torture-partitioned torture-file
 
 all: build vet short
 
@@ -19,12 +19,14 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrent-by-design packages (the lock-free read path,
-# the sharded metrics registry and the stats accumulators it merges).
+# the sharded metrics registry and the stats accumulators it merges,
+# the network session table and the admission queue).
 race:
 	$(GO) test -race -short ./internal/btree/... ./internal/buffer/... \
 		./internal/storage/... ./internal/obs/... ./internal/stats/... \
 		./internal/tprofiler/... ./internal/mvcc/... ./internal/exec/... \
-		./internal/engine/... ./internal/partition/...
+		./internal/engine/... ./internal/partition/... \
+		./internal/server/... ./internal/admit/...
 
 # Observability overhead guardrail (see docs/OBSERVABILITY.md).
 bench:
@@ -66,6 +68,13 @@ bench-partition-json:
 bench-disk-json:
 	sh scripts/bench_json.sh disk BENCH_PR9.json
 
+# Network service layer suite -> BENCH_PR10.json: per-frame request
+# path + raw wire codec, admitted p99 under 2x open-loop overload with
+# the shed controller on vs off, 100k multiplexed sessions
+# (see docs/SERVER.md and docs/PERF.md).
+bench-net-json:
+	sh scripts/bench_json.sh net BENCH_PR10.json
+
 # One-iteration benchmark compile-and-run pass over the hot-path
 # packages: catches benchmarks that no longer build or panic without
 # paying for a measurement run (CI runs this).
@@ -73,7 +82,33 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
 		./internal/buffer/ ./internal/storage/ ./internal/engine/ \
 		./internal/lock/ ./internal/wal/ ./internal/obs/ ./internal/exec/ \
-		./internal/mvcc/ ./internal/partition/
+		./internal/mvcc/ ./internal/partition/ ./internal/server/
+
+# Bounded fuzz pass over every codec an untrusted byte stream can
+# reach: the WAL frame decoder, the page codec, and the wire protocol
+# framing (decode + field round-trip). Seed corpora live under each
+# package's testdata/fuzz/. FUZZTIME bounds each target.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/wal     -run '^$$' -fuzz FuzzWALDecode      -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/storage -run '^$$' -fuzz FuzzPageCodec      -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server  -run '^$$' -fuzz FuzzWireDecode     -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server  -run '^$$' -fuzz FuzzWireRoundTrip  -fuzztime $(FUZZTIME)
+
+# End-to-end loadgen smoke: a real vatsd process serving a real
+# vatsload run (5s, mixed reads/writes, 10k idle sessions); vatsload
+# exits nonzero on any protocol error (CI runs this).
+loadgen-smoke:
+	$(GO) build -o /tmp/vatsd ./cmd/vatsd
+	$(GO) build -o /tmp/vatsload ./cmd/vatsload
+	/tmp/vatsd -addr 127.0.0.1:47510 & \
+	VATSD_PID=$$!; \
+	sleep 1; \
+	/tmp/vatsload -addr 127.0.0.1:47510 -rate 500 -duration 5s \
+		-sessions 10000 -write-frac 0.25 -class-mix 0.2,0.6,0.2 -setup; \
+	rc=$$?; \
+	kill $$VATSD_PID 2>/dev/null; \
+	exit $$rc
 
 repro:
 	$(GO) run ./cmd/repro -quick

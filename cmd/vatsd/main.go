@@ -1,0 +1,108 @@
+// Command vatsd serves the vats wire protocol over TCP (or a unix
+// socket): length-prefixed CRC-framed binary frames, pipelined
+// requests, and multiplexed per-connection session streams, mapped
+// onto the engine's Session and SnapshotTxn APIs. Admission control
+// with per-class load shedding keeps the admitted queue-wait p99 at a
+// configured target (docs/SERVER.md has the protocol and model).
+//
+// Usage:
+//
+//	vatsd -addr 127.0.0.1:4750 -slots 8 -p99-target 20ms
+//	vatsd -network unix -addr /tmp/vatsd.sock -no-shed
+//
+// vatsd runs until SIGINT/SIGTERM, then drains and reports final
+// admission statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vats"
+)
+
+func main() {
+	var (
+		network      = flag.String("network", "tcp", `listener network ("tcp" or "unix")`)
+		addr         = flag.String("addr", "127.0.0.1:4750", "listen address")
+		slots        = flag.Int("slots", 0, "concurrent execution slots (0 = default)")
+		queueCap     = flag.Int("queue-cap", 0, "hard admission queue bound (0 = default)")
+		p99Target    = flag.Duration("p99-target", 20*time.Millisecond, "queue-wait p99 the feedback controller holds (0 disables feedback)")
+		window       = flag.Duration("window", 0, "feedback measurement window (0 = default)")
+		noShed       = flag.Bool("no-shed", false, "disable load shedding (unbounded queueing)")
+		scanLimit    = flag.Int("scan-limit", 0, "max rows per scan response (0 = default)")
+		simExecDelay = flag.Duration("sim-exec-delay", 0, "fixed simulated execution cost per admitted request (benchmarking)")
+		bufferPages  = flag.Int("buffer-pages", 0, "buffer pool pages (0 = engine default)")
+		lockTimeout  = flag.Duration("lock-timeout", 0, "lock wait bound (0 = engine default)")
+		parallelLog  = flag.Bool("parallel-log", false, "enable two-stream parallel logging")
+		seed         = flag.Int64("seed", 1, "simulated-device seed")
+		statsEvery   = flag.Duration("stats", 0, "print admission stats at this period (0 = only at exit)")
+	)
+	flag.Parse()
+
+	db, err := vats.Open(vats.Options{
+		BufferPages: *bufferPages,
+		LockTimeout: *lockTimeout,
+		ParallelLog: *parallelLog,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatalf("open engine: %v", err)
+	}
+	defer db.Close()
+
+	srv := vats.NewServer(db, vats.ServerConfig{
+		Admit: vats.AdmitConfig{
+			Slots:       *slots,
+			QueueCap:    *queueCap,
+			TargetP99:   *p99Target,
+			Window:      *window,
+			DisableShed: *noShed,
+		},
+		ScanLimit:    *scanLimit,
+		SimExecDelay: *simExecDelay,
+	})
+	bound, err := srv.Listen(*network, *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	fmt.Printf("vatsd listening on %s://%s (slots=%d queue-cap=%d p99-target=%v shed=%v)\n",
+		bound.Network(), bound.String(), srv.Admitter().Stats().Slots,
+		srv.Admitter().Stats().QueueCap, *p99Target, !*noShed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		t := time.NewTicker(*statsEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case s := <-sig:
+			fmt.Printf("vatsd: %v, shutting down\n", s)
+			srv.Close()
+			printStats(srv)
+			return
+		case <-tick:
+			printStats(srv)
+		}
+	}
+}
+
+func printStats(srv *vats.Server) {
+	st := srv.Admitter().Stats()
+	fmt.Printf("conns=%d sessions=%d admitted=%d shed=%v eff-cap=%d window-p99=%v\n",
+		srv.Conns(), srv.Sessions(), st.Admitted, st.Shed, st.EffectiveCap, st.WindowP99)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vatsd: "+format+"\n", args...)
+	os.Exit(1)
+}

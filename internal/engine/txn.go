@@ -571,6 +571,23 @@ func (tx *Txn) Record2PC(d time.Duration) {
 	tx.tr.Add(obs.Ev2PC, d, 0)
 }
 
+// RecordNetQueueWait attributes d of network admission-queue wait to
+// this transaction's profile and trace, feeding the net.queue_wait
+// factor of the live variance attribution — the server's analogue of
+// RecordQueueWait for the front-door ready queue.
+func (tx *Txn) RecordNetQueueWait(d time.Duration) {
+	tx.tc.Record(obs.FactorNetQueueWait, d)
+	tx.tr.Add(obs.EvNetQueueWait, d, 0)
+}
+
+// RecordNetShed attributes d of time this logical unit of work
+// previously lost to admission-control shedding (queue wait of shed
+// attempts on the same connection) to the net.shed factor.
+func (tx *Txn) RecordNetShed(d time.Duration) {
+	tx.tc.Record(obs.FactorNetShed, d)
+	tx.tr.Add(obs.EvNetShed, d, 0)
+}
+
 // Rollback undoes the transaction's writes and releases its locks. It is
 // safe to call on a finished transaction (no-op).
 func (tx *Txn) Rollback() {

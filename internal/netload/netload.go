@@ -1,0 +1,392 @@
+// Package netload is an open-loop load generator for the vatsd wire
+// protocol, shared by cmd/vatsload, the end-to-end shed tests, and the
+// net benchmarks.
+//
+// Open-loop matters here: the paper's queueing-delay diagnosis only
+// reproduces when arrivals do NOT slow down as the server backs up
+// (closed-loop clients self-throttle and hide the queue). The pacer
+// draws Poisson inter-arrival gaps at the target rate and sends
+// whether or not earlier requests have come back, pipelining over a
+// fixed set of connections; per-connection FIFO response order lets a
+// single reader match responses to send timestamps without ids.
+package netload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vats/internal/admit"
+	"vats/internal/server"
+	"vats/internal/stats"
+)
+
+// Config drives one load run.
+type Config struct {
+	// Network/Addr locate the server ("tcp", "127.0.0.1:4750").
+	Network, Addr string
+	// Conns is the number of connections to pipeline over (default 4).
+	Conns int
+	// Rate is the target arrival rate in requests/second (required).
+	Rate float64
+	// Duration is how long to generate arrivals (default 2s).
+	Duration time.Duration
+	// ClassMix weighs admission classes [high, normal, low]; zero
+	// means all-normal traffic.
+	ClassMix [admit.NumClasses]float64
+	// WriteFrac is the fraction of requests that are updates; the rest
+	// are point gets (default 0: read-only).
+	WriteFrac float64
+	// Table and Keys define the working set (defaults "load", 1024).
+	Table string
+	Keys  uint64
+	// IdleSessions opens this many idle logical sessions, spread over
+	// the connections, before pacing starts — the "sessions at scale"
+	// smoke. They stay open for the whole run.
+	IdleSessions int
+	// Setup creates the table and seeds Keys rows before the run.
+	Setup bool
+	// Warmup excludes responses received before this offset into the
+	// run from the latency distributions (counters still accumulate),
+	// so a feedback controller's convergence transient doesn't
+	// dominate the steady-state percentiles.
+	Warmup time.Duration
+	// Seed seeds the arrival and key-choice RNG (default 1).
+	Seed int64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Sent, OK, NotFound int64
+	Shed, Retry        int64
+	// Errors counts server-reported engine errors (StatusErr).
+	Errors int64
+	// ProtoErrors counts protocol-level failures: undecodable frames,
+	// StatusBad, stream mismatches, connection drops mid-run.
+	ProtoErrors int64
+	// SentByClass / ShedByClass split arrivals by admission class.
+	SentByClass [admit.NumClasses]int64
+	ShedByClass [admit.NumClasses]int64
+	// IdleOpen is how many idle sessions opened successfully.
+	IdleOpen int64
+	// Latency is the send→response distribution of admitted (StatusOK/
+	// NotFound) requests, in milliseconds.
+	Latency stats.Summary
+	// ShedLatency is the send→shed-response distribution, ms.
+	ShedLatency stats.Summary
+	Elapsed     time.Duration
+}
+
+// pending is one in-flight request awaiting its FIFO-matched response.
+type pending struct {
+	t0    time.Time
+	class uint8
+	kind  uint8 // kindReq, kindOpen, kindCtl
+}
+
+const (
+	kindReq  = iota // a paced request, counted in Result
+	kindOpen        // an OpOpenSession for the idle-session pool
+	kindCtl         // handshake/control, ignored in stats
+)
+
+type loadConn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	pend    chan pending
+	inFligt atomic.Int64
+}
+
+// Run executes one load run.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Rate <= 0 && cfg.IdleSessions == 0 {
+		return nil, errors.New("netload: rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Table == "" {
+		cfg.Table = "load"
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1024
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	mix := cfg.ClassMix
+	if mix[0]+mix[1]+mix[2] <= 0 {
+		mix = [admit.NumClasses]float64{0, 1, 0}
+	}
+
+	if cfg.Setup {
+		if err := setup(cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{}
+	lat := stats.NewReservoirRecorder(1 << 16)
+	shedLat := stats.NewReservoirRecorder(1 << 16)
+
+	conns := make([]*loadConn, cfg.Conns)
+	for i := range conns {
+		nc, err := net.Dial(cfg.Network, cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("netload: dial conn %d: %w", i, err)
+		}
+		conns[i] = &loadConn{nc: nc, pend: make(chan pending, 1<<16)}
+	}
+	defer func() {
+		for _, lc := range conns {
+			lc.nc.Close()
+		}
+	}()
+
+	// Reader per connection: match responses FIFO to send timestamps.
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	var readers sync.WaitGroup
+	for _, lc := range conns {
+		readers.Add(1)
+		go func(lc *loadConn) {
+			defer readers.Done()
+			readLoop(lc, res, lat, shedLat, warmupEnd)
+		}(lc)
+	}
+
+	// Handshake, then the idle-session pool, spread across conns.
+	for _, lc := range conns {
+		if err := send(lc, 0, server.OpHello, 0, []byte{server.ProtoVersion}, pending{t0: time.Now(), kind: kindCtl}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.IdleSessions > 0 {
+		perConn := (cfg.IdleSessions + cfg.Conns - 1) / cfg.Conns
+		opened := 0
+		for _, lc := range conns {
+			for s := 0; s < perConn && opened < cfg.IdleSessions; s++ {
+				cl := byte(opened % int(admit.NumClasses))
+				err := send(lc, uint32(1+s), server.OpOpenSession, 0, []byte{cl},
+					pending{t0: time.Now(), kind: kindOpen})
+				if err != nil {
+					return nil, err
+				}
+				opened++
+			}
+		}
+		// Let opens drain before pacing so IdleOpen reflects steady state.
+		waitDrain(conns, 30*time.Second)
+	}
+
+	// Open-loop Poisson pacer. On a loaded single-CPU host the sleep
+	// overshoots; the catch-up loop then emits every due arrival in a
+	// burst, preserving the target rate (and its variance) on average.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	getPl := server.AppendU64(server.AppendStr16(nil, cfg.Table), 0)
+	keyOff := len(getPl) - 8
+	start := time.Now()
+	next := start
+	i := 0
+	for cfg.Rate > 0 {
+		now := time.Now()
+		if now.Sub(start) >= cfg.Duration {
+			break
+		}
+		if next.After(now) {
+			time.Sleep(next.Sub(now))
+			continue
+		}
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+
+		lc := conns[i%len(conns)]
+		i++
+		class := pickClass(rng, mix)
+		key := rng.Uint64() % cfg.Keys
+		var op uint8
+		var pl []byte
+		if rng.Float64() < cfg.WriteFrac {
+			op = server.OpUpdate
+			pl = server.AppendStr16(nil, cfg.Table)
+			pl = server.AppendU64(pl, key)
+			pl = server.AppendBytes32(pl, []byte("updated-row-payload"))
+		} else {
+			op = server.OpGet
+			putU64(getPl[keyOff:], key)
+			pl = getPl
+		}
+		res.SentByClass[class]++
+		if err := send(lc, 0, op, class+1, pl, pending{t0: time.Now(), class: class}); err != nil {
+			res.ProtoErrors++
+			break
+		}
+	}
+	res.Sent = res.SentByClass[0] + res.SentByClass[1] + res.SentByClass[2]
+
+	// Drain, then half-close so readers see EOF after the last response.
+	waitDrain(conns, 30*time.Second)
+	for _, lc := range conns {
+		if tc, ok := lc.nc.(*net.TCPConn); ok {
+			tc.CloseWrite() //nolint:errcheck
+		} else {
+			lc.nc.Close()
+		}
+	}
+	readers.Wait()
+	res.Elapsed = time.Since(start)
+	res.Latency = lat.Summary()
+	res.ShedLatency = shedLat.Summary()
+	return res, nil
+}
+
+func send(lc *loadConn, stream uint32, op, flags uint8, payload []byte, p pending) error {
+	lc.pend <- p
+	lc.inFligt.Add(1)
+	lc.wmu.Lock()
+	frame := server.AppendFrame(nil, stream, op, flags, payload)
+	_, err := lc.nc.Write(frame)
+	lc.wmu.Unlock()
+	if err != nil {
+		lc.inFligt.Add(-1)
+		return err
+	}
+	return nil
+}
+
+func waitDrain(conns []*loadConn, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		var left int64
+		for _, lc := range conns {
+			left += lc.inFligt.Load()
+		}
+		if left == 0 || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func readLoop(lc *loadConn, res *Result, lat, shedLat *stats.Recorder, warmupEnd time.Time) {
+	rbuf := make([]byte, 1<<16)
+	pos, end := 0, 0
+	for {
+		f, n, err := server.DecodeFrame(rbuf[pos:end])
+		if err == server.ErrShortFrame {
+			if pos > 0 {
+				copy(rbuf, rbuf[pos:end])
+				end -= pos
+				pos = 0
+			}
+			if end == len(rbuf) {
+				nb := make([]byte, len(rbuf)*2)
+				copy(nb, rbuf[:end])
+				rbuf = nb
+			}
+			m, rerr := lc.nc.Read(rbuf[end:])
+			end += m
+			if m == 0 {
+				if rerr != io.EOF && rerr != nil && lc.inFligt.Load() > 0 {
+					atomic.AddInt64(&res.ProtoErrors, lc.inFligt.Load())
+				}
+				return
+			}
+			continue
+		}
+		if err != nil {
+			atomic.AddInt64(&res.ProtoErrors, 1)
+			return
+		}
+		pos += n
+		var p pending
+		select {
+		case p = <-lc.pend:
+		default:
+			atomic.AddInt64(&res.ProtoErrors, 1) // response with nothing in flight
+			return
+		}
+		lc.inFligt.Add(-1)
+		now := time.Now()
+		d := now.Sub(p.t0)
+		warm := now.After(warmupEnd)
+		if p.kind == kindCtl {
+			continue
+		}
+		switch f.Op {
+		case server.StatusOK:
+			if p.kind == kindOpen {
+				atomic.AddInt64(&res.IdleOpen, 1)
+			} else {
+				atomic.AddInt64(&res.OK, 1)
+				if warm {
+					lat.Record(d)
+				}
+			}
+		case server.StatusNotFound:
+			atomic.AddInt64(&res.OK, 1) // an answered request; key just absent
+			atomic.AddInt64(&res.NotFound, 1)
+			if warm {
+				lat.Record(d)
+			}
+		case server.StatusShed:
+			atomic.AddInt64(&res.Shed, 1)
+			atomic.AddInt64(&res.ShedByClass[p.class], 1)
+			if warm {
+				shedLat.Record(d)
+			}
+		case server.StatusRetry:
+			atomic.AddInt64(&res.Retry, 1)
+		case server.StatusErr:
+			atomic.AddInt64(&res.Errors, 1)
+		default:
+			atomic.AddInt64(&res.ProtoErrors, 1)
+		}
+	}
+}
+
+func pickClass(rng *rand.Rand, mix [admit.NumClasses]float64) uint8 {
+	r := rng.Float64() * (mix[0] + mix[1] + mix[2])
+	if r < mix[0] {
+		return 0
+	}
+	if r < mix[0]+mix[1] {
+		return 1
+	}
+	return 2
+}
+
+// setup creates the table (tolerating "exists") and seeds the keyspace
+// in one explicit transaction.
+func setup(cfg Config) error {
+	c, err := server.Dial(cfg.Network, cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("netload: setup dial: %w", err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(cfg.Table); err != nil && !errors.Is(err, server.ErrRemote) {
+		return fmt.Errorf("netload: create table: %w", err)
+	}
+	if err := c.Begin(0); err != nil {
+		return err
+	}
+	for k := uint64(0); k < cfg.Keys; k++ {
+		if err := c.Insert(0, cfg.Table, k, []byte("seed-row-payload")); err != nil {
+			c.Rollback(0) //nolint:errcheck
+			// Already seeded by a previous run against the same server.
+			return nil
+		}
+	}
+	return c.Commit(0)
+}
+
+func putU64(dst []byte, v uint64) {
+	binary.LittleEndian.PutUint64(dst, v)
+}

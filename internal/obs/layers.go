@@ -394,6 +394,128 @@ func (m *PartitionMetrics) Abort2PC() {
 	m.aborts2pc.Inc()
 }
 
+// NetMetrics instruments the network service layer: live session and
+// connection gauges, request/protocol-error counters, the admission
+// queue (depth, wait-latency histogram, effective-capacity gauge) and
+// per-class shed counters — the queueing-delay story of the paper's
+// VoltDB study made observable at the front door.
+type NetMetrics struct {
+	sessions   *Gauge
+	conns      *Gauge
+	requests   *Counter
+	badFrames  *Counter
+	queueDepth *Gauge
+	queueWait  *Histogram
+	shedWait   *Histogram
+	admitCap   *Gauge
+	admitted   *Counter
+	shed       map[string]*Counter
+}
+
+// NewNetMetrics registers the network series. Shed counters are
+// labelled by admission class name.
+func NewNetMetrics(o *Obs, classes ...string) *NetMetrics {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry
+	m := &NetMetrics{
+		sessions:   r.Gauge("net_sessions"),
+		conns:      r.Gauge("net_conns"),
+		requests:   r.Counter("net_requests_total"),
+		badFrames:  r.Counter("net_protocol_errors_total"),
+		queueDepth: r.Gauge("net_queue_depth"),
+		queueWait:  r.Histogram("net_queue_wait_ms"),
+		shedWait:   r.Histogram("net_shed_wait_ms"),
+		admitCap:   r.Gauge("net_admit_capacity"),
+		admitted:   r.Counter("net_admitted_total"),
+		shed:       make(map[string]*Counter, len(classes)),
+	}
+	for _, c := range classes {
+		m.shed[c] = r.Counter("net_shed_total", Label{"class", c})
+	}
+	return m
+}
+
+// SessionDelta moves the live-session gauge (open +1, close -1).
+func (m *NetMetrics) SessionDelta(d int64) {
+	if m == nil {
+		return
+	}
+	m.sessions.Add(d)
+}
+
+// ConnDelta moves the live-connection gauge.
+func (m *NetMetrics) ConnDelta(d int64) {
+	if m == nil {
+		return
+	}
+	m.conns.Add(d)
+}
+
+// Request counts one decoded request frame.
+func (m *NetMetrics) Request() {
+	if m == nil {
+		return
+	}
+	m.requests.Inc()
+}
+
+// BadFrame counts a protocol error (corrupt frame, oversized payload,
+// unknown opcode, misused stream).
+func (m *NetMetrics) BadFrame() {
+	if m == nil {
+		return
+	}
+	m.badFrames.Inc()
+}
+
+// Enqueued tracks a request entering the admission ready queue.
+func (m *NetMetrics) Enqueued() {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Add(1)
+}
+
+// Dequeued tracks a request leaving the ready queue (granted or shed).
+func (m *NetMetrics) Dequeued() {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Add(-1)
+}
+
+// Admitted records a granted admission after waiting d in the queue.
+func (m *NetMetrics) Admitted(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.admitted.Inc()
+	m.queueWait.ObserveDuration(d)
+}
+
+// Shed records a load-shed of the given class after d spent queued
+// (zero for instant sheds at the enqueue decision).
+func (m *NetMetrics) Shed(class string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.shed[class]; ok {
+		c.Inc()
+	}
+	m.shedWait.ObserveDuration(d)
+}
+
+// SetCapacity publishes the feedback controller's current effective
+// queue capacity — the knob it turns to track the p99 target.
+func (m *NetMetrics) SetCapacity(n int64) {
+	if m == nil {
+		return
+	}
+	m.admitCap.Set(n)
+}
+
 // MVCCMetrics instruments the version store: chain-walk frequency and
 // depth (snapshot reads that left the newest-version-inline fast path),
 // GC pass latency and reclamation, and arena occupancy gauges.

@@ -28,6 +28,13 @@ const (
 	// Ev2PC is time spent inside the cross-partition prepare/decide/
 	// commit round of two-phase commit.
 	Ev2PC
+	// EvNetQueueWait is time a network request spent in the admission
+	// controller's ready queue before an execution slot was granted.
+	EvNetQueueWait
+	// EvNetShed is time this logical unit of work previously lost to
+	// admission-control shedding on the same connection (queue wait of
+	// shed attempts, attributed to the next admitted transaction).
+	EvNetShed
 )
 
 // String names the event type.
@@ -53,6 +60,10 @@ func (t EventType) String() string {
 		return "queue.wait"
 	case Ev2PC:
 		return "xpart.2pc"
+	case EvNetQueueWait:
+		return "net.queue_wait"
+	case EvNetShed:
+		return "net.shed"
 	default:
 		return "unknown"
 	}
@@ -68,6 +79,13 @@ const (
 	FactorLogFlush  = "log.flush"
 	FactorQueueWait = "part.queue_wait"
 	Factor2PC       = "part.xpart_2pc"
+	// FactorNetQueueWait is admission-queue wait at the network front
+	// door — the paper's VoltDB finding (99.9% of variance was queueing
+	// delay) as a first-class live variance factor.
+	FactorNetQueueWait = "net.queue_wait"
+	// FactorNetShed is time lost to admission-control shedding before
+	// the work was finally admitted.
+	FactorNetShed = "net.shed"
 )
 
 // Event is one timestamped occurrence inside a transaction.
@@ -188,6 +206,10 @@ func (tr *TxnTrace) Spans() map[string]float64 {
 			spans[FactorQueueWait] += ms(ev.Dur)
 		case Ev2PC:
 			spans[Factor2PC] += ms(ev.Dur)
+		case EvNetQueueWait:
+			spans[FactorNetQueueWait] += ms(ev.Dur)
+		case EvNetShed:
+			spans[FactorNetShed] += ms(ev.Dur)
 		}
 	}
 	return spans

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"testing"
+
+	"vats/internal/engine"
+	"vats/internal/obs"
+	"vats/internal/storage"
+)
+
+// BenchmarkServeRequest measures the socket-less request path —
+// decode → dispatch → snapshot read → response build — the per-frame
+// cost every networked operation pays on top of the engine. The
+// guardrail companion is TestServeRequestAllocs.
+func BenchmarkServeRequest(b *testing.B) {
+	ecfg := fastConfig(3)
+	ecfg.Obs = obs.New()
+	db := engine.Open(ecfg)
+	defer db.Close()
+	srv := New(db, Config{})
+	defer srv.Close()
+	tbl, err := db.CreateTable("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := db.NewSession()
+	if err := sess.RunTxn(0, func(tx *engine.Txn) error {
+		return tx.Insert(tbl, 1, []byte("rowdata"))
+	}); err != nil {
+		b.Fatal(err)
+	}
+	c := &conn{
+		srv:     srv,
+		sess:    db.NewSession(),
+		streams: map[uint32]*stream{0: {}},
+		tables:  make(map[string]*storage.Table),
+	}
+	req := AppendFrame(nil, 0, OpGet, 0, AppendU64(AppendStr16(nil, "a"), 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _, err := DecodeFrame(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.handleFrame(f) {
+			b.Fatal("handleFrame failed")
+		}
+		c.wbuf = c.wbuf[:0]
+	}
+}
+
+// BenchmarkWireEncodeDecode is the raw codec cost: one frame appended
+// and decoded back, no engine behind it.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	payload := AppendU64(AppendStr16(nil, "accounts"), 42)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], 7, OpGet, FlagClassLow, payload)
+		if _, _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

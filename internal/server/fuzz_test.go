@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to the frame decoder. A
+// malformed frame must never panic and never allocate proportionally
+// to an attacker-controlled length field: DecodeFrame only ever
+// aliases the input, so the no-allocation property is structural, and
+// the assertions here pin the error contract.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, 0, OpHello, 0, []byte{ProtoVersion}))
+	f.Add(AppendFrame(nil, 7, OpGet, FlagClassLow, AppendU64(AppendStr16(nil, "t"), 9)))
+	big := AppendFrame(nil, 1, OpScan, 0, make([]byte, 300))
+	f.Add(big)
+	f.Add(big[:11])         // mid-header truncation
+	f.Add(big[:len(big)-2]) // mid-CRC truncation
+	corrupt := append([]byte(nil), big...)
+	corrupt[20] ^= 0x55
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < headerSize+crcSize || n > len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		if len(fr.Payload) > MaxPayload {
+			t.Fatalf("payload %d over max", len(fr.Payload))
+		}
+		// A decoded frame must re-encode to the identical bytes.
+		out := AppendFrame(nil, fr.Stream, fr.Op, fr.Flags, fr.Payload)
+		if !bytes.Equal(out, b[:n]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+// FuzzWireRoundTrip encodes fuzzer-chosen fields and asserts decode
+// returns them exactly, including with trailing garbage after the
+// frame (pipelining means the decoder must not over-consume).
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint8(OpPing), uint8(0), []byte{}, []byte{})
+	f.Add(uint32(1<<31), uint8(OpCommit), uint8(3), []byte("payload"), []byte("tail"))
+	f.Fuzz(func(t *testing.T, stream uint32, op, flags uint8, payload, tail []byte) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		b := AppendFrame(nil, stream, op, flags, payload)
+		frameLen := len(b)
+		b = append(b, tail...)
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if n != frameLen {
+			t.Fatalf("consumed %d, frame is %d", n, frameLen)
+		}
+		if fr.Stream != stream || fr.Op != op || fr.Flags != flags || !bytes.Equal(fr.Payload, payload) {
+			t.Fatalf("round-trip mismatch: %+v", fr)
+		}
+	})
+}

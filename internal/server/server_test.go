@@ -1,0 +1,392 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vats/internal/admit"
+	"vats/internal/disk"
+	"vats/internal/engine"
+	"vats/internal/obs"
+	"vats/internal/storage"
+)
+
+func fastConfig(seed int64) engine.Config {
+	mk := func(name string, s int64) disk.Device {
+		dc := disk.DefaultConfig(name, s)
+		dc.MedianLatency = 2 * time.Microsecond
+		return disk.New(dc)
+	}
+	return engine.Config{
+		BufferCapacity: 256,
+		LockTimeout:    500 * time.Millisecond,
+		DataDevice:     mk("data", seed+1),
+		LogDevices:     []disk.Device{mk("log0", seed+2)},
+		Seed:           seed,
+	}
+}
+
+// startServer opens an engine + server on a loopback TCP port.
+func startServer(t testing.TB, cfg Config) (*Server, string) {
+	t.Helper()
+	ecfg := fastConfig(1)
+	ecfg.Obs = obs.New()
+	db := engine.Open(ecfg)
+	srv := New(db, cfg)
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, addr.String()
+}
+
+func dialT(t testing.TB, addr string) *Client {
+	t.Helper()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+	return c
+}
+
+func TestEndToEndCRUD(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := c.CreateTable("users"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := c.Insert(0, "users", 1, []byte("alice")); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	row, err := c.Get(0, "users", 1)
+	if err != nil || string(row) != "alice" {
+		t.Fatalf("get: %q %v", row, err)
+	}
+	if err := c.Update(0, "users", 1, []byte("alicia")); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if row, _ = c.Get(0, "users", 1); string(row) != "alicia" {
+		t.Fatalf("get after update: %q", row)
+	}
+	if err := c.Delete(0, "users", 1); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err = c.Get(0, "users", 1); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+func TestEndToEndExplicitTxn(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OpenSession(5, admit.Normal); err != nil {
+		t.Fatalf("open session: %v", err)
+	}
+	if err := c.Begin(5); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	for k := uint64(1); k <= 3; k++ {
+		if err := c.Insert(5, "t", k, []byte{byte(k)}); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	// Uncommitted writes visible inside the txn, by its own reads.
+	if row, err := c.Get(5, "t", 2); err != nil || len(row) != 1 {
+		t.Fatalf("in-txn get: %q %v", row, err)
+	}
+	if err := c.Commit(5); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	kvs, err := c.Scan(0, "t", 0, ^uint64(0), 10)
+	if err != nil || len(kvs) != 3 {
+		t.Fatalf("scan: %v %v", kvs, err)
+	}
+	// Rollback path: writes vanish.
+	if err := c.Begin(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(5, "t", 9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(0, "t", 9); !errors.Is(err, storage.ErrKeyNotFound) {
+		t.Fatalf("rolled-back row visible: %v", err)
+	}
+	if err := c.CloseSession(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+
+	// Unknown stream.
+	st, _, err := c.RoundTrip(99, OpBegin, 0, nil)
+	if err != nil || st != StatusBad {
+		t.Fatalf("unknown stream: %v %v", st, err)
+	}
+	// Commit without begin.
+	st, _, _ = c.RoundTrip(0, OpCommit, 0, nil)
+	if st != StatusBad {
+		t.Fatalf("commit w/o begin: %v", st)
+	}
+	// Double begin.
+	if err := c.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	st, _, _ = c.RoundTrip(0, OpBegin, 0, nil)
+	if st != StatusBad {
+		t.Fatalf("double begin: %v", st)
+	}
+	if err := c.Rollback(0); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown opcode.
+	st, _, _ = c.RoundTrip(0, 0x7f, 0, nil)
+	if st != StatusBad {
+		t.Fatalf("unknown op: %v", st)
+	}
+	// Unknown table.
+	st, _, _ = c.RoundTrip(0, OpGet, 0, AppendU64(AppendStr16(nil, "nope"), 1))
+	if st != StatusBad {
+		t.Fatalf("unknown table: %v", st)
+	}
+	// Malformed payload (truncated).
+	st, _, _ = c.RoundTrip(0, OpGet, 0, []byte{1})
+	if st != StatusBad {
+		t.Fatalf("truncated payload: %v", st)
+	}
+	// A corrupt *frame* tears the connection down.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptFrameDropsConn(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	b := AppendFrame(nil, 0, OpPing, 0, []byte("hi"))
+	b[len(b)-1] ^= 0xff // break the CRC
+	if _, err := nc.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if n, err := nc.Read(buf); err == nil {
+		t.Fatalf("server answered a corrupt frame with %d bytes", n)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Conns() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Conns() != 0 {
+		t.Fatalf("conn still registered after corrupt frame")
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	if err := c.CreateTable("p"); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-roll a pipeline: N requests written back-to-back, then N
+	// responses read in FIFO order.
+	const n = 64
+	var out []byte
+	for i := uint64(0); i < n; i++ {
+		pl := AppendStr16(nil, "p")
+		pl = AppendU64(pl, i)
+		pl = AppendBytes32(pl, []byte{byte(i)})
+		out = AppendFrame(out, 0, OpInsert, 0, pl)
+	}
+	c.mu.Lock()
+	if _, err := c.nc.Write(out); err != nil {
+		c.mu.Unlock()
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f, err := c.readFrame()
+		if err != nil {
+			c.mu.Unlock()
+			t.Fatalf("resp %d: %v", i, err)
+		}
+		if f.Op != StatusOK {
+			c.mu.Unlock()
+			t.Fatalf("resp %d: status %#x", i, f.Op)
+		}
+	}
+	c.mu.Unlock()
+	kvs, err := c.Scan(0, "p", 0, ^uint64(0), n+1)
+	if err != nil || len(kvs) != n {
+		t.Fatalf("scan after pipeline: %d rows, %v", len(kvs), err)
+	}
+}
+
+func TestSessionMultiplexing(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	c := dialT(t, addr)
+	const n = 500
+	for i := uint32(1); i <= n; i++ {
+		cl := admit.Class(i % 3)
+		if err := c.OpenSession(i, cl); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	if got := srv.Sessions(); got != n {
+		t.Fatalf("sessions=%d want %d", got, n)
+	}
+	// Double-open is rejected.
+	if err := c.OpenSession(1, admit.Low); err == nil {
+		t.Fatal("double open succeeded")
+	}
+	for i := uint32(1); i <= n/2; i++ {
+		if err := c.CloseSession(i); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	if got := srv.Sessions(); got != n/2 {
+		t.Fatalf("sessions=%d want %d", got, n/2)
+	}
+	// Dropping the conn reclaims the rest.
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Sessions() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Sessions(); got != 0 {
+		t.Fatalf("sessions=%d after close", got)
+	}
+}
+
+// TestConnStormRace is the session-table stress test: concurrent
+// connect/disconnect and pipelined request storms. Run under -race.
+func TestConnStormRace(t *testing.T) {
+	srv, addr := startServer(t, Config{Admit: admit.Config{Slots: 4, QueueCap: 64}})
+	c0 := dialT(t, addr)
+	if err := c0.CreateTable("s"); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				c, err := Dial("tcp", addr)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				c.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+				for i := uint32(1); i <= 20; i++ {
+					if err := c.OpenSession(i, admit.Class(i%3)); err != nil {
+						t.Errorf("open: %v", err)
+					}
+				}
+				for i := 0; i < 30; i++ {
+					k := uint64(w*100000 + round*1000 + i)
+					if err := c.Insert(uint32(1+i%20), "s", k, []byte("v")); err != nil && !errors.Is(err, admit.ErrShed) {
+						t.Errorf("insert: %v", err)
+					}
+					if _, err := c.Get(uint32(1+i%20), "s", k); err != nil &&
+						!errors.Is(err, storage.ErrKeyNotFound) && !errors.Is(err, admit.ErrShed) {
+						t.Errorf("get: %v", err)
+					}
+				}
+				// Half the rounds leave sessions open: the conn-drop
+				// path must reclaim them.
+				if round%2 == 0 {
+					for i := uint32(1); i <= 20; i++ {
+						if err := c.CloseSession(i); err != nil {
+							t.Errorf("close: %v", err)
+						}
+					}
+				}
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Sessions() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Sessions(); got != 0 {
+		t.Fatalf("leaked %d sessions", got)
+	}
+	if got := srv.Conns(); got != 1 { // c0 remains
+		t.Fatalf("conns=%d want 1", got)
+	}
+}
+
+// TestServeRequestAllocs is the steady-state allocation guardrail on
+// the request path: decode → dispatch → snapshot read → response
+// build, without sockets.
+func TestServeRequestAllocs(t *testing.T) {
+	ecfg := fastConfig(3)
+	ecfg.Obs = obs.New()
+	db := engine.Open(ecfg)
+	defer db.Close()
+	srv := New(db, Config{})
+	defer srv.Close()
+	tbl, err := db.CreateTable("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := db.NewSession()
+	if err := sess.RunTxn(0, func(tx *engine.Txn) error {
+		return tx.Insert(tbl, 1, []byte("rowdata"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := &conn{
+		srv:     srv,
+		sess:    db.NewSession(),
+		streams: map[uint32]*stream{0: {}},
+		tables:  make(map[string]*storage.Table),
+	}
+	req := AppendFrame(nil, 0, OpGet, 0, AppendU64(AppendStr16(nil, "a"), 1))
+	run := func() {
+		f, _, err := DecodeFrame(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.handleFrame(f) {
+			t.Fatal("handleFrame failed")
+		}
+		c.wbuf = c.wbuf[:0]
+	}
+	run() // warm table cache and scratch buffers
+	allocs := testing.AllocsPerRun(200, run)
+	t.Logf("allocs/op on auto-commit GET path: %.1f", allocs)
+	// Measured 1.0 (the SnapshotTxn); 4 leaves slack for toolchain
+	// drift without letting a per-request allocation regress in.
+	if allocs > 4 {
+		t.Fatalf("request path allocates too much: %.1f allocs/op", allocs)
+	}
+}

@@ -1,0 +1,237 @@
+// Package server is the network front door: a TCP/unix server speaking
+// a compact length-prefixed binary protocol (CRC-framed like the WAL
+// codec) that maps connections onto the engine's Session/SnapshotTxn
+// APIs, with pipelined requests and multiplexed logical sessions
+// ("streams") per connection, gated by internal/admit.
+//
+// Wire format (little-endian), one frame per request or response:
+//
+//	offset  size  field
+//	0       4     magic 0x56415301 ("VAS\x01")
+//	4       4     stream id (logical session within the connection)
+//	8       1     opcode (request) or status (response)
+//	9       1     flags (bits 0-1: admission-class override; 0 = inherit)
+//	10      4     payload length (≤ MaxPayload)
+//	14      n     payload
+//	14+n    4     CRC-32 (IEEE) over bytes [0, 14+n)
+//
+// Like the WAL codec, the decoder bounds the total frame size from the
+// header before allocating or slicing anything, so a hostile length
+// field can never drive an over-allocation, and every frame is CRC-
+// checked end to end. Stream 0 is an implicit control session that is
+// always open; other streams must be opened with OpOpenSession.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Magic begins every frame.
+const Magic uint32 = 0x56415301
+
+// Frame geometry.
+const (
+	headerSize = 14
+	crcSize    = 4
+	// MaxPayload bounds a frame payload; the decoder rejects larger
+	// lengths before touching the payload.
+	MaxPayload = 1 << 20
+	// MaxFrame is the largest possible encoded frame.
+	MaxFrame = headerSize + MaxPayload + crcSize
+)
+
+// Request opcodes.
+const (
+	OpHello        uint8 = 1  // payload: version u8
+	OpPing         uint8 = 2  // payload: empty (echoed)
+	OpOpenSession  uint8 = 3  // payload: class u8
+	OpCloseSession uint8 = 4  // payload: empty
+	OpCreateTable  uint8 = 5  // payload: name str16
+	OpBegin        uint8 = 6  // payload: empty
+	OpCommit       uint8 = 7  // payload: empty
+	OpRollback     uint8 = 8  // payload: empty
+	OpGet          uint8 = 9  // payload: table str16, key u64
+	OpInsert       uint8 = 10 // payload: table str16, key u64, row bytes32
+	OpUpdate       uint8 = 11 // payload: table str16, key u64, row bytes32
+	OpDelete       uint8 = 12 // payload: table str16, key u64
+	OpScan         uint8 = 13 // payload: table str16, lo u64, hi u64, limit u32
+)
+
+// Response status codes (the opcode byte of a response frame).
+const (
+	StatusOK       uint8 = 0x80 // payload: op-specific result
+	StatusNotFound uint8 = 0x81 // payload: empty
+	StatusShed     uint8 = 0x82 // payload: empty — load-shed, back off and retry
+	StatusRetry    uint8 = 0x83 // payload: message — retryable conflict/abort
+	StatusBad      uint8 = 0x84 // payload: message — malformed or invalid request
+	StatusErr      uint8 = 0x85 // payload: message — non-retryable server error
+)
+
+// ProtoVersion is the protocol version carried by OpHello.
+const ProtoVersion uint8 = 1
+
+// Flag bits 0-1 override the stream's admission class for one request:
+// 0 inherits the stream class.
+const (
+	FlagClassHigh   uint8 = 1
+	FlagClassNormal uint8 = 2
+	FlagClassLow    uint8 = 3
+	flagClassMask   uint8 = 3
+)
+
+// Codec errors.
+var (
+	// ErrShortFrame means the buffer ends mid-frame: not an error on a
+	// stream, just "read more bytes".
+	ErrShortFrame = errors.New("server: short frame")
+	// ErrBadFrame means the frame is corrupt (bad magic or CRC).
+	ErrBadFrame = errors.New("server: bad frame")
+	// ErrFrameTooBig means the header declares a payload over MaxPayload.
+	ErrFrameTooBig = errors.New("server: frame exceeds max payload")
+)
+
+// Frame is one decoded protocol frame. Payload aliases the decode
+// buffer — copy it before the buffer is reused.
+type Frame struct {
+	Stream  uint32
+	Op      uint8
+	Flags   uint8
+	Payload []byte
+}
+
+// AppendFrame encodes a frame onto dst and returns the extended slice.
+func AppendFrame(dst []byte, stream uint32, op, flags uint8, payload []byte) []byte {
+	off := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = binary.LittleEndian.AppendUint32(dst, stream)
+	dst = append(dst, op, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[off:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeFrame decodes the first frame in b, returning the frame and
+// the number of bytes consumed. It never reads past the declared
+// bounds and never allocates: Frame.Payload aliases b.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < headerSize {
+		return Frame{}, 0, ErrShortFrame
+	}
+	if binary.LittleEndian.Uint32(b) != Magic {
+		return Frame{}, 0, ErrBadFrame
+	}
+	plen := binary.LittleEndian.Uint32(b[10:])
+	if plen > MaxPayload {
+		return Frame{}, 0, ErrFrameTooBig
+	}
+	total := headerSize + int(plen) + crcSize
+	if len(b) < total {
+		return Frame{}, 0, ErrShortFrame
+	}
+	want := binary.LittleEndian.Uint32(b[total-crcSize:])
+	if crc32.ChecksumIEEE(b[:total-crcSize]) != want {
+		return Frame{}, 0, ErrBadFrame
+	}
+	return Frame{
+		Stream:  binary.LittleEndian.Uint32(b[4:]),
+		Op:      b[8],
+		Flags:   b[9],
+		Payload: b[headerSize : total-crcSize],
+	}, total, nil
+}
+
+// ---- payload encoding helpers ----
+
+// AppendStr16 appends a uint16 length-prefixed string.
+func AppendStr16(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes32 appends a uint32 length-prefixed byte slice.
+func AppendBytes32(dst []byte, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func AppendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func AppendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+// payloadReader is a bounds-checked cursor over a frame payload.
+// Every getter degrades to zero values once a read runs out of bounds;
+// callers check ok() once at the end instead of after each field.
+type payloadReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *payloadReader) ok() bool { return !r.bad && r.off == len(r.b) }
+
+func (r *payloadReader) u8() uint8 {
+	if r.bad || r.off+1 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u16() uint16 {
+	if r.bad || r.off+2 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.bad || r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// str16 returns a uint16 length-prefixed field as a byte view into the
+// payload (no copy, no string allocation).
+func (r *payloadReader) str16() []byte {
+	n := int(r.u16())
+	if r.bad || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// bytes32 returns a uint32 length-prefixed field as a byte view.
+func (r *payloadReader) bytes32() []byte {
+	n := int(r.u32())
+	if r.bad || n > len(r.b) || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}

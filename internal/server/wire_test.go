@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello, frame")
+	b := AppendFrame(nil, 7, OpGet, FlagClassLow, payload)
+	f, n, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d", n, len(b))
+	}
+	if f.Stream != 7 || f.Op != OpGet || f.Flags != FlagClassLow || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("frame mismatch: %+v", f)
+	}
+}
+
+func TestDecodeMultipleFrames(t *testing.T) {
+	b := AppendFrame(nil, 1, OpPing, 0, nil)
+	b = AppendFrame(b, 2, OpPing, 0, []byte{9})
+	f1, n1, err := DecodeFrame(b)
+	if err != nil || f1.Stream != 1 {
+		t.Fatalf("first: %v %+v", err, f1)
+	}
+	f2, n2, err := DecodeFrame(b[n1:])
+	if err != nil || f2.Stream != 2 || len(f2.Payload) != 1 {
+		t.Fatalf("second: %v %+v", err, f2)
+	}
+	if n1+n2 != len(b) {
+		t.Fatalf("consumed %d+%d of %d", n1, n2, len(b))
+	}
+}
+
+func TestDecodeShortAndCorrupt(t *testing.T) {
+	good := AppendFrame(nil, 3, OpPing, 0, []byte("xyz"))
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeFrame(good[:cut]); err != ErrShortFrame {
+			// Truncation must always read as "need more bytes", never
+			// as corruption — cutting a frame mid-CRC is routine TCP.
+			t.Fatalf("cut=%d: err=%v, want ErrShortFrame", cut, err)
+		}
+	}
+	// Flip one payload byte: CRC must catch it.
+	bad := append([]byte(nil), good...)
+	bad[headerSize] ^= 0xff
+	if _, _, err := DecodeFrame(bad); err != ErrBadFrame {
+		t.Fatalf("corrupt payload: err=%v, want ErrBadFrame", err)
+	}
+	// Bad magic.
+	bad = append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, _, err := DecodeFrame(bad); err != ErrBadFrame {
+		t.Fatalf("bad magic: err=%v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeOversizedLengthNeverAllocates(t *testing.T) {
+	// A header declaring a huge payload must be rejected from the
+	// header alone — the attacker controls plen, not our allocator.
+	b := AppendFrame(nil, 1, OpPing, 0, nil)
+	binary.LittleEndian.PutUint32(b[10:], MaxPayload+1)
+	if _, _, err := DecodeFrame(b); err != ErrFrameTooBig {
+		t.Fatalf("oversized: err=%v, want ErrFrameTooBig", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		DecodeFrame(b) //nolint:errcheck
+	})
+	if allocs != 0 {
+		t.Fatalf("oversized decode allocates (%v allocs/op)", allocs)
+	}
+}
+
+func TestPayloadReaderBounds(t *testing.T) {
+	pl := AppendStr16(nil, "tbl")
+	pl = AppendU64(pl, 42)
+	r := payloadReader{b: pl}
+	if got := string(r.str16()); got != "tbl" {
+		t.Fatalf("str16=%q", got)
+	}
+	if r.u64() != 42 || !r.ok() {
+		t.Fatal("u64/ok failed")
+	}
+	// Trailing garbage makes ok() false.
+	r = payloadReader{b: append(pl, 0)}
+	r.str16()
+	r.u64()
+	if r.ok() {
+		t.Fatal("trailing bytes should fail ok()")
+	}
+	// Truncated length prefix degrades, never panics.
+	r = payloadReader{b: []byte{0xff, 0xff, 1, 2}}
+	if r.str16() != nil || !r.bad {
+		t.Fatal("truncated str16 should set bad")
+	}
+}

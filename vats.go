@@ -32,14 +32,17 @@ import (
 	"fmt"
 	"time"
 
+	"vats/internal/admit"
 	"vats/internal/buffer"
 	"vats/internal/disk"
 	"vats/internal/engine"
 	"vats/internal/exec"
 	"vats/internal/harness"
 	"vats/internal/lock"
+	"vats/internal/netload"
 	"vats/internal/obs"
 	"vats/internal/partition"
+	"vats/internal/server"
 	"vats/internal/stats"
 	"vats/internal/storage"
 	"vats/internal/tprofiler"
@@ -433,6 +436,51 @@ func RunPartitionedBenchmark(pdb *PartitionedDB, wl PartitionedWorkload, cfg Ben
 		Seed:    cfg.Seed,
 	})
 }
+
+// Network service layer (internal/server + internal/admit +
+// internal/netload): the vatsd wire protocol server that maps
+// connections onto Session/SnapshotTxn, the admission controller with
+// per-class load shedding and a p99 queue-wait feedback target, and the
+// open-loop load generator. See cmd/vatsd and cmd/vatsload for the
+// command-line front ends and docs/SERVER.md for the protocol.
+type (
+	// Server serves the wire protocol over TCP or unix sockets.
+	Server = server.Server
+	// ServerConfig configures a Server (admission knobs included).
+	ServerConfig = server.Config
+	// ServerClient is a synchronous wire-protocol client.
+	ServerClient = server.Client
+	// AdmitConfig configures the admission controller.
+	AdmitConfig = admit.Config
+	// AdmitClass is an admission priority class.
+	AdmitClass = admit.Class
+	// AdmitStats is an admission-controller snapshot.
+	AdmitStats = admit.Stats
+	// LoadConfig drives one open-loop load-generator run.
+	LoadConfig = netload.Config
+	// LoadResult is a load run's outcome.
+	LoadResult = netload.Result
+)
+
+// Admission classes, highest priority first.
+const (
+	ClassHigh   = admit.High
+	ClassNormal = admit.Normal
+	ClassLow    = admit.Low
+)
+
+// ErrShed: the request was load-shed by admission control; back off.
+var ErrShed = admit.ErrShed
+
+// NewServer builds a wire-protocol server over an open engine; call
+// Listen to bind and Close to shut down.
+func NewServer(db *DB, cfg ServerConfig) *Server { return server.New(db, cfg) }
+
+// DialServer connects a synchronous client to a running server.
+func DialServer(network, addr string) (*ServerClient, error) { return server.Dial(network, addr) }
+
+// RunLoad executes one open-loop load run against a running server.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) { return netload.Run(cfg) }
 
 // Row-operation errors, re-exported for errors.Is checks.
 var (
